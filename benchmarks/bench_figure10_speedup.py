@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 10 (speedup over ANT across accelerators)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure10, run_figure10
+
+
+def test_figure10_speedup(benchmark, render):
+    rows = run_once(benchmark, run_figure10)
+    render(render_figure10(rows))
+    geomean = rows[-1].speedups
+    # Paper: Tender 2.63x, OliVe 1.78x, OLAccel 1.43x over ANT (geomean).
+    assert geomean["Tender"] == pytest.approx(2.63, rel=0.25)
+    assert geomean["OliVe"] == pytest.approx(1.78, rel=0.25)
+    assert geomean["OLAccel"] == pytest.approx(1.43, rel=0.25)
+    assert geomean["Tender"] > geomean["OliVe"] > geomean["OLAccel"] > geomean["ANT"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (energy efficiency across accelerators)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure11, run_figure11
+
+
+def test_figure11_energy_efficiency(benchmark, render):
+    rows = run_once(benchmark, run_figure11)
+    render(render_figure11(rows))
+    geomean = rows[-1].efficiency
+    # Paper: Tender is 1.84x / 1.53x / 1.24x more energy efficient than ANT / OLAccel / OliVe.
+    assert geomean["Tender"] > geomean["OliVe"] > geomean["OLAccel"] > 1.0
+    assert 1.5 < geomean["Tender"] < 2.6

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 12 (GPU latency and MSE of Tender SW)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure12, run_figure12
+
+
+def test_figure12_gpu_latency_mse(benchmark, render):
+    rows = run_once(benchmark, run_figure12)
+    render(render_figure12(rows))
+    by_key = {(r.device, r.scheme): r for r in rows}
+    for device in ("rtx3090", "a100"):
+        fp16 = by_key[(device, "FP16")]
+        tender = by_key[(device, "Tender SW")]
+        per_tensor = by_key[(device, "INT8 (per-tensor)")]
+        per_channel = by_key[(device, "INT8 (per-channel)")]
+        # Latency shape: per-tensor fastest, Tender SW at or slightly below FP16,
+        # per-channel at or above FP16.
+        assert per_tensor.normalized_latency < tender.normalized_latency <= 1.05
+        assert per_channel.normalized_latency >= 0.99
+        # MSE shape: Tender SW tracks per-channel accuracy, far below per-tensor.
+        assert tender.mse < per_tensor.mse
+        assert fp16.mse == 0.0

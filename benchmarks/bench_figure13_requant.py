@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 13 (implicit vs explicit requantization latency)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure13, run_figure13
+
+
+def test_figure13_requantization(benchmark, render):
+    rows = run_once(benchmark, run_figure13)
+    render(render_figure13(rows))
+    for row in rows:
+        assert row.implicit_normalized < 1.02       # implicit tracks the no-decomposition baseline
+        assert 1.1 < row.explicit_normalized < 2.2  # explicit slows down, up to ~1.7-2x
+    eight = [r for r in rows if r.num_groups == 8]
+    sixteen = [r for r in rows if r.num_groups == 16]
+    assert max(r.explicit_normalized for r in eight) < max(r.explicit_normalized for r in sixteen)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 2 (activation vs weight value ranges)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure2, run_figure2
+
+
+def test_figure2_value_ranges(benchmark, render):
+    summaries = run_once(benchmark, run_figure2)
+    render(render_figure2(summaries))
+    activations = [s for s in summaries if s.kind == "activation"]
+    weights = [s for s in summaries if s.kind == "weight"]
+    # The paper's point: activations have far stronger channel outliers than weights.
+    assert min(a.outlier_ratio for a in activations) > max(w.outlier_ratio for w in weights)

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3 (channel-wise outliers across layers)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure3, run_figure3
+
+
+def test_figure3_outlier_heatmap(benchmark, render):
+    result = run_once(benchmark, run_figure3)
+    render(render_figure3(result))
+    # The same channels must be hot in every layer and match the injected ones.
+    assert result.overlap >= 0.75

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 9 (perplexity vs number of groups) plus an alpha ablation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure9, run_figure9
+
+
+def run_sweeps():
+    """Main group sweep at alpha=2 plus a short alpha=4 ablation.
+
+    The alpha=4 ablation uses fewer groups because the rescale factor between
+    the first and last group grows as alpha^(G-1) and must stay within the
+    32-bit accumulator headroom (the same constraint the hardware has).
+    """
+    points = run_figure9(group_counts=(1, 2, 4, 8, 12), bit_widths=(4, 8), alphas=(2,))
+    points += run_figure9(group_counts=(2, 4, 6), bit_widths=(4,), alphas=(4,))
+    return points
+
+
+def test_figure9_group_sweep(benchmark, render):
+    points = run_once(benchmark, run_sweeps)
+    render(render_figure9(points))
+    int4 = {p.num_groups: p.perplexity for p in points if p.bits == 4 and p.alpha == 2}
+    int8 = {p.num_groups: p.perplexity for p in points if p.bits == 8 and p.alpha == 2}
+    # More groups help, most dramatically at INT4 (Figure 9a vs 9b).
+    assert int4[8] < int4[1]
+    assert int8[8] <= int8[1] * 1.02
+    assert (int4[1] - int4[8]) > (int8[1] - int8[8])
+    # Alpha ablation: at equal dynamic-range coverage (2^8 vs 4^4 thresholds),
+    # the finer alpha=2 spacing is at least as accurate.
+    alpha4 = {p.num_groups: p.perplexity for p in points if p.alpha == 4}
+    assert int4[8] <= alpha4[4] * 1.05

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (perplexity vs activation quantization granularity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1_granularity(benchmark, render):
+    rows = run_once(benchmark, run_table1)
+    render(render_table1(rows))
+    labels = [row.label for row in rows]
+    assert labels[0] == "FP16"
+    assert any(label.startswith("INT4") for label in labels)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table II (INT8/INT4 PTQ perplexity vs prior schemes)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2_ptq_perplexity(benchmark, render):
+    cells = run_once(benchmark, run_table2)
+    render(render_table2(cells))
+    index = {(c.precision, c.scheme, c.model, c.dataset): c.perplexity for c in cells}
+    models = sorted({c.model for c in cells})
+    for model in models:
+        base = index[("FP16", "Base", model, "wiki")]
+        tender8 = index[("INT8", "Tender", model, "wiki")]
+        tender4 = index[("INT4", "Tender", model, "wiki")]
+        ant4 = index[("INT4", "ANT", model, "wiki")]
+        assert tender8 < base * 1.10          # INT8 Tender tracks FP16
+        assert tender4 < ant4                 # INT4 Tender beats ANT

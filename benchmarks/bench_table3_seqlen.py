@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table III (sequence-length sensitivity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table3, run_table3
+
+
+def test_table3_sequence_lengths(benchmark, render):
+    cells = run_once(benchmark, run_table3)
+    render(render_table3(cells))
+    index = {(c.precision, c.scheme, c.seq_len, c.dataset): c.perplexity for c in cells}
+    seq_lens = sorted({c.seq_len for c in cells})
+    for seq_len in seq_lens:
+        base = index[("FP16", "Base", seq_len, "wiki")]
+        assert index[("INT8", "Tender", seq_len, "wiki")] < base * 1.15
+        # Tender (all) quantizes every matmul at a small extra penalty.
+        assert index[("INT8", "Tender (all)", seq_len, "wiki")] < base * 1.3

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table IV (BERT-Large / GLUE accuracy)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table4, run_table4
+from repro.experiments.report import full_evaluation_enabled
+
+
+def test_table4_bert_glue(benchmark, render):
+    tasks = None if full_evaluation_enabled() else ["SST-2", "QNLI"]
+    cells = run_once(benchmark, run_table4, tasks=tasks)
+    render(render_table4(cells))
+    index = {(c.precision, c.scheme, c.task): c.accuracy for c in cells}
+    used_tasks = sorted({c.task for c in cells})
+    for task in used_tasks:
+        base = index[("FP32", "Base", task)]
+        assert base > 60.0                                    # clearly above chance
+        assert index[("INT8", "Tender", task)] > base - 8.0   # Tender INT8 tracks FP32

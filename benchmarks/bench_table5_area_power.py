@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table V (area and power of the Tender accelerator)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.accelerator import total_area_power
+from repro.experiments import render_table5, run_table5
+
+
+def test_table5_area_power(benchmark, render):
+    rows = run_once(benchmark, run_table5)
+    render(render_table5(rows))
+    totals = total_area_power(rows)
+    assert totals["area_mm2"] == pytest.approx(3.98, abs=0.02)
+    assert totals["power_w"] == pytest.approx(1.60, abs=0.02)

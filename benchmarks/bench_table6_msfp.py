@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table VI (Tender INT4 vs MSFP block floating point)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table6, run_table6
+
+
+def test_table6_msfp(benchmark, render):
+    rows = run_once(benchmark, run_table6)
+    render(render_table6(rows))
+    by_scheme = {row.scheme: row.perplexities for row in rows}
+    for model in by_scheme["FP16"]:
+        # Paper ordering: MSFP12 >> MSFP12-OL >> Tender-INT4 (lower is better).
+        assert by_scheme["MSFP12"][model] > by_scheme["MSFP12-OL"][model]
+        assert by_scheme["MSFP12-OL"][model] > by_scheme["Tender-INT4"][model]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table VII (zero-shot accuracy: SMX4 / MXFP4 / Tender)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table7, run_table7
+from repro.experiments.report import full_evaluation_enabled
+
+
+def test_table7_zeroshot(benchmark, render):
+    tasks = None if full_evaluation_enabled() else ["Hellaswag", "ARC easy", "Lambada", "Winogrande"]
+    cells = run_once(benchmark, run_table7, models=("opt-6.7b-sim",), tasks=tasks)
+    render(render_table7(cells))
+    mean_by_scheme = {}
+    for scheme in ("Base", "SMX4", "MXFP4", "Tender"):
+        values = [c.accuracy for c in cells if c.scheme == scheme]
+        mean_by_scheme[scheme] = float(np.mean(values))
+    # Paper ordering on average: FP >= Tender > MXFP4 > SMX4 (SMX4 near chance).
+    assert mean_by_scheme["Tender"] > mean_by_scheme["MXFP4"]
+    assert mean_by_scheme["Tender"] > mean_by_scheme["SMX4"]
+    assert mean_by_scheme["Base"] >= mean_by_scheme["Tender"] - 5.0

@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each benchmark file regenerates one table or figure of the paper.  The
+experiment functions are deterministic but not cheap (they evaluate several
+quantization schemes on trained checkpoints), so every benchmark runs a single
+measured round and prints the rendered table so the output can be compared
+against the paper (and against EXPERIMENTS.md).
+
+Set ``REPRO_FULL_EVAL=1`` to evaluate the full model list used in the paper
+instead of the quick two-model subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def render(capsys):
+    """Return a helper that prints a rendered table outside capture."""
+
+    def _render(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _render

@@ -1,0 +1,56 @@
+"""Compare Tender against every implemented PTQ scheme on one zoo model.
+
+This is Table II (plus the block-floating-point formats of Tables VI/VII) in
+one script: the OPT-6.7B stand-in checkpoint is loaded from the cache
+(training it on first use), and every scheme in the registry is evaluated on
+the wiki-like and ptb-like test sets at INT8 and INT4.
+
+Run:  python examples/scheme_comparison.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import SchemeRequest, build_runner
+from repro.data import calibration_samples, load_corpus
+from repro.eval import evaluate_perplexity
+from repro.experiments.report import format_table
+from repro.models import get_language_model
+
+SCHEMES = [
+    "Base", "per-tensor", "per-row", "per-column",
+    "SmoothQuant", "LLM.int8", "ANT", "OliVe", "RPTQ",
+    "MSFP12", "MSFP12-OL", "SMX4", "MXFP4", "Tender",
+]
+
+
+def main(model_name: str = "opt-6.7b-sim") -> None:
+    print(f"loading checkpoint {model_name} (trains once, then cached)...")
+    weights = get_language_model(model_name)
+    pile_train, _ = load_corpus("pile", vocab_size=weights.config.vocab_size).split()
+    calibration = calibration_samples(pile_train, seq_len=64, num_samples=16)
+    datasets = {name: load_corpus(name, vocab_size=weights.config.vocab_size).split()[1]
+                for name in ("wiki", "ptb")}
+
+    rows = []
+    for bits in (8, 4):
+        for scheme in SCHEMES:
+            request = SchemeRequest(
+                weights=weights, calibration=calibration, bits=bits,
+                options={"num_groups": 12, "row_chunk_size": 32},
+            )
+            runner = build_runner(scheme, request)
+            row = [f"INT{bits}" if scheme != "Base" else "FP16", scheme]
+            for dataset_name, eval_tokens in datasets.items():
+                row.append(evaluate_perplexity(runner, eval_tokens, seq_len=64, max_windows=6))
+            rows.append(row)
+            print(f"  evaluated {scheme} at INT{bits}")
+
+    headers = ["Precision", "Scheme"] + [f"{name} ppl" for name in datasets]
+    print()
+    print(format_table(headers, rows, title=f"PTQ perplexity on {model_name} (lower is better)"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "opt-6.7b-sim")

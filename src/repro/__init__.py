@@ -1,0 +1,27 @@
+"""repro: a from-scratch reproduction of Tender (ISCA 2024).
+
+Tender: Accelerating Large Language Models via Tensor Decomposition and
+Runtime Requantization — Lee, Lee, and Sim.
+
+Top-level convenience re-exports cover the most common entry points; the
+subpackages hold the full system:
+
+* :mod:`repro.core` — Tender's decomposed quantization and runtime
+  requantization (the paper's contribution).
+* :mod:`repro.quant` — uniform-quantization substrate and integer GEMM.
+* :mod:`repro.baselines` — SmoothQuant, LLM.int8(), ANT, OliVe, MSFP, MX/SMX.
+* :mod:`repro.models`, :mod:`repro.nn`, :mod:`repro.tensor`, :mod:`repro.data`
+  — the Transformer substrate (training, inference, synthetic datasets).
+* :mod:`repro.eval` — perplexity / accuracy / MSE evaluation harness.
+* :mod:`repro.accelerator` — cycle-level simulator of the Tender accelerator
+  and its baselines (ANT, OLAccel, OliVe).
+* :mod:`repro.gpu` — analytical GPU GEMM latency model (Figure 12).
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core import TenderConfig, TenderQuantizer
+from repro.quant import Granularity
+
+__version__ = "1.0.0"
+
+__all__ = ["TenderConfig", "TenderQuantizer", "Granularity", "__version__"]

@@ -1,0 +1,96 @@
+"""Area and power model (Table V).
+
+The paper reports component areas and peak power of the Tender accelerator
+synthesized at 28 nm / 1 GHz.  This module reproduces Table V from per-unit
+area/power constants (per PE, per FPU, per KiB of SRAM), which also lets the
+simulator configure the baseline accelerators iso-area by scaling their PE
+counts with the relative size of their MAC units, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.accelerator.config import AcceleratorConfig
+
+#: Per-unit constants back-derived from Table V of the paper.
+PE_AREA_MM2 = 2.00 / (64 * 64)            # 4-bit MAC + 32-bit accumulator + shifter
+PE_POWER_W = 1.09 / (64 * 64)
+FPU_AREA_MM2 = 0.08 / 64
+FPU_POWER_W = 0.02 / 64
+FIFO_AREA_MM2 = 0.05 / 128                # 64 input + 64 weight FIFOs
+FIFO_POWER_W = 0.34 / 128
+#: SRAM density differs per buffer: the scratchpad is a dense single-port
+#: macro, the output buffer is highly banked to match VPU throughput (paper,
+#: Section V-C), and the index buffer is a small double-buffered macro.
+SCRATCHPAD_AREA_MM2_PER_KIB = 1.15 / 512
+SCRATCHPAD_POWER_W_PER_KIB = 0.13 / 512
+OUTPUT_BUFFER_AREA_MM2_PER_KIB = 0.47 / 64
+OUTPUT_BUFFER_POWER_W_PER_KIB = 0.01 / 64
+INDEX_BUFFER_AREA_MM2_PER_KIB = 0.23 / 32
+INDEX_BUFFER_POWER_W_PER_KIB = 0.01 / 32
+
+
+@dataclass
+class ComponentArea:
+    """Area and power of one accelerator component."""
+
+    component: str
+    setup: str
+    area_mm2: float
+    power_w: float
+
+
+def tender_area_table(config: AcceleratorConfig | None = None) -> List[ComponentArea]:
+    """Reproduce Table V for the (default) Tender configuration."""
+    config = config or AcceleratorConfig()
+    systolic = config.systolic
+    num_pes = systolic.rows * systolic.cols
+    num_fifos = systolic.rows * 2
+    memory = config.memory
+    rows = [
+        ComponentArea(
+            "Systolic Array", f"{systolic.rows}x{systolic.cols} PEs",
+            num_pes * PE_AREA_MM2, num_pes * PE_POWER_W,
+        ),
+        ComponentArea(
+            "Vector Processing Unit", f"{config.vpu.num_fpus} FPUs",
+            config.vpu.num_fpus * FPU_AREA_MM2, config.vpu.num_fpus * FPU_POWER_W,
+        ),
+        ComponentArea(
+            "Input/Weight FIFOs", f"{systolic.rows}x2",
+            num_fifos * FIFO_AREA_MM2, num_fifos * FIFO_POWER_W,
+        ),
+        ComponentArea(
+            "Index Buffer", f"2x({memory.index_buffer_kib // 2}KB)",
+            memory.index_buffer_kib * INDEX_BUFFER_AREA_MM2_PER_KIB,
+            memory.index_buffer_kib * INDEX_BUFFER_POWER_W_PER_KIB,
+        ),
+        ComponentArea(
+            "Scratchpad Memory", f"2x({memory.scratchpad_kib // 2}KB)",
+            memory.scratchpad_kib * SCRATCHPAD_AREA_MM2_PER_KIB,
+            memory.scratchpad_kib * SCRATCHPAD_POWER_W_PER_KIB,
+        ),
+        ComponentArea(
+            "Output Buffer", f"{memory.output_buffer_kib}KB",
+            memory.output_buffer_kib * OUTPUT_BUFFER_AREA_MM2_PER_KIB,
+            memory.output_buffer_kib * OUTPUT_BUFFER_POWER_W_PER_KIB,
+        ),
+    ]
+    return rows
+
+
+def total_area_power(rows: List[ComponentArea]) -> Dict[str, float]:
+    """Sum a component table into total area (mm^2) and power (W)."""
+    return {
+        "area_mm2": sum(row.area_mm2 for row in rows),
+        "power_w": sum(row.power_w for row in rows),
+    }
+
+
+def iso_area_pe_count(reference_pes: int, reference_pe_area: float, candidate_pe_area: float) -> int:
+    """Number of candidate PEs that fit in the reference array's silicon area."""
+    if candidate_pe_area <= 0:
+        raise ValueError("candidate PE area must be positive")
+    return max(int(reference_pes * reference_pe_area / candidate_pe_area), 1)

@@ -1,0 +1,102 @@
+"""Hardware configuration dataclasses for the accelerator simulator.
+
+The numbers mirror Section V-A / Table V of the paper: a single 64x64
+output-stationary systolic array of 4-bit PEs running at 1 GHz, 2 x 256 KB
+scratchpad, a 64-FPU vector processing unit, a 16 KB double-buffered index
+buffer, and HBM2 off-chip memory.  Baseline accelerators (ANT, OLAccel, OliVe)
+are configured iso-area by scaling their PE counts by the relative area of
+their MAC units, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    """Dimensions and precision of a systolic array."""
+
+    rows: int = 64
+    cols: int = 64
+    #: Native MAC precision of one PE in bits (Tender PEs are 4-bit; INT8 ops
+    #: gang 4 PEs together, quartering effective throughput).
+    pe_bits: int = 4
+    dataflow: str = "output_stationary"
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.dataflow not in ("output_stationary", "weight_stationary"):
+            raise ConfigurationError(f"unknown dataflow {self.dataflow!r}")
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("systolic array dimensions must be positive")
+
+    def effective_dims(self, operand_bits: int) -> tuple:
+        """Effective (rows, cols) when operands are wider than the PE precision.
+
+        When the model precision is INT8 on 4-bit PEs, four PEs are grouped to
+        perform one 8-bit MAC (Section IV-B), halving each array dimension.
+        """
+        if operand_bits <= self.pe_bits:
+            return self.rows, self.cols
+        ratio = operand_bits // self.pe_bits
+        return max(self.rows // ratio, 1), max(self.cols // ratio, 1)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip and on-chip memory parameters."""
+
+    #: HBM2 peak bandwidth (GB/s) and achievable efficiency.
+    hbm_bandwidth_gbps: float = 307.0
+    hbm_efficiency: float = 0.8
+    #: On-chip buffer sizes in KiB (Table V).
+    scratchpad_kib: int = 512
+    output_buffer_kib: int = 64
+    index_buffer_kib: int = 32
+    #: Energy per byte (pJ/byte), loosely following FG-DRAM / standard numbers.
+    hbm_pj_per_byte: float = 7.0
+    sram_pj_per_byte: float = 0.3
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Sustained HBM bytes per 1 GHz cycle."""
+        return self.hbm_bandwidth_gbps * self.hbm_efficiency / 1.0
+
+
+@dataclass(frozen=True)
+class VPUConfig:
+    """Vector processing unit: SIMD FPUs for softmax/LayerNorm/rescaling."""
+
+    num_fpus: int = 64
+    ops_per_cycle_per_fpu: int = 1
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete accelerator: compute array, memory system, and overheads."""
+
+    name: str = "Tender"
+    systolic: SystolicConfig = field(default_factory=SystolicConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    vpu: VPUConfig = field(default_factory=VPUConfig)
+    #: Bits used for activations/weights of linear layers.
+    precision_bits: int = 4
+    #: Extra pipeline cycles per tile for datatype decoding (ANT/OliVe decoders).
+    decode_cycles_per_tile: int = 0
+    #: Multiplier (>= 1) on compute cycles for schemes with complex control or
+    #: mixed-precision handling (OLAccel outlier PEs, unaligned access).
+    control_overhead: float = 1.0
+    #: Energy per MAC (pJ) at the configured precision, from synthesis-style
+    #: estimates; used by the energy model.
+    mac_energy_pj: float = 0.08
+    #: Whether the scheme requires an extra pass over outliers in FP/high precision.
+    mixed_precision: bool = False
+
+    def __post_init__(self) -> None:
+        if self.precision_bits not in (4, 8, 16):
+            raise ConfigurationError("precision_bits must be 4, 8, or 16")
+        if self.control_overhead < 1.0:
+            raise ConfigurationError("control_overhead must be >= 1.0")

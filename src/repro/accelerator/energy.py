@@ -1,0 +1,71 @@
+"""Energy model for the accelerator comparison (Figure 11).
+
+Energy is accounted per workload as:
+
+* dynamic compute energy — MACs executed x per-MAC energy at the scheme's
+  precision mix (plus high-precision outlier MACs for mixed-precision designs),
+* on-chip SRAM energy — bytes staged through the scratchpad/output buffer,
+* off-chip DRAM energy — bytes moved over HBM2,
+* FIFO/register energy — proportional to compute cycles (the skewing FIFOs
+  toggle every cycle the array is active),
+* static energy — accelerator peak power x a static fraction x runtime.
+
+All constants live in :mod:`repro.accelerator.accelerators` and
+:mod:`repro.accelerator.config`, so the energy ordering between designs is a
+consequence of their precision mix, PE count, and runtime rather than being
+hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.accelerators import AcceleratorModel
+from repro.accelerator.memory import HBMModel, ScratchpadModel
+
+#: Energy per byte toggled through the skewing FIFOs (pJ/byte).
+FIFO_PJ_PER_BYTE = 0.1
+#: Fraction of peak power drawn statically (leakage + clock tree).
+STATIC_POWER_FRACTION = 0.1
+#: Peak power of the reference design (Table V), used for the static term.
+REFERENCE_PEAK_POWER_W = 1.60
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in joules, split by component."""
+
+    compute_j: float
+    sram_j: float
+    dram_j: float
+    fifo_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.sram_j + self.dram_j + self.fifo_j + self.static_j
+
+
+def workload_energy(
+    accelerator: AcceleratorModel,
+    total_macs: int,
+    dram_bytes: int,
+    sram_bytes: int,
+    runtime_seconds: float,
+    compute_cycles: int,
+) -> EnergyBreakdown:
+    """Energy of one workload on one accelerator."""
+    memory_config = accelerator.config.memory
+    hbm = HBMModel(memory_config)
+    scratchpad = ScratchpadModel(memory_config)
+
+    compute_j = total_macs * accelerator.mac_energy_pj() * 1e-12
+    dram_j = hbm.transfer_energy_pj(dram_bytes) * 1e-12
+    sram_j = scratchpad.access_energy_pj(sram_bytes) * 1e-12
+    array_width = accelerator.config.systolic.rows
+    operand_bytes_per_cycle = array_width * 2 * accelerator.config.precision_bits / 8
+    fifo_j = compute_cycles * operand_bytes_per_cycle * FIFO_PJ_PER_BYTE * 1e-12
+    static_j = REFERENCE_PEAK_POWER_W * STATIC_POWER_FRACTION * runtime_seconds
+    return EnergyBreakdown(
+        compute_j=compute_j, sram_j=sram_j, dram_j=dram_j, fifo_j=fifo_j, static_j=static_j
+    )

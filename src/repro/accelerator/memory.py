@@ -1,0 +1,85 @@
+"""Off-chip memory timing and on-chip buffer models.
+
+The paper pairs its compute model with HBM2 and a Ramulator-based DRAM timing
+model.  The simulator here uses a bandwidth/efficiency model with a burst
+granularity: the time to stream a tensor is its size divided by the sustained
+bandwidth, rounded up to whole bursts, and compute/memory are overlapped by
+double buffering (the execution controller and HBM controller "operate
+independently during computation to keep the MSA busy", Section IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.accelerator.config import MemoryConfig
+from repro.errors import SimulationError
+
+
+@dataclass
+class MemoryTraffic:
+    """Bytes moved per operand class for one workload."""
+
+    activation_bytes: int = 0
+    weight_bytes: int = 0
+    output_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.activation_bytes + self.weight_bytes + self.output_bytes
+
+
+class HBMModel:
+    """Sustained-bandwidth HBM2 model with burst granularity."""
+
+    def __init__(self, config: MemoryConfig, burst_bytes: int = 64) -> None:
+        if burst_bytes <= 0:
+            raise SimulationError("burst_bytes must be positive")
+        self.config = config
+        self.burst_bytes = burst_bytes
+
+    def transfer_cycles(self, num_bytes: int, frequency_ghz: float = 1.0) -> int:
+        """Cycles (at ``frequency_ghz``) to move ``num_bytes`` to/from HBM."""
+        if num_bytes < 0:
+            raise SimulationError("cannot transfer a negative number of bytes")
+        if num_bytes == 0:
+            return 0
+        bursts = ceil(num_bytes / self.burst_bytes)
+        effective_bytes = bursts * self.burst_bytes
+        bytes_per_cycle = self.config.bytes_per_cycle / frequency_ghz
+        return ceil(effective_bytes / bytes_per_cycle)
+
+    def transfer_energy_pj(self, num_bytes: int) -> float:
+        """Energy to move ``num_bytes`` across the HBM interface."""
+        return num_bytes * self.config.hbm_pj_per_byte
+
+
+class ScratchpadModel:
+    """On-chip SRAM: capacity checking and access energy."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.capacity_bytes = config.scratchpad_kib * 1024
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether a working set fits in the scratchpad (per double-buffer half)."""
+        return num_bytes <= self.capacity_bytes // 2
+
+    def access_energy_pj(self, num_bytes: int) -> float:
+        return num_bytes * self.config.sram_pj_per_byte
+
+
+class IndexBuffer:
+    """The double-buffered channel-index buffer feeding indirect loads.
+
+    Stores the per-row-chunk channel computation order (2 bytes per channel
+    index).  ``fits`` checks one chunk's index list against half the buffer,
+    since the other half is being filled for the next chunk (Section IV-D).
+    """
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.capacity_bytes = config.index_buffer_kib * 1024
+
+    def fits(self, num_channels: int, bytes_per_index: int = 2) -> bool:
+        return num_channels * bytes_per_index <= self.capacity_bytes // 2

@@ -1,0 +1,181 @@
+"""Systolic-array models: an analytical tile/cycle model and a functional MSA.
+
+Two levels of fidelity are provided:
+
+* :func:`gemm_cycles` — the analytical cycle model the end-to-end simulator
+  uses.  It tiles a GEMM onto the array, accounts for pipeline fill/drain,
+  reduced effective dimensions at higher precisions, per-group rescale bubbles
+  (implicit requantization) or per-group re-tiling plus VPU dequantization
+  (explicit requantization), and optional datatype-decode overhead.
+* :class:`MultiScaleSystolicArray` — a functional, cycle-stepped model of an
+  output-stationary PE grid with the 1-bit shifter extension of Figure 6(c).
+  It executes small decomposed matrix multiplications exactly (used by tests
+  to show the hardware computes the same result as
+  :func:`repro.core.requantization.implicit_requantized_matmul`) and reports
+  the cycles consumed, including the 1-cycle bubble per group boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.accelerator.config import SystolicConfig
+from repro.errors import SimulationError
+
+
+@dataclass
+class GemmCycleBreakdown:
+    """Cycle accounting of one GEMM on the array."""
+
+    compute_cycles: int
+    fill_drain_cycles: int
+    rescale_cycles: int
+    decode_cycles: int
+    requantization_passes: int
+
+    @property
+    def total(self) -> int:
+        return self.compute_cycles + self.fill_drain_cycles + self.rescale_cycles + self.decode_cycles
+
+
+def gemm_cycles(
+    m: int,
+    k: int,
+    n: int,
+    config: SystolicConfig,
+    operand_bits: int,
+    num_groups: int = 1,
+    implicit_requantization: bool = True,
+    decode_cycles_per_tile: int = 0,
+) -> GemmCycleBreakdown:
+    """Cycles to execute an (m x k) @ (k x n) GEMM on the systolic array.
+
+    With implicit requantization the reduction axis stays intact and each
+    output tile pays ``num_groups - 1`` single-cycle bubbles.  With explicit
+    requantization the reduction axis is split per group, so every group pays
+    its own pipeline fill plus a dequantize-accumulate pass over the output
+    tile (modelled as one cycle per output row of the tile, i.e. the VPU
+    walking the tile), which is the slowdown Figure 13 quantifies.
+    """
+    if min(m, k, n) <= 0:
+        raise SimulationError("GEMM dimensions must be positive")
+    rows, cols = config.effective_dims(operand_bits)
+    tiles_m = ceil(m / rows)
+    tiles_n = ceil(n / cols)
+    fill_drain = rows + cols
+
+    if implicit_requantization or num_groups <= 1:
+        per_tile_compute = k
+        per_tile_rescale = max(num_groups - 1, 0)
+        per_tile_fill = fill_drain
+        requant_passes = 0
+    else:
+        # Explicit: the k axis is processed as num_groups shorter reductions.
+        # The first group pays the full pipeline fill; subsequent groups only
+        # re-fill the weight side (cols) because the array must drain each
+        # group's partial result before the next one starts.
+        group_k = ceil(k / num_groups)
+        per_tile_compute = group_k * num_groups
+        per_tile_fill = fill_drain + (num_groups - 1) * cols
+        per_tile_rescale = 0
+        requant_passes = num_groups
+    # FP dequantize-accumulate pass over the output tile, one VPU sweep per group.
+    per_tile_requant = requant_passes * rows
+
+    tiles = tiles_m * tiles_n
+    return GemmCycleBreakdown(
+        compute_cycles=tiles * per_tile_compute,
+        fill_drain_cycles=tiles * per_tile_fill,
+        rescale_cycles=tiles * (per_tile_rescale + per_tile_requant),
+        decode_cycles=tiles * decode_cycles_per_tile,
+        requantization_passes=tiles * requant_passes,
+    )
+
+
+class ProcessingElement:
+    """One output-stationary PE with a 32-bit accumulator and a 1-bit shifter."""
+
+    __slots__ = ("accumulator",)
+
+    _ACC_MAX = 2**31 - 1
+    _ACC_MIN = -(2**31)
+
+    def __init__(self) -> None:
+        self.accumulator = 0
+
+    def step(self, activation: int, weight: int, rescale: bool, alpha: int = 2) -> None:
+        """One cycle: optionally rescale (shift), else multiply-accumulate."""
+        if rescale:
+            self.accumulator *= alpha
+        else:
+            self.accumulator += int(activation) * int(weight)
+        if not (self._ACC_MIN <= self.accumulator <= self._ACC_MAX):
+            raise SimulationError("PE accumulator overflowed its 32-bit register")
+
+
+class MultiScaleSystolicArray:
+    """Functional model of Tender's MSA executing one output tile.
+
+    The model abstracts the input/weight skewing FIFOs (their effect is a
+    constant fill/drain latency accounted separately) and steps all PEs in
+    lock-step through the channel stream: MAC cycles for each channel of each
+    group, plus a one-cycle rescale bubble between groups, exactly as in
+    Figure 7(a).
+    """
+
+    def __init__(self, rows: int = 64, cols: int = 64) -> None:
+        self.rows = rows
+        self.cols = cols
+        self.cycles = 0
+        self.rescale_bubbles = 0
+
+    def run_tile(
+        self,
+        activation: np.ndarray,
+        weight: np.ndarray,
+        group_sizes: Sequence[int],
+        alpha: int = 2,
+    ) -> np.ndarray:
+        """Execute one output tile over channel groups ordered largest-scale first.
+
+        ``activation`` is (tile_rows, k) int, ``weight`` is (k, tile_cols) int,
+        with channels already laid out in group order (the Index Buffer's job).
+        Returns the integer accumulator values of every PE.
+        """
+        tile_rows, k = activation.shape
+        k_w, tile_cols = weight.shape
+        if k != k_w:
+            raise SimulationError("activation/weight reduction lengths differ")
+        if tile_rows > self.rows or tile_cols > self.cols:
+            raise SimulationError("tile exceeds the physical array dimensions")
+        if sum(group_sizes) != k:
+            raise SimulationError("group sizes must sum to the reduction length")
+
+        pes = [[ProcessingElement() for _ in range(tile_cols)] for _ in range(tile_rows)]
+        channel = 0
+        for group_index, size in enumerate(group_sizes):
+            if group_index > 0:
+                # Rescale bubble: every PE shifts its accumulator, one cycle.
+                for row in range(tile_rows):
+                    for col in range(tile_cols):
+                        pes[row][col].step(0, 0, rescale=True, alpha=alpha)
+                self.cycles += 1
+                self.rescale_bubbles += 1
+            for _ in range(size):
+                for row in range(tile_rows):
+                    for col in range(tile_cols):
+                        pes[row][col].step(
+                            activation[row, channel], weight[channel, col], rescale=False
+                        )
+                channel += 1
+                self.cycles += 1
+        # Fill/drain latency of the skewing FIFOs (wavefront propagation).
+        self.cycles += self.rows + self.cols
+        return np.array(
+            [[pes[row][col].accumulator for col in range(tile_cols)] for row in range(tile_rows)],
+            dtype=np.int64,
+        )

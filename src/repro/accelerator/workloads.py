@@ -1,0 +1,99 @@
+"""LLM inference workloads for the accelerator simulator.
+
+Figures 10, 11, and 13 evaluate the accelerators on the *full-scale* models
+(OPT-6.7B ... Llama-2-70B) with a batch size of 1 and a 2048:1 input-to-output
+sequence-length split (prefill-dominated, following the paper's Section V-A).
+The model zoo records the full-scale GEMM dimensions of each stand-in, and
+this module expands them into the per-layer matrix-multiplication list a
+Transformer block executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.models.zoo import get_zoo_entry
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One matrix multiplication: (m x k) @ (k x n), repeated ``count`` times."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    count: int = 1
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n * self.count
+
+    def operand_bytes(self, activation_bits: int, weight_bits: int) -> int:
+        """Bytes moved from off-chip memory for operands and results."""
+        activation = self.m * self.k * activation_bits // 8
+        weight = self.k * self.n * weight_bits // 8
+        output = self.m * self.n * activation_bits // 8
+        return (activation + weight + output) * self.count
+
+
+@dataclass
+class Workload:
+    """A named list of GEMMs (one Transformer forward pass)."""
+
+    name: str
+    gemms: List[GemmShape] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(g.macs for g in self.gemms)
+
+    def total_bytes(self, activation_bits: int, weight_bits: int) -> int:
+        return sum(g.operand_bytes(activation_bits, weight_bits) for g in self.gemms)
+
+
+def transformer_layer_gemms(
+    d_model: int, d_ff: int, num_heads: int, seq_len: int
+) -> List[GemmShape]:
+    """The matrix multiplications of one Transformer block (Section II-A)."""
+    if d_model % num_heads != 0:
+        raise ConfigurationError("d_model must be divisible by num_heads")
+    d_head = d_model // num_heads
+    return [
+        GemmShape("qkv_proj", seq_len, d_model, d_model, count=3),
+        GemmShape("attention_scores", seq_len, d_head, seq_len, count=num_heads),
+        GemmShape("attention_values", seq_len, seq_len, d_head, count=num_heads),
+        GemmShape("out_proj", seq_len, d_model, d_model),
+        GemmShape("fc1", seq_len, d_model, d_ff),
+        GemmShape("fc2", seq_len, d_ff, d_model),
+    ]
+
+
+def model_prefill_workload(model_name: str, seq_len: int = 2048, batch: int = 1) -> Workload:
+    """Prefill workload of a full-scale model (batch 1, 2048 tokens by default)."""
+    entry = get_zoo_entry(model_name)
+    layer = transformer_layer_gemms(
+        entry.paper_d_model, entry.paper_d_ff, entry.paper_num_heads, seq_len
+    )
+    gemms = [
+        GemmShape(g.name, g.m * batch, g.k, g.n, count=g.count * entry.paper_num_layers)
+        for g in layer
+    ]
+    return Workload(name=f"{model_name}-prefill-{seq_len}", gemms=gemms)
+
+
+def model_generation_workload(model_name: str, context_len: int = 2048, batch: int = 1) -> Workload:
+    """Single-token generation workload (m = batch, attention over the KV cache)."""
+    entry = get_zoo_entry(model_name)
+    d_head = entry.paper_d_model // entry.paper_num_heads
+    gemms = [
+        GemmShape("qkv_proj", batch, entry.paper_d_model, entry.paper_d_model, count=3 * entry.paper_num_layers),
+        GemmShape("attention_scores", batch, d_head, context_len, count=entry.paper_num_heads * entry.paper_num_layers),
+        GemmShape("attention_values", batch, context_len, d_head, count=entry.paper_num_heads * entry.paper_num_layers),
+        GemmShape("out_proj", batch, entry.paper_d_model, entry.paper_d_model, count=entry.paper_num_layers),
+        GemmShape("fc1", batch, entry.paper_d_model, entry.paper_d_ff, count=entry.paper_num_layers),
+        GemmShape("fc2", batch, entry.paper_d_ff, entry.paper_d_model, count=entry.paper_num_layers),
+    ]
+    return Workload(name=f"{model_name}-generate", gemms=gemms)

@@ -1,0 +1,47 @@
+"""Quantization baselines the paper compares Tender against."""
+
+from repro.baselines.ant import ANTExecutor, quantize_to_codebook
+from repro.baselines.base import FakeQuantExecutor, QuantExecutorBase, UniformQuantExecutor
+from repro.baselines.blockfloat import (
+    MSFPExecutor,
+    MXFP4Executor,
+    SMXExecutor,
+    msfp_quantize,
+    mxfp4_quantize,
+    smx_quantize,
+)
+from repro.baselines.llm_int8 import LLMInt8Executor
+from repro.baselines.olive import OliVeExecutor
+from repro.baselines.registry import (
+    SCHEME_REGISTRY,
+    SchemeRequest,
+    available_schemes,
+    build_executor,
+    build_runner,
+)
+from repro.baselines.rptq import RPTQExecutor, kmeans_1d
+from repro.baselines.smoothquant import SmoothQuantExecutor
+
+__all__ = [
+    "QuantExecutorBase",
+    "UniformQuantExecutor",
+    "FakeQuantExecutor",
+    "SmoothQuantExecutor",
+    "LLMInt8Executor",
+    "ANTExecutor",
+    "quantize_to_codebook",
+    "OliVeExecutor",
+    "MSFPExecutor",
+    "SMXExecutor",
+    "MXFP4Executor",
+    "msfp_quantize",
+    "smx_quantize",
+    "mxfp4_quantize",
+    "RPTQExecutor",
+    "kmeans_1d",
+    "SchemeRequest",
+    "SCHEME_REGISTRY",
+    "available_schemes",
+    "build_executor",
+    "build_runner",
+]

@@ -1,0 +1,106 @@
+"""ANT baseline (Guo et al., MICRO 2022): adaptive numerical datatypes.
+
+ANT picks, per tensor, the datatype (integer, power-of-two, or the hybrid
+"flint" float-int type) that minimises quantization error, and quantizes the
+tensor with a per-tensor scale.  The decoder attached to ANT's systolic array
+converts the chosen datatype into exponent + integer before the MAC.
+
+For the accuracy study the relevant behaviour is the per-tensor granularity
+combined with non-uniform codebooks: flint spends its levels near zero and on
+a wide dynamic range, which helps bell-shaped tensors but — as Tables II and
+III show — still cannot isolate strong channel outliers, so ANT degrades
+noticeably on the OPT family and at INT4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.base import FakeQuantExecutor
+from repro.quant.granularity import integer_range
+
+
+def _int_codebook(bits: int) -> np.ndarray:
+    """Symmetric uniform integer codebook, normalized to [-1, 1]."""
+    qmax = integer_range(bits)
+    return np.arange(-qmax, qmax + 1, dtype=np.float64) / qmax
+
+
+def _pot_codebook(bits: int) -> np.ndarray:
+    """Power-of-two codebook: ±2^-k levels plus zero, normalized to [-1, 1]."""
+    num_levels = 2 ** (bits - 1) - 1
+    magnitudes = np.array([2.0**-k for k in range(num_levels)], dtype=np.float64)
+    codebook = np.concatenate([-magnitudes, [0.0], magnitudes])
+    return np.unique(codebook)
+
+
+def _flint_codebook(bits: int) -> np.ndarray:
+    """Flint codebook: float-int hybrid levels, normalized to [-1, 1].
+
+    Following the ANT description, flint mixes exponent and mantissa bits so
+    that small magnitudes get dense levels and large magnitudes keep dynamic
+    range.  The codebook below enumerates ``mantissa * 2^-exponent`` with a
+    mantissa width that shrinks as the exponent grows, truncated to the
+    2^bits - 1 most useful levels.
+    """
+    levels = [0.0]
+    max_exponent = 2 ** (bits - 1)
+    for exponent in range(max_exponent):
+        mantissa_bits = max(bits - 2 - exponent // 2, 1)
+        for mantissa in range(1, 2**mantissa_bits + 1):
+            value = (mantissa / 2**mantissa_bits) * 2.0**-exponent
+            levels.append(value)
+    levels = np.unique(np.asarray(levels))
+    # Keep the largest distinct levels so the codebook has 2^(bits-1) positive entries.
+    positive = np.sort(levels)[-(2 ** (bits - 1) - 1) :]
+    return np.unique(np.concatenate([-positive, [0.0], positive]))
+
+
+_CODEBOOK_BUILDERS = {
+    "int": _int_codebook,
+    "pot": _pot_codebook,
+    "flint": _flint_codebook,
+}
+
+
+def quantize_to_codebook(values: np.ndarray, codebook: np.ndarray, scale: float) -> np.ndarray:
+    """Map ``values`` to the nearest codebook entry (codebook is in [-1, 1])."""
+    normalized = values / scale
+    clipped = np.clip(normalized, codebook[0], codebook[-1])
+    positions = np.searchsorted(codebook, clipped)
+    positions = np.clip(positions, 1, len(codebook) - 1)
+    left = codebook[positions - 1]
+    right = codebook[positions]
+    nearest = np.where(np.abs(clipped - left) <= np.abs(clipped - right), left, right)
+    return nearest * scale
+
+
+class ANTExecutor(FakeQuantExecutor):
+    """Per-tensor adaptive datatype selection (int / power-of-two / flint)."""
+
+    def __init__(self, bits: int, quantize_attention: bool = False) -> None:
+        super().__init__(bits, quantize_attention)
+        self._codebooks = {name: builder(bits) for name, builder in _CODEBOOK_BUILDERS.items()}
+        #: Datatype chosen per site, exposed for tests and analysis.
+        self.chosen_datatypes: Dict[str, str] = {}
+
+    def _encode(self, name: str, tensor: np.ndarray) -> np.ndarray:
+        scale = float(np.abs(tensor).max())
+        if scale == 0.0:
+            return tensor.copy()
+        best_name, best_error, best_values = None, np.inf, None
+        for datatype, codebook in self._codebooks.items():
+            candidate = quantize_to_codebook(tensor, codebook, scale)
+            error = float(np.mean((candidate - tensor) ** 2))
+            if error < best_error:
+                best_name, best_error, best_values = datatype, error, candidate
+        self.chosen_datatypes[name] = best_name
+        return best_values
+
+    def encode_activation(self, name: str, x: np.ndarray) -> np.ndarray:
+        return self._encode(f"{name}.act", x)
+
+    def encode_weight(self, name: str, weight: np.ndarray) -> np.ndarray:
+        return self._encode(f"{name}.weight", weight)

@@ -1,0 +1,136 @@
+"""Shared infrastructure for baseline quantization executors.
+
+Every baseline in Tables I-IV, VI, VII is implemented as a
+:class:`repro.models.inference.MatmulExecutor`.  This module provides the
+common pieces: a weight-quantization cache, the uniform-granularity executor
+used for Table I (per-tensor / per-row / per-column activation quantization),
+and small helpers shared by the more elaborate schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.quant.gemm import int_matmul
+from repro.quant.granularity import Granularity, compute_scale
+from repro.quant.quantize import fake_quantize, quantize_symmetric
+
+
+class QuantExecutorBase:
+    """Base class holding a per-site cache of quantized weights."""
+
+    def __init__(self, bits: int, weight_granularity: Granularity = Granularity.PER_COLUMN) -> None:
+        self.bits = bits
+        self.weight_granularity = weight_granularity
+        self._weight_cache: Dict[str, tuple] = {}
+
+    def _quantized_weight(self, name: str, weight: np.ndarray):
+        """Quantize (and cache) the weight for one matmul site."""
+        if name not in self._weight_cache:
+            scale = compute_scale(weight, self.bits, self.weight_granularity)
+            values = quantize_symmetric(weight, scale, self.bits)
+            self._weight_cache[name] = (values, scale)
+        return self._weight_cache[name]
+
+    def attention_matmul(self, name, a, b):
+        """Baselines leave activation-activation matmuls in floating point.
+
+        This matches the paper's "fair comparison" setting for Table II, where
+        quantization of matrix multiplication between activations is disabled
+        for every scheme.  Schemes that do quantize them override this.
+        """
+        return a @ b
+
+
+class UniformQuantExecutor(QuantExecutorBase):
+    """Uniform symmetric activation quantization at a chosen granularity.
+
+    Used by the Table I study.  Per-tensor and per-row activation scales are
+    constant along the reduction axis, so those paths run on the emulated
+    integer pipeline; per-column scales vary along the reduction axis and can
+    only be realised as fake quantization (which is exactly why the paper
+    calls per-column activation quantization impractical on integer
+    hardware).
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        activation_granularity: Granularity = Granularity.PER_TENSOR,
+        weight_granularity: Granularity = Granularity.PER_COLUMN,
+        quantize_attention: bool = False,
+    ) -> None:
+        super().__init__(bits, weight_granularity)
+        self.activation_granularity = activation_granularity
+        self.quantize_attention = quantize_attention
+
+    def project(self, name, x, weight, bias):
+        q_weight, w_scale = self._quantized_weight(name, weight)
+        if self.activation_granularity in (Granularity.PER_TENSOR, Granularity.PER_ROW):
+            a_scale = compute_scale(x, self.bits, self.activation_granularity)
+            q_x = quantize_symmetric(x, a_scale, self.bits)
+            out = int_matmul(q_x, q_weight).astype(np.float64) * a_scale * w_scale
+        else:
+            # Per-column activation scales cannot ride through the integer
+            # reduction; emulate with fake quantization (the accuracy upper
+            # bound the paper reports in Table I).
+            x_dq = fake_quantize(x, self.bits, self.activation_granularity)
+            w_dq = q_weight.astype(np.float64) * w_scale
+            out = x_dq @ w_dq
+        if bias is not None:
+            out = out + bias
+        return out
+
+    def attention_matmul(self, name, a, b):
+        if not self.quantize_attention:
+            return a @ b
+        a_dq = fake_quantize(a, self.bits, Granularity.PER_ROW)
+        b_dq = fake_quantize(np.swapaxes(b, -1, -2), self.bits, Granularity.PER_ROW)
+        return a_dq @ np.swapaxes(b_dq, -1, -2)
+
+
+class FakeQuantExecutor(QuantExecutorBase):
+    """Executor template for schemes defined by an elementwise codec.
+
+    Subclasses implement :meth:`encode_activation` / :meth:`encode_weight`
+    returning the dequantized (reconstructed) tensors; the matmul itself runs
+    in floating point over the reconstructions.  This is the standard way to
+    evaluate the *accuracy* of custom-datatype schemes (ANT, OliVe, MSFP, MX)
+    whose arithmetic is not representable in a plain integer pipeline.
+    """
+
+    def __init__(self, bits: int, quantize_attention: bool = False) -> None:
+        super().__init__(bits)
+        self.quantize_attention = quantize_attention
+        self._encoded_weight_cache: Dict[str, np.ndarray] = {}
+
+    # Subclass hooks -----------------------------------------------------
+    def encode_activation(self, name: str, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def encode_weight(self, name: str, weight: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    # MatmulExecutor interface -------------------------------------------
+    def _encoded_weight(self, name: str, weight: np.ndarray) -> np.ndarray:
+        if name not in self._encoded_weight_cache:
+            self._encoded_weight_cache[name] = self.encode_weight(name, weight)
+        return self._encoded_weight_cache[name]
+
+    def project(self, name, x, weight, bias):
+        x_dq = self.encode_activation(name, x)
+        w_dq = self._encoded_weight(name, weight)
+        out = x_dq @ w_dq
+        if bias is not None:
+            out = out + bias
+        return out
+
+    def attention_matmul(self, name, a, b):
+        if not self.quantize_attention:
+            return a @ b
+        a_dq = self.encode_activation(f"{name}.a", a.reshape(-1, a.shape[-1])).reshape(a.shape)
+        b_t = np.swapaxes(b, -1, -2)
+        b_dq = self.encode_activation(f"{name}.b", b_t.reshape(-1, b_t.shape[-1])).reshape(b_t.shape)
+        return a_dq @ np.swapaxes(b_dq, -1, -2)

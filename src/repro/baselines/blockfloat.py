@@ -1,0 +1,163 @@
+"""Block floating-point baselines: MSFP, SMX (shared microexponents), and MXFP.
+
+These are the number formats Tender is compared against in Sections VI-B and
+VI-C (Tables VI and VII):
+
+* **MSFP12** (Microsoft floating point) — blocks of 16 elements along a row
+  share an 8-bit exponent; each element keeps a sign and a small mantissa.
+  ``MSFP12-OL`` is the paper's outlier-oriented variant that shares the
+  exponent across 8 elements of a *column* instead.
+* **SMX4** (shared microexponents) — two-level scaling: a block of 16
+  elements shares an 8-bit exponent and every pair of elements shares an
+  extra 1-bit subscale; elements carry very few mantissa bits.
+* **MXFP4** (OCP Microscaling) — blocks of 32 elements share an 8-bit
+  power-of-two scale and each element is an FP4 (E2M1) number.
+
+All of them constrain scale factors to powers of two but group *adjacent*
+elements, so a block that mixes an outlier channel with normal channels
+crushes the normal values — which is exactly the failure mode Tables VI and
+VII illustrate and Tender's range-based channel grouping avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FakeQuantExecutor
+
+#: FP4 E2M1 magnitude levels of the OCP MXFP4 element datatype.
+_FP4_LEVELS = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+
+
+def _block_reshape(tensor: np.ndarray, block_size: int, axis: int) -> tuple:
+    """Pad ``axis`` to a multiple of ``block_size`` and expose the block dim."""
+    moved = np.moveaxis(tensor, axis, -1)
+    length = moved.shape[-1]
+    padded_length = ((length + block_size - 1) // block_size) * block_size
+    pad = padded_length - length
+    if pad:
+        moved = np.concatenate([moved, np.zeros(moved.shape[:-1] + (pad,))], axis=-1)
+    blocked = moved.reshape(moved.shape[:-1] + (padded_length // block_size, block_size))
+    return blocked, length, moved.shape
+
+
+def _block_restore(blocked: np.ndarray, length: int, moved_shape: tuple, axis: int) -> np.ndarray:
+    merged = blocked.reshape(moved_shape)[..., :length]
+    return np.moveaxis(merged, -1, axis)
+
+
+def _power_of_two_scale(block_max: np.ndarray, element_max: float) -> np.ndarray:
+    """Smallest power-of-two scale that fits ``block_max`` into ``element_max``."""
+    safe = np.maximum(block_max, 1e-30)
+    return np.power(2.0, np.ceil(np.log2(safe / element_max)))
+
+
+def msfp_quantize(
+    tensor: np.ndarray,
+    mantissa_bits: int = 4,
+    block_size: int = 16,
+    axis: int = -1,
+) -> np.ndarray:
+    """MSFP: shared power-of-two exponent per block, integer mantissas."""
+    blocked, length, moved_shape = _block_reshape(tensor, block_size, axis)
+    qmax = 2 ** (mantissa_bits - 1) - 1
+    block_max = np.abs(blocked).max(axis=-1, keepdims=True)
+    scale = _power_of_two_scale(block_max, qmax)
+    quantized = np.clip(np.round(blocked / scale), -qmax, qmax) * scale
+    return _block_restore(quantized, length, moved_shape, axis)
+
+
+def smx_quantize(
+    tensor: np.ndarray,
+    element_bits: int = 3,
+    block_size: int = 16,
+    subblock_size: int = 2,
+    axis: int = -1,
+) -> np.ndarray:
+    """SMX: block shared exponent plus a 1-bit subscale per subblock."""
+    blocked, length, moved_shape = _block_reshape(tensor, block_size, axis)
+    qmax = max(2 ** (element_bits - 1) - 1, 1)
+    block_max = np.abs(blocked).max(axis=-1, keepdims=True)
+    scale = _power_of_two_scale(block_max, qmax)
+    # 1-bit subscale: a subblock whose magnitude fits in half the range uses a
+    # scale 2x finer.
+    sub = blocked.reshape(blocked.shape[:-1] + (block_size // subblock_size, subblock_size))
+    sub_max = np.abs(sub).max(axis=-1, keepdims=True)
+    sub_scale = np.where(sub_max * 2.0 <= np.expand_dims(scale, -1) * qmax, 0.5, 1.0)
+    effective_scale = np.expand_dims(scale, -1) * sub_scale
+    quantized = np.clip(np.round(sub / effective_scale), -qmax, qmax) * effective_scale
+    quantized = quantized.reshape(blocked.shape)
+    return _block_restore(quantized, length, moved_shape, axis)
+
+
+def mxfp4_quantize(tensor: np.ndarray, block_size: int = 32, axis: int = -1) -> np.ndarray:
+    """MXFP4: shared power-of-two scale per block, FP4 (E2M1) elements."""
+    blocked, length, moved_shape = _block_reshape(tensor, block_size, axis)
+    block_max = np.abs(blocked).max(axis=-1, keepdims=True)
+    scale = _power_of_two_scale(block_max, float(_FP4_LEVELS[-1]))
+    normalized = blocked / scale
+    signs = np.sign(normalized)
+    magnitudes = np.abs(normalized)
+    indices = np.searchsorted(_FP4_LEVELS, magnitudes)
+    indices = np.clip(indices, 1, len(_FP4_LEVELS) - 1)
+    lower = _FP4_LEVELS[indices - 1]
+    upper = _FP4_LEVELS[indices]
+    nearest = np.where(np.abs(magnitudes - lower) <= np.abs(magnitudes - upper), lower, upper)
+    quantized = signs * nearest * scale
+    return _block_restore(quantized, length, moved_shape, axis)
+
+
+class MSFPExecutor(FakeQuantExecutor):
+    """MSFP12 (row blocks) or MSFP12-OL (column blocks).
+
+    Block sizes default to the paper's 16 (MSFP12) and 8 (MSFP12-OL) scaled by
+    the ratio between the stand-in models' hidden size and the full-scale
+    models' (DESIGN.md, "block-size scaling"): a block should cover a similar
+    fraction of the channel dimension so that the outlier-per-block density is
+    comparable to the paper's setting.
+    """
+
+    def __init__(
+        self,
+        outlier_variant: bool = False,
+        quantize_attention: bool = False,
+        block_size: int | None = None,
+    ) -> None:
+        super().__init__(bits=4, quantize_attention=quantize_attention)
+        self.outlier_variant = outlier_variant
+        self.block_axis = 0 if outlier_variant else -1
+        self.block_size = block_size if block_size is not None else (4 if outlier_variant else 8)
+
+    def encode_activation(self, name: str, x: np.ndarray) -> np.ndarray:
+        return msfp_quantize(x, mantissa_bits=4, block_size=self.block_size, axis=self.block_axis)
+
+    def encode_weight(self, name: str, weight: np.ndarray) -> np.ndarray:
+        return msfp_quantize(weight, mantissa_bits=4, block_size=self.block_size, axis=0)
+
+
+class SMXExecutor(FakeQuantExecutor):
+    """SMX4: shared microexponents with 1-bit subscales (scaled block size)."""
+
+    def __init__(self, quantize_attention: bool = False, block_size: int = 8) -> None:
+        super().__init__(bits=4, quantize_attention=quantize_attention)
+        self.block_size = block_size
+
+    def encode_activation(self, name: str, x: np.ndarray) -> np.ndarray:
+        return smx_quantize(x, element_bits=2, block_size=self.block_size, subblock_size=2, axis=-1)
+
+    def encode_weight(self, name: str, weight: np.ndarray) -> np.ndarray:
+        return smx_quantize(weight, element_bits=2, block_size=self.block_size, subblock_size=2, axis=0)
+
+
+class MXFP4Executor(FakeQuantExecutor):
+    """MXFP4: OCP microscaling FP4 blocks (scaled block size)."""
+
+    def __init__(self, quantize_attention: bool = False, block_size: int = 8) -> None:
+        super().__init__(bits=4, quantize_attention=quantize_attention)
+        self.block_size = block_size
+
+    def encode_activation(self, name: str, x: np.ndarray) -> np.ndarray:
+        return mxfp4_quantize(x, block_size=self.block_size, axis=-1)
+
+    def encode_weight(self, name: str, weight: np.ndarray) -> np.ndarray:
+        return mxfp4_quantize(weight, block_size=self.block_size, axis=0)

@@ -1,0 +1,54 @@
+"""LLM.int8() baseline (Dettmers et al., NeurIPS 2022).
+
+LLM.int8() keeps the few activation channels whose magnitude exceeds a fixed
+threshold in 16-bit floating point and quantizes everything else to INT8
+(vector-wise: per-row activations x per-column weights).  The outlier part and
+the normal part are multiplied separately and summed — the "mixed-precision
+decomposition" whose dequantization overhead the paper discusses in
+Sections II-C and III-B (Figure 5a).
+
+Accuracy-wise the scheme is strong (outliers are exact); its cost is the extra
+floating-point GEMM, which is what the GPU latency model (Figure 12) and the
+accelerator comparison charge it for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import QuantExecutorBase
+from repro.quant.gemm import int_matmul
+from repro.quant.granularity import Granularity, compute_scale
+from repro.quant.quantize import quantize_symmetric
+
+
+class LLMInt8Executor(QuantExecutorBase):
+    """Mixed-precision decomposition with a magnitude threshold."""
+
+    def __init__(self, bits: int = 8, outlier_threshold: float = 6.0) -> None:
+        super().__init__(bits)
+        self.outlier_threshold = outlier_threshold
+        #: Count of outlier columns seen, useful for tests / the GPU model.
+        self.outlier_columns_seen = 0
+
+    def project(self, name, x, weight, bias):
+        channel_max = np.abs(x).max(axis=0)
+        outlier_mask = channel_max > self.outlier_threshold
+        self.outlier_columns_seen += int(outlier_mask.sum())
+        normal_mask = ~outlier_mask
+
+        out = np.zeros((x.shape[0], weight.shape[1]), dtype=np.float64)
+        if normal_mask.any():
+            x_normal = x[:, normal_mask]
+            w_normal = weight[normal_mask, :]
+            a_scale = compute_scale(x_normal, self.bits, Granularity.PER_ROW)
+            w_scale = compute_scale(w_normal, self.bits, Granularity.PER_COLUMN)
+            q_x = quantize_symmetric(x_normal, a_scale, self.bits)
+            q_w = quantize_symmetric(w_normal, w_scale, self.bits)
+            out += int_matmul(q_x, q_w).astype(np.float64) * a_scale * w_scale
+        if outlier_mask.any():
+            # Outlier channels stay in floating point (FP16 in the original).
+            out += x[:, outlier_mask] @ weight[outlier_mask, :]
+        if bias is not None:
+            out = out + bias
+        return out

@@ -1,0 +1,174 @@
+"""Scheme registry: build any quantization scheme by name.
+
+The evaluation harness (``repro.eval``) and the experiment modules refer to
+quantization schemes by the names used in the paper's tables ("SmoothQuant",
+"ANT", "OliVe", "Tender", ...).  This registry maps those names to executor
+factories so that every experiment is a declarative list of scheme names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.ant import ANTExecutor
+from repro.baselines.base import UniformQuantExecutor
+from repro.baselines.blockfloat import MSFPExecutor, MXFP4Executor, SMXExecutor
+from repro.baselines.llm_int8 import LLMInt8Executor
+from repro.baselines.olive import OliVeExecutor
+from repro.baselines.rptq import RPTQExecutor
+from repro.baselines.smoothquant import SmoothQuantExecutor
+from repro.core.config import TenderConfig
+from repro.core.executor import TenderQuantizer
+from repro.errors import ConfigurationError
+from repro.models.inference import FloatExecutor, MatmulExecutor, TransformerRunner, run_calibration
+from repro.models.weights import ModelWeights
+from repro.quant.granularity import Granularity
+
+
+@dataclass
+class SchemeRequest:
+    """Everything a scheme factory may need to build its executor."""
+
+    weights: ModelWeights
+    calibration: Sequence[np.ndarray]
+    bits: int = 8
+    quantize_attention: bool = False
+    classify: bool = False
+    #: Extra per-scheme options (e.g. Tender's number of groups).
+    options: Optional[dict] = None
+
+    def option(self, key: str, default):
+        if self.options and key in self.options:
+            return self.options[key]
+        return default
+
+
+SchemeFactory = Callable[[SchemeRequest], MatmulExecutor]
+
+
+def _needs_observer(request: SchemeRequest):
+    return run_calibration(request.weights, list(request.calibration), classify=request.classify)
+
+
+def _build_fp(request: SchemeRequest) -> MatmulExecutor:
+    return FloatExecutor()
+
+
+def _build_uniform(granularity: Granularity) -> SchemeFactory:
+    def factory(request: SchemeRequest) -> MatmulExecutor:
+        return UniformQuantExecutor(
+            bits=request.bits,
+            activation_granularity=granularity,
+            quantize_attention=request.quantize_attention,
+        )
+
+    return factory
+
+
+def _build_smoothquant(request: SchemeRequest) -> MatmulExecutor:
+    observer = _needs_observer(request)
+    return SmoothQuantExecutor(
+        bits=request.bits,
+        observer=observer,
+        migration_strength=request.option("migration_strength", 0.5),
+        quantize_attention=request.quantize_attention,
+    )
+
+
+def _build_llm_int8(request: SchemeRequest) -> MatmulExecutor:
+    return LLMInt8Executor(bits=request.bits, outlier_threshold=request.option("outlier_threshold", 6.0))
+
+
+def _build_ant(request: SchemeRequest) -> MatmulExecutor:
+    return ANTExecutor(bits=request.bits, quantize_attention=request.quantize_attention)
+
+
+def _build_olive(request: SchemeRequest) -> MatmulExecutor:
+    return OliVeExecutor(bits=request.bits, quantize_attention=request.quantize_attention)
+
+
+def _build_rptq(request: SchemeRequest) -> MatmulExecutor:
+    observer = _needs_observer(request)
+    return RPTQExecutor(
+        bits=request.bits, observer=observer, num_clusters=request.option("num_clusters", 8)
+    )
+
+
+def _build_msfp(outlier_variant: bool) -> SchemeFactory:
+    def factory(request: SchemeRequest) -> MatmulExecutor:
+        return MSFPExecutor(outlier_variant=outlier_variant, quantize_attention=request.quantize_attention)
+
+    return factory
+
+
+def _build_smx(request: SchemeRequest) -> MatmulExecutor:
+    return SMXExecutor(quantize_attention=request.quantize_attention)
+
+
+def _build_mxfp4(request: SchemeRequest) -> MatmulExecutor:
+    return MXFP4Executor(quantize_attention=request.quantize_attention)
+
+
+def _build_tender(request: SchemeRequest) -> MatmulExecutor:
+    config = TenderConfig(
+        bits=request.bits,
+        num_groups=request.option("num_groups", 8),
+        alpha=request.option("alpha", 2),
+        row_chunk_size=request.option("row_chunk_size", 64),
+        quantize_attention=request.quantize_attention,
+        subtract_bias=request.option("subtract_bias", True),
+    )
+    quantizer = TenderQuantizer(config, implicit=request.option("implicit", True))
+    quantizer.calibrate(request.weights, list(request.calibration), classify=request.classify)
+    return quantizer.build_executor()
+
+
+#: Scheme name -> factory.  Names match the paper's tables; lower-case aliases
+#: are accepted by :func:`build_executor`.
+SCHEME_REGISTRY: Dict[str, SchemeFactory] = {
+    "Base": _build_fp,
+    "FP16": _build_fp,
+    "INT8 per-tensor": _build_uniform(Granularity.PER_TENSOR),
+    "INT8 per-row": _build_uniform(Granularity.PER_ROW),
+    "INT8 per-column": _build_uniform(Granularity.PER_COLUMN),
+    "per-tensor": _build_uniform(Granularity.PER_TENSOR),
+    "per-row": _build_uniform(Granularity.PER_ROW),
+    "per-column": _build_uniform(Granularity.PER_COLUMN),
+    "SmoothQuant": _build_smoothquant,
+    "LLM.int8": _build_llm_int8,
+    "ANT": _build_ant,
+    "OliVe": _build_olive,
+    "RPTQ": _build_rptq,
+    "MSFP12": _build_msfp(outlier_variant=False),
+    "MSFP12-OL": _build_msfp(outlier_variant=True),
+    "SMX4": _build_smx,
+    "MXFP4": _build_mxfp4,
+    "Tender": _build_tender,
+}
+
+
+def available_schemes() -> List[str]:
+    """Names accepted by :func:`build_executor`."""
+    return sorted(SCHEME_REGISTRY)
+
+
+def build_executor(scheme: str, request: SchemeRequest) -> MatmulExecutor:
+    """Build the executor for ``scheme``; raises for unknown names."""
+    key = scheme
+    if key not in SCHEME_REGISTRY:
+        matches = [name for name in SCHEME_REGISTRY if name.lower() == scheme.lower()]
+        if not matches:
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; available: {available_schemes()}"
+            )
+        key = matches[0]
+    return SCHEME_REGISTRY[key](request)
+
+
+def build_runner(scheme: str, request: SchemeRequest) -> TransformerRunner:
+    """Build a ready-to-evaluate :class:`TransformerRunner` for ``scheme``."""
+    executor = build_executor(scheme, request)
+    return TransformerRunner(request.weights, executor)

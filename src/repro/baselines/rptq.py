@@ -1,0 +1,86 @@
+"""RPTQ-style baseline (Yuan et al., 2023): reorder-based clustering PTQ.
+
+RPTQ groups activation channels by K-means clustering on their value ranges
+and quantizes each cluster with its own (asymmetric) parameters.  The paper
+discusses it in Related Work as the closest algorithmic relative of Tender's
+decomposition, with two drawbacks Tender removes: clustering is too expensive
+to run at runtime, and each cluster's partial product must be explicitly
+dequantized and accumulated (shorter reduction axes, more FP work).
+
+The reproduction clusters channel (min, max) ranges with a small K-means and
+runs the per-cluster matmuls with explicit FP accumulation — the accuracy
+reference point for "grouping without the power-of-two constraint".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.base import QuantExecutorBase
+from repro.errors import CalibrationError
+from repro.quant.gemm import int_matmul
+from repro.quant.granularity import Granularity, compute_scale, integer_range
+from repro.quant.observers import ActivationObserver
+from repro.quant.quantize import quantize_symmetric
+
+
+def kmeans_1d(values: np.ndarray, num_clusters: int, iterations: int = 25, seed: int = 0) -> np.ndarray:
+    """Tiny 1-D K-means returning the cluster index of each value."""
+    values = np.asarray(values, dtype=np.float64)
+    unique = np.unique(values)
+    num_clusters = min(num_clusters, unique.size)
+    rng = np.random.default_rng(seed)
+    centers = np.sort(rng.choice(unique, size=num_clusters, replace=False))
+    assignment = np.zeros(values.shape, dtype=np.int64)
+    for _ in range(iterations):
+        assignment = np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+        new_centers = centers.copy()
+        for cluster in range(num_clusters):
+            members = values[assignment == cluster]
+            if members.size:
+                new_centers[cluster] = members.mean()
+        if np.allclose(new_centers, centers):
+            break
+        centers = new_centers
+    return assignment
+
+
+class RPTQExecutor(QuantExecutorBase):
+    """Cluster channels by calibrated range; per-cluster scales, explicit accumulate."""
+
+    def __init__(
+        self,
+        bits: int,
+        observer: ActivationObserver,
+        num_clusters: int = 8,
+    ) -> None:
+        super().__init__(bits)
+        self.observer = observer
+        self.num_clusters = num_clusters
+        self._clusters: Dict[str, np.ndarray] = {}
+
+    def _cluster_assignment(self, name: str) -> np.ndarray:
+        if name not in self._clusters:
+            if name not in self.observer:
+                raise CalibrationError(f"RPTQ has no calibration statistics for site {name!r}")
+            channel_absmax = self.observer.get(name).channel_absmax
+            self._clusters[name] = kmeans_1d(np.log2(channel_absmax + 1e-8), self.num_clusters)
+        return self._clusters[name]
+
+    def project(self, name, x, weight, bias):
+        assignment = self._cluster_assignment(name)
+        q_weight, w_scale = self._quantized_weight(name, weight)
+        qmax = integer_range(self.bits)
+        out = np.zeros((x.shape[0], weight.shape[1]), dtype=np.float64)
+        for cluster in np.unique(assignment):
+            channels = np.nonzero(assignment == cluster)[0]
+            x_part = x[:, channels]
+            scale = max(float(np.abs(x_part).max()) / qmax, 1e-12)
+            q_x = quantize_symmetric(x_part, np.asarray(scale), self.bits)
+            partial = int_matmul(q_x, q_weight[channels, :]).astype(np.float64)
+            out += partial * scale * w_scale
+        if bias is not None:
+            out = out + bias
+        return out

@@ -1,0 +1,36 @@
+"""Tender: decomposed quantization with runtime requantization (the paper's core)."""
+
+from repro.core.config import TenderConfig
+from repro.core.decomposition import (
+    ChannelDecomposition,
+    compute_channel_bias,
+    decompose_channels,
+    quantize_decomposed,
+    validate_decomposition,
+)
+from repro.core.requantization import (
+    explicit_requantized_matmul,
+    implicit_requantized_matmul,
+    requantized_matmul,
+    rescale_operation_count,
+)
+from repro.core.calibration import ChunkParams, TenderSiteParams, calibrate_tender
+from repro.core.executor import TenderExecutor, TenderQuantizer
+
+__all__ = [
+    "TenderConfig",
+    "ChannelDecomposition",
+    "compute_channel_bias",
+    "decompose_channels",
+    "quantize_decomposed",
+    "validate_decomposition",
+    "explicit_requantized_matmul",
+    "implicit_requantized_matmul",
+    "requantized_matmul",
+    "rescale_operation_count",
+    "TenderSiteParams",
+    "ChunkParams",
+    "calibrate_tender",
+    "TenderExecutor",
+    "TenderQuantizer",
+]

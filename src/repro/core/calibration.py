@@ -1,0 +1,146 @@
+"""Offline calibration for Tender.
+
+Section III-B ("Optimization"): channel decomposition, channel biases, and
+scale factors are all pre-computed during calibration so that runtime only
+applies metadata.  Calibration additionally happens *per row chunk* (the paper
+uses chunks of 256 token rows) to capture intra-channel variance, and the
+resulting per-chunk parameters are reused across all sequences at runtime.
+
+This module runs calibration samples through the floating-point model,
+collects per-site/per-chunk channel statistics, and converts them into the
+:class:`TenderSiteParams` the executor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import TenderConfig
+from repro.core.decomposition import ChannelDecomposition, compute_channel_bias, decompose_channels
+from repro.errors import CalibrationError
+from repro.models.inference import FloatExecutor, TransformerRunner
+from repro.models.weights import ModelWeights
+
+
+@dataclass
+class ChunkParams:
+    """Calibrated parameters of one row chunk of one matmul site."""
+
+    bias: np.ndarray
+    decomposition: ChannelDecomposition
+
+
+@dataclass
+class TenderSiteParams:
+    """Calibrated parameters of one matmul site (all of its row chunks)."""
+
+    name: str
+    chunks: List[ChunkParams] = field(default_factory=list)
+
+    def chunk(self, index: int) -> ChunkParams:
+        """Parameters for chunk ``index``; rows beyond calibration reuse the last chunk."""
+        if not self.chunks:
+            raise CalibrationError(f"site {self.name!r} has no calibrated chunks")
+        return self.chunks[min(index, len(self.chunks) - 1)]
+
+
+class _ChunkedStatistics:
+    """Per-row-chunk channel max/min accumulated over calibration samples."""
+
+    def __init__(self, chunk_size: int) -> None:
+        self.chunk_size = chunk_size
+        self.channel_max: List[np.ndarray] = []
+        self.channel_min: List[np.ndarray] = []
+
+    def update(self, x: np.ndarray) -> None:
+        rows, channels = x.shape
+        num_chunks = (rows + self.chunk_size - 1) // self.chunk_size
+        for chunk_index in range(num_chunks):
+            chunk = x[chunk_index * self.chunk_size : (chunk_index + 1) * self.chunk_size]
+            cmax = chunk.max(axis=0)
+            cmin = chunk.min(axis=0)
+            if chunk_index >= len(self.channel_max):
+                self.channel_max.append(cmax.copy())
+                self.channel_min.append(cmin.copy())
+            else:
+                if self.channel_max[chunk_index].shape != cmax.shape:
+                    raise CalibrationError("calibration samples disagree on channel dimension")
+                np.maximum(self.channel_max[chunk_index], cmax, out=self.channel_max[chunk_index])
+                np.minimum(self.channel_min[chunk_index], cmin, out=self.channel_min[chunk_index])
+
+    def finalize(self, name: str, config: TenderConfig) -> TenderSiteParams:
+        params = TenderSiteParams(name=name)
+        for cmax, cmin in zip(self.channel_max, self.channel_min):
+            if config.subtract_bias:
+                bias = compute_channel_bias(cmax, cmin)
+                absmax = (cmax - cmin) / 2.0
+            else:
+                bias = np.zeros_like(cmax)
+                absmax = np.maximum(np.abs(cmax), np.abs(cmin))
+            decomposition = decompose_channels(
+                absmax, num_groups=config.num_groups, bits=config.bits, alpha=config.alpha
+            )
+            params.chunks.append(ChunkParams(bias=bias, decomposition=decomposition))
+        return params
+
+
+class _TenderCalibrationExecutor:
+    """Executor wrapper that feeds projection inputs to the chunked statistics."""
+
+    def __init__(self, config: TenderConfig) -> None:
+        self.config = config
+        self.base = FloatExecutor()
+        self.statistics: Dict[str, _ChunkedStatistics] = {}
+
+    def _record(self, name: str, x: np.ndarray) -> None:
+        self.statistics.setdefault(name, _ChunkedStatistics(self.config.row_chunk_size)).update(x)
+
+    def project(self, name, x, weight, bias):
+        self._record(name, x)
+        return self.base.project(name, x, weight, bias)
+
+    def attention_matmul(self, name, a, b):
+        # Activation-activation matmuls are quantized dynamically per head (see
+        # TenderExecutor); no static statistics are needed for them.
+        return self.base.attention_matmul(name, a, b)
+
+
+def calibrate_tender(
+    weights: ModelWeights,
+    samples: List[np.ndarray],
+    config: Optional[TenderConfig] = None,
+    classify: bool = False,
+) -> Dict[str, TenderSiteParams]:
+    """Run calibration samples and return per-site Tender parameters.
+
+    Parameters
+    ----------
+    weights:
+        The floating-point model to calibrate.
+    samples:
+        Token sequences (1-D arrays) used as calibration data; the paper uses
+        128 Pile sequences, scaled down here.
+    config:
+        Tender configuration (bit width, number of groups, chunk size, ...).
+    classify:
+        Run the classifier head instead of the LM head (BERT-like models).
+    """
+    if not samples:
+        raise CalibrationError("calibration requires at least one sample")
+    config = config or TenderConfig()
+    executor = _TenderCalibrationExecutor(config)
+    runner = TransformerRunner(weights, executor)
+    for sample in samples:
+        sample = np.asarray(sample)
+        if sample.ndim == 1:
+            sample = sample[None, :]
+        if classify:
+            runner.classify(sample)
+        else:
+            runner.logits(sample)
+    return {
+        name: stats.finalize(name, config) for name, stats in executor.statistics.items()
+    }

@@ -1,0 +1,57 @@
+"""Configuration of the Tender quantization algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TenderConfig:
+    """All knobs of Tender's decomposed quantization (Section III).
+
+    Attributes
+    ----------
+    bits:
+        Integer bit width for both activations and weights (8 or 4 in the
+        paper; any width from 2 to 8 is supported, mirroring the paper's note
+        that Tender extends to 5/6/7-bit integers).
+    num_groups:
+        Number of channel groups G used by the power-of-alpha classification.
+    alpha:
+        Ratio between the scale factors of neighbouring groups.  The paper
+        uses 2 so that runtime requantization is a 1-bit shift; other integer
+        values are supported through the generalized rescale path.
+    row_chunk_size:
+        Number of token rows that share calibration parameters (the paper uses
+        256 for full-size models; the default here is scaled down with the
+        models).
+    quantize_attention:
+        Whether activation-activation matmuls (X_Q X_K^T and X_S X_V) are also
+        quantized.  Table II/III call the enabled variant "Tender (all)".
+    subtract_bias:
+        Whether the per-channel bias (midpoint) is subtracted before
+        quantization.  Disabling it is an ablation.
+    per_head:
+        Whether activation-activation matmuls are quantized per attention head
+        (the paper's per-head activation quantization optimization).
+    """
+
+    bits: int = 8
+    num_groups: int = 8
+    alpha: int = 2
+    row_chunk_size: int = 64
+    quantize_attention: bool = False
+    subtract_bias: bool = True
+    per_head: bool = True
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 8:
+            raise ConfigurationError(f"bits must be in [2, 8], got {self.bits}")
+        if self.num_groups < 1:
+            raise ConfigurationError(f"num_groups must be >= 1, got {self.num_groups}")
+        if self.alpha < 2:
+            raise ConfigurationError(f"alpha must be an integer >= 2, got {self.alpha}")
+        if self.row_chunk_size < 1:
+            raise ConfigurationError("row_chunk_size must be >= 1")

@@ -1,0 +1,193 @@
+"""Channel decomposition: Tender's "power of alpha" classification rule.
+
+Section III-B: after subtracting the per-channel bias, Tender computes the
+absolute maximum of each channel (CMax) and of the whole tensor (TMax), then
+assigns channel ``i`` to group ``g`` such that
+
+    TMax / alpha^g  <  CMax_i  <=  TMax / alpha^(g-1),      g = 1 .. G
+
+(channels whose CMax falls below ``TMax / alpha^G`` go to the last group).
+Every channel in group ``g`` is quantized with the same scale factor
+``TMax / (alpha^(g-1) * (2^(b-1) - 1))``, so the scale factors of neighbouring
+groups are exactly ``alpha`` apart — which is what makes requantization
+between groups an integer multiply (a 1-bit shift when alpha = 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.granularity import integer_range
+
+
+@dataclass
+class ChannelDecomposition:
+    """The result of classifying channels into scale groups.
+
+    Attributes
+    ----------
+    group_of_channel:
+        For each channel, its group index in ``[0, num_groups)``; group 0 has
+        the *largest* scale factor (the outlier group) and is computed first.
+    group_scales:
+        Scale factor of each group, descending by a factor of ``alpha``.
+    channel_order:
+        Channel indices sorted by group (stable within a group).  This is the
+        content of the hardware's Index Buffer: the order in which channels
+        are streamed into the systolic array.
+    group_sizes:
+        Number of channels in each group (possibly zero).
+    tensor_absmax:
+        TMax used to derive the thresholds.
+    alpha, bits:
+        The classification parameters, recorded for metadata consumers.
+    """
+
+    group_of_channel: np.ndarray
+    group_scales: np.ndarray
+    channel_order: np.ndarray
+    group_sizes: np.ndarray
+    tensor_absmax: float
+    alpha: int
+    bits: int
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_scales.shape[0])
+
+    @property
+    def num_channels(self) -> int:
+        return int(self.group_of_channel.shape[0])
+
+    def group_boundaries(self) -> np.ndarray:
+        """Cumulative channel counts marking where rescale bubbles occur.
+
+        In the ordered channel stream, a rescale happens after each of the
+        first ``G - 1`` groups (the accelerator inserts a 1-cycle bubble per
+        boundary, Section IV-B).  Boundaries for empty groups are still
+        reported because the accumulated value must still be rescaled to keep
+        the final scale factor correct.
+        """
+        return np.cumsum(self.group_sizes)[:-1]
+
+    def channel_scales(self) -> np.ndarray:
+        """Per-channel scale factor implied by the group assignment."""
+        return self.group_scales[self.group_of_channel]
+
+
+def compute_channel_bias(channel_max: np.ndarray, channel_min: np.ndarray) -> np.ndarray:
+    """Per-channel bias: the midpoint ``(max + min) / 2`` (Section III-B, step 1).
+
+    Subtracting it makes each channel symmetric around zero, so symmetric
+    quantization uses its full integer range.
+    """
+    return (np.asarray(channel_max, dtype=np.float64) + np.asarray(channel_min, dtype=np.float64)) / 2.0
+
+
+def decompose_channels(
+    channel_absmax: np.ndarray,
+    num_groups: int,
+    bits: int,
+    alpha: int = 2,
+) -> ChannelDecomposition:
+    """Classify channels into ``num_groups`` power-of-``alpha`` groups.
+
+    ``channel_absmax`` is CMax *after* bias subtraction.  The returned
+    decomposition is deterministic and independent of the channel order.
+    """
+    channel_absmax = np.asarray(channel_absmax, dtype=np.float64)
+    if channel_absmax.ndim != 1:
+        raise QuantizationError("channel_absmax must be one-dimensional")
+    if num_groups < 1:
+        raise QuantizationError("num_groups must be >= 1")
+    if np.any(channel_absmax < 0):
+        raise QuantizationError("channel_absmax must be non-negative")
+
+    qmax = integer_range(bits)
+    tensor_absmax = float(channel_absmax.max()) if channel_absmax.size else 0.0
+    if tensor_absmax == 0.0:
+        # Degenerate all-zero tensor: a single group with a tiny scale.
+        group_of_channel = np.full(channel_absmax.shape, num_groups - 1, dtype=np.int64)
+        group_scales = np.full(num_groups, 1e-12)
+        for g in range(num_groups):
+            group_scales[g] = 1e-12 / (alpha**g) if alpha > 0 else 1e-12
+        channel_order = np.arange(channel_absmax.size, dtype=np.int64)
+        group_sizes = np.bincount(group_of_channel, minlength=num_groups)
+        return ChannelDecomposition(
+            group_of_channel=group_of_channel,
+            group_scales=group_scales,
+            channel_order=channel_order,
+            group_sizes=group_sizes,
+            tensor_absmax=tensor_absmax,
+            alpha=alpha,
+            bits=bits,
+        )
+
+    # Thresholds: group g (1-indexed) covers (TMax/alpha^g, TMax/alpha^(g-1)].
+    # Compute the 1-indexed group by counting how many thresholds exceed CMax,
+    # then clamp to G (small channels all land in the last, finest group).
+    with np.errstate(divide="ignore", over="ignore"):
+        ratios = np.where(channel_absmax > 0.0, tensor_absmax / channel_absmax, np.inf)
+    group_float = np.floor(np.log(ratios) / np.log(alpha))
+    group_index = np.clip(group_float, 0, num_groups - 1).astype(np.int64)
+    # Handle the boundary CMax == TMax/alpha^(g-1) exactly: log gives an
+    # integer; floor keeps it in group g (correct since the interval is
+    # half-open on the left and closed on the right).
+
+    group_scales = np.array(
+        [tensor_absmax / (alpha**g * qmax) for g in range(num_groups)], dtype=np.float64
+    )
+    channel_order = np.argsort(group_index, kind="stable").astype(np.int64)
+    group_sizes = np.bincount(group_index, minlength=num_groups)
+    return ChannelDecomposition(
+        group_of_channel=group_index,
+        group_scales=group_scales,
+        channel_order=channel_order,
+        group_sizes=group_sizes,
+        tensor_absmax=tensor_absmax,
+        alpha=alpha,
+        bits=bits,
+    )
+
+
+def validate_decomposition(decomposition: ChannelDecomposition, channel_absmax: np.ndarray) -> None:
+    """Check the classification invariant of Equation 3 (used by tests).
+
+    Every channel's CMax must not exceed the upper threshold of its group, and
+    for groups other than the last it must exceed the lower threshold.
+    """
+    channel_absmax = np.asarray(channel_absmax, dtype=np.float64)
+    alpha = decomposition.alpha
+    tmax = decomposition.tensor_absmax
+    for channel, group in enumerate(decomposition.group_of_channel):
+        upper = tmax / (alpha**group)
+        lower = tmax / (alpha ** (group + 1))
+        cmax = channel_absmax[channel]
+        if cmax > upper * (1 + 1e-9):
+            raise QuantizationError(
+                f"channel {channel} with CMax {cmax} exceeds its group upper bound {upper}"
+            )
+        if group < decomposition.num_groups - 1 and cmax <= lower * (1 - 1e-9) and cmax > 0:
+            raise QuantizationError(
+                f"channel {channel} with CMax {cmax} should be in a finer group (lower bound {lower})"
+            )
+
+
+def quantize_decomposed(
+    values: np.ndarray,
+    decomposition: ChannelDecomposition,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize a (rows, channels) activation with per-group scale factors.
+
+    Returns ``(quantized, per_channel_scale)`` where ``quantized`` is int32 and
+    clipping follows the symmetric range of the configured bit width.
+    """
+    qmax = integer_range(decomposition.bits)
+    scales = decomposition.channel_scales()
+    quantized = np.round(values / scales)
+    quantized = np.clip(quantized, -qmax, qmax).astype(np.int32)
+    return quantized, scales

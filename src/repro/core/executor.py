@@ -1,0 +1,197 @@
+"""The Tender matmul executor: decomposed quantization at every matmul site.
+
+This is the software realisation of Figure 4's computation flow:
+
+1. subtract the calibrated per-channel bias,
+2. quantize each channel with its group's scale factor (static, calibrated
+   decomposition; groups are powers of ``alpha`` apart),
+3. multiply with the per-column-quantized weight using either implicit
+   (shift-accumulate, Equation 2) or explicit (per-group FP accumulate,
+   Equation 1) requantization,
+4. add back the bias contribution ``bias @ W`` and the layer bias.
+
+Activation-activation matmuls (``X_Q X_K^T`` and ``X_S X_V``) are quantized
+only when the configuration enables them ("Tender (all)" in Tables II/III and
+all BERT results in Table IV); they use dynamic per-head decomposition since
+their operands are produced at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.calibration import TenderSiteParams, calibrate_tender
+from repro.core.config import TenderConfig
+from repro.core.decomposition import (
+    ChannelDecomposition,
+    compute_channel_bias,
+    decompose_channels,
+    quantize_decomposed,
+)
+from repro.core.requantization import requantized_matmul
+from repro.errors import CalibrationError
+from repro.models.inference import TransformerRunner
+from repro.models.weights import ModelWeights
+from repro.quant.granularity import Granularity, compute_scale
+from repro.quant.quantize import quantize_symmetric
+
+
+class TenderExecutor:
+    """Matmul executor implementing Tender's decomposed quantization."""
+
+    def __init__(
+        self,
+        site_params: Dict[str, TenderSiteParams],
+        config: Optional[TenderConfig] = None,
+        implicit: bool = True,
+    ) -> None:
+        self.site_params = site_params
+        self.config = config or TenderConfig()
+        #: Whether to use implicit (shift-accumulate) or explicit requantization.
+        self.implicit = implicit
+        self._weight_cache: Dict[str, tuple] = {}
+        self._bias_projection_cache: Dict[str, List[np.ndarray]] = {}
+        #: Simple counters useful for tests and the GPU latency model.
+        self.stats = {"projections": 0, "attention_matmuls": 0, "rescales": 0}
+
+    # ------------------------------------------------------------------
+    # Weight handling
+    # ------------------------------------------------------------------
+    def _quantized_weight(self, name: str, weight: np.ndarray):
+        """Per-column symmetric weight quantization, cached per site."""
+        if name not in self._weight_cache:
+            scale = compute_scale(weight, self.config.bits, Granularity.PER_COLUMN)
+            values = quantize_symmetric(weight, scale, self.config.bits)
+            self._weight_cache[name] = (values, scale)
+        return self._weight_cache[name]
+
+    def _bias_projection(self, name: str, weight: np.ndarray) -> List[np.ndarray]:
+        """Pre-computed ``bias @ W`` per chunk (added back after the int matmul)."""
+        if name not in self._bias_projection_cache:
+            params = self.site_params[name]
+            self._bias_projection_cache[name] = [chunk.bias @ weight for chunk in params.chunks]
+        return self._bias_projection_cache[name]
+
+    # ------------------------------------------------------------------
+    # Projection path (activation x weight)
+    # ------------------------------------------------------------------
+    def project(self, name, x, weight, bias):
+        if name not in self.site_params:
+            raise CalibrationError(f"no Tender calibration for matmul site {name!r}")
+        self.stats["projections"] += 1
+        params = self.site_params[name]
+        q_weight, w_scale = self._quantized_weight(name, weight)
+        bias_projections = self._bias_projection(name, weight)
+
+        rows = x.shape[0]
+        chunk_size = self.config.row_chunk_size
+        output = np.empty((rows, weight.shape[1]), dtype=np.float64)
+        num_chunks = (rows + chunk_size - 1) // chunk_size
+        for chunk_index in range(num_chunks):
+            row_slice = slice(chunk_index * chunk_size, min((chunk_index + 1) * chunk_size, rows))
+            chunk_params = params.chunk(chunk_index)
+            chunk_x = x[row_slice]
+            if self.config.subtract_bias:
+                chunk_x = chunk_x - chunk_params.bias
+            quantized, _ = quantize_decomposed(chunk_x, chunk_params.decomposition)
+            result = requantized_matmul(
+                quantized,
+                chunk_params.decomposition,
+                q_weight,
+                w_scale,
+                implicit=self.implicit,
+            )
+            if self.config.subtract_bias:
+                compensation_index = min(chunk_index, len(bias_projections) - 1)
+                result = result + bias_projections[compensation_index]
+            output[row_slice] = result
+            self.stats["rescales"] += chunk_params.decomposition.num_groups - 1
+        if bias is not None:
+            output = output + bias
+        return output
+
+    # ------------------------------------------------------------------
+    # Activation-activation path (X_Q X_K^T and X_S X_V)
+    # ------------------------------------------------------------------
+    def attention_matmul(self, name, a, b):
+        if not self.config.quantize_attention:
+            return a @ b
+        self.stats["attention_matmuls"] += 1
+        batch, heads = a.shape[0], a.shape[1]
+        output = np.empty(a.shape[:-1] + (b.shape[-1],), dtype=np.float64)
+        for batch_index in range(batch):
+            for head_index in range(heads):
+                left = a[batch_index, head_index]
+                right = b[batch_index, head_index]
+                output[batch_index, head_index] = self._dynamic_tender_matmul(left, right)
+        return output
+
+    def _dynamic_tender_matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Tender quantization of one head's activation-activation product.
+
+        ``left`` plays the role of the decomposed activation (its columns are
+        the reduction channels); ``right`` is quantized per output column like
+        a weight.  Decomposition is dynamic because both operands only exist
+        at runtime; the paper notes the same algorithm applies to
+        activation-activation matmuls (Section III-A).
+        """
+        config = self.config
+        channel_max = left.max(axis=0)
+        channel_min = left.min(axis=0)
+        if config.subtract_bias:
+            bias = compute_channel_bias(channel_max, channel_min)
+            shifted = left - bias
+            absmax = (channel_max - channel_min) / 2.0
+        else:
+            bias = None
+            shifted = left
+            absmax = np.maximum(np.abs(channel_max), np.abs(channel_min))
+        decomposition = decompose_channels(
+            absmax, num_groups=config.num_groups, bits=config.bits, alpha=config.alpha
+        )
+        quantized, _ = quantize_decomposed(shifted, decomposition)
+        right_scale = compute_scale(right, config.bits, Granularity.PER_COLUMN)
+        right_q = quantize_symmetric(right, right_scale, config.bits)
+        result = requantized_matmul(quantized, decomposition, right_q, right_scale, implicit=self.implicit)
+        if bias is not None:
+            result = result + bias @ right
+        self.stats["rescales"] += decomposition.num_groups - 1
+        return result
+
+
+class TenderQuantizer:
+    """High-level API: calibrate a model and return a quantized runner.
+
+    Example
+    -------
+    >>> quantizer = TenderQuantizer(TenderConfig(bits=8, num_groups=8))
+    >>> runner = quantizer.quantize(weights, calibration_samples)
+    >>> log_probs = runner.log_probs(tokens)
+    """
+
+    def __init__(self, config: Optional[TenderConfig] = None, implicit: bool = True) -> None:
+        self.config = config or TenderConfig()
+        self.implicit = implicit
+        self.site_params: Optional[Dict[str, TenderSiteParams]] = None
+
+    def calibrate(
+        self, weights: ModelWeights, samples: List[np.ndarray], classify: bool = False
+    ) -> Dict[str, TenderSiteParams]:
+        """Compute and store calibration parameters for ``weights``."""
+        self.site_params = calibrate_tender(weights, samples, self.config, classify=classify)
+        return self.site_params
+
+    def build_executor(self) -> TenderExecutor:
+        """Build an executor from previously computed calibration parameters."""
+        if self.site_params is None:
+            raise CalibrationError("call calibrate() before build_executor()")
+        return TenderExecutor(self.site_params, self.config, implicit=self.implicit)
+
+    def quantize(
+        self, weights: ModelWeights, samples: List[np.ndarray], classify: bool = False
+    ) -> TransformerRunner:
+        """Calibrate and return a :class:`TransformerRunner` using Tender."""
+        self.calibrate(weights, samples, classify=classify)
+        return TransformerRunner(weights, self.build_executor())

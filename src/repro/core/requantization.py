@@ -1,0 +1,128 @@
+"""Runtime requantization: accumulating decomposed partial sums.
+
+The two mathematically equivalent execution models from Section II-D:
+
+* **Explicit requantization** (Equation 1) — each group's partial product is
+  dequantized with its own scale factor and accumulated in floating point.
+  This is how a GPU implementation has to do it, and it is what causes the
+  slowdown measured in Figures 12 and 13.
+
+* **Implicit (runtime) requantization** (Equation 2) — groups are processed in
+  descending scale order; between groups the *integer* accumulator is
+  multiplied by the rescale factor ``s_i / s_{i+1}`` (a 1-bit left shift when
+  alpha = 2), and the final accumulator is dequantized once with the smallest
+  scale.  This is what Tender's Multi-Scale Systolic Array does with its
+  per-PE shifter.
+
+Both are implemented here over the same quantized operands so tests can check
+bit-exact equivalence, and so the executor can expose either path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.decomposition import ChannelDecomposition
+from repro.errors import QuantizationError
+from repro.quant.gemm import int_matmul
+
+#: Hardware accumulator width (Section IV-B).
+_ACC_MAX = 2**31 - 1
+_ACC_MIN = -(2**31)
+
+
+def _group_slices(decomposition: ChannelDecomposition):
+    """Yield ``(group_index, channel_indices)`` in descending-scale order."""
+    order = decomposition.channel_order
+    start = 0
+    for group, size in enumerate(decomposition.group_sizes):
+        channels = order[start : start + size]
+        start += size
+        yield group, channels
+
+
+def explicit_requantized_matmul(
+    quantized_activation: np.ndarray,
+    decomposition: ChannelDecomposition,
+    quantized_weight: np.ndarray,
+    weight_scale: np.ndarray,
+) -> np.ndarray:
+    """Equation 1: dequantize and accumulate each group's partial sum in FP.
+
+    ``quantized_activation`` is (rows, channels) int, ``quantized_weight`` is
+    (channels, out) int, ``weight_scale`` broadcasts over the output columns.
+    """
+    rows = quantized_activation.shape[0]
+    out_features = quantized_weight.shape[1]
+    result = np.zeros((rows, out_features), dtype=np.float64)
+    for group, channels in _group_slices(decomposition):
+        if channels.size == 0:
+            continue
+        partial = int_matmul(quantized_activation[:, channels], quantized_weight[channels, :])
+        result += partial.astype(np.float64) * decomposition.group_scales[group] * weight_scale
+    return result
+
+
+def implicit_requantized_matmul(
+    quantized_activation: np.ndarray,
+    decomposition: ChannelDecomposition,
+    quantized_weight: np.ndarray,
+    weight_scale: np.ndarray,
+    check_overflow: bool = True,
+) -> np.ndarray:
+    """Equation 2: integer accumulation with per-group rescaling.
+
+    The accumulator is multiplied by ``alpha`` at every group boundary
+    (including boundaries of empty groups, which keeps the final scale factor
+    equal to the last group's scale), then the next group's integer partial
+    product is added.  Only one floating-point rescale happens, at the end.
+    """
+    rows = quantized_activation.shape[0]
+    out_features = quantized_weight.shape[1]
+    accumulator = np.zeros((rows, out_features), dtype=np.int64)
+    alpha = decomposition.alpha
+    for group, channels in _group_slices(decomposition):
+        if group > 0:
+            accumulator = accumulator * alpha
+        if channels.size:
+            accumulator = accumulator + int_matmul(
+                quantized_activation[:, channels], quantized_weight[channels, :], check_overflow=False
+            )
+        if check_overflow and (
+            accumulator.max(initial=0) > _ACC_MAX or accumulator.min(initial=0) < _ACC_MIN
+        ):
+            raise QuantizationError(
+                "implicit requantization overflowed the 32-bit accumulator; "
+                "reduce the number of groups or the reduction length"
+            )
+    final_scale = decomposition.group_scales[-1]
+    return accumulator.astype(np.float64) * final_scale * weight_scale
+
+
+def requantized_matmul(
+    quantized_activation: np.ndarray,
+    decomposition: ChannelDecomposition,
+    quantized_weight: np.ndarray,
+    weight_scale: np.ndarray,
+    implicit: bool = True,
+    check_overflow: bool = True,
+) -> np.ndarray:
+    """Dispatch to the implicit or explicit execution model."""
+    if implicit:
+        return implicit_requantized_matmul(
+            quantized_activation, decomposition, quantized_weight, weight_scale, check_overflow
+        )
+    return explicit_requantized_matmul(
+        quantized_activation, decomposition, quantized_weight, weight_scale
+    )
+
+
+def rescale_operation_count(decomposition: ChannelDecomposition) -> int:
+    """Number of rescale (shift) operations the hardware performs per output tile.
+
+    One per group boundary, i.e. ``G - 1`` — this is what makes the overhead of
+    the decomposition independent of the tensor size (Section VI-F).
+    """
+    return max(decomposition.num_groups - 1, 0)

@@ -1,0 +1,51 @@
+"""Synthetic datasets: LM corpora, GLUE-like tasks, and zero-shot tasks."""
+
+from repro.data.corpus import (
+    CORPUS_PRESETS,
+    CorpusConfig,
+    EOS_TOKEN,
+    PAD_TOKEN,
+    SPECIAL_TOKENS,
+    SyntheticCorpus,
+    UNK_TOKEN,
+    build_vocabulary,
+    load_corpus,
+)
+from repro.data.datasets import LanguageModelingDataset, LMBatch, calibration_samples
+from repro.data.classification import (
+    GLUE_TASK_NAMES,
+    ClassificationTask,
+    make_all_glue_tasks,
+    make_glue_task,
+)
+from repro.data.zeroshot import (
+    ZEROSHOT_TASK_NAMES,
+    MultipleChoiceExample,
+    ZeroShotTask,
+    make_all_zeroshot_tasks,
+    make_zeroshot_task,
+)
+
+__all__ = [
+    "CORPUS_PRESETS",
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "build_vocabulary",
+    "load_corpus",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "EOS_TOKEN",
+    "SPECIAL_TOKENS",
+    "LanguageModelingDataset",
+    "LMBatch",
+    "calibration_samples",
+    "GLUE_TASK_NAMES",
+    "ClassificationTask",
+    "make_glue_task",
+    "make_all_glue_tasks",
+    "ZEROSHOT_TASK_NAMES",
+    "ZeroShotTask",
+    "MultipleChoiceExample",
+    "make_zeroshot_task",
+    "make_all_zeroshot_tasks",
+]

@@ -1,0 +1,186 @@
+"""Synthetic classification tasks standing in for the GLUE benchmark.
+
+Table IV of the paper reports accuracy of BERT-Large on six GLUE tasks (CoLA,
+SST-2, MRPC, STS-B, QQP, QNLI) under INT8/INT4 activation quantization.  The
+tasks here preserve the property that matters for that comparison: an
+encoder-only Transformer that has genuinely learned the task, so that
+quantization error in its activations degrades accuracy in a measurable,
+scheme-dependent way.
+
+Each task embeds a simple latent rule over token sequences (keyword presence,
+keyword ordering, or sequence-pair overlap), which a small Transformer can
+learn to high accuracy in a few hundred optimizer steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from zlib import crc32
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.corpus import SPECIAL_TOKENS
+from repro.errors import ConfigurationError
+
+#: Names mirror the GLUE tasks reported in Table IV of the paper.
+GLUE_TASK_NAMES = ["CoLA", "SST-2", "MRPC", "STS-B", "QQP", "QNLI"]
+
+
+@dataclass
+class ClassificationTask:
+    """A generated classification dataset."""
+
+    name: str
+    train_inputs: np.ndarray
+    train_labels: np.ndarray
+    eval_inputs: np.ndarray
+    eval_labels: np.ndarray
+    num_classes: int
+
+
+def _keyword_task(
+    rng: np.random.Generator,
+    vocab_size: int,
+    seq_len: int,
+    num_train: int,
+    num_eval: int,
+    num_keywords: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Label 1 iff any of a fixed keyword set appears in the sequence."""
+    low = len(SPECIAL_TOKENS)
+    keywords = rng.choice(np.arange(low, vocab_size), size=num_keywords, replace=False)
+
+    def make(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        inputs = rng.integers(low, vocab_size, size=(count, seq_len))
+        # Remove accidental keyword hits, then plant keywords in half the rows.
+        for keyword in keywords:
+            inputs[inputs == keyword] = low
+        labels = rng.integers(0, 2, size=count)
+        for row in range(count):
+            if labels[row] == 1:
+                position = rng.integers(0, seq_len)
+                inputs[row, position] = rng.choice(keywords)
+        return inputs, labels
+
+    train_inputs, train_labels = make(num_train)
+    eval_inputs, eval_labels = make(num_eval)
+    return train_inputs, train_labels, eval_inputs, eval_labels
+
+
+def _order_task(
+    rng: np.random.Generator,
+    vocab_size: int,
+    seq_len: int,
+    num_train: int,
+    num_eval: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Label depends on whether token A appears before token B."""
+    low = len(SPECIAL_TOKENS)
+    token_a, token_b = rng.choice(np.arange(low, vocab_size), size=2, replace=False)
+
+    def make(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        inputs = rng.integers(low, vocab_size, size=(count, seq_len))
+        inputs[inputs == token_a] = low
+        inputs[inputs == token_b] = low
+        labels = rng.integers(0, 2, size=count)
+        for row in range(count):
+            first, second = sorted(rng.choice(seq_len, size=2, replace=False))
+            if labels[row] == 1:
+                inputs[row, first], inputs[row, second] = token_a, token_b
+            else:
+                inputs[row, first], inputs[row, second] = token_b, token_a
+        return inputs, labels
+
+    train_inputs, train_labels = make(num_train)
+    eval_inputs, eval_labels = make(num_eval)
+    return train_inputs, train_labels, eval_inputs, eval_labels
+
+
+def _pair_overlap_task(
+    rng: np.random.Generator,
+    vocab_size: int,
+    seq_len: int,
+    num_train: int,
+    num_eval: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sentence-pair style task: label 1 iff the two halves share many tokens."""
+    low = len(SPECIAL_TOKENS)
+    half = seq_len // 2
+
+    def make(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, 2, size=count)
+        inputs = np.empty((count, seq_len), dtype=np.int64)
+        for row in range(count):
+            first = rng.integers(low, vocab_size, size=half)
+            if labels[row] == 1:
+                second = first.copy()
+                flips = rng.choice(half, size=max(1, half // 8), replace=False)
+                second[flips] = rng.integers(low, vocab_size, size=len(flips))
+            else:
+                second = rng.integers(low, vocab_size, size=half)
+            inputs[row, :half] = first
+            inputs[row, half : 2 * half] = second
+            if seq_len > 2 * half:
+                inputs[row, 2 * half :] = low
+        return inputs, labels
+
+    train_inputs, train_labels = make(num_train)
+    eval_inputs, eval_labels = make(num_eval)
+    return train_inputs, train_labels, eval_inputs, eval_labels
+
+
+#: Task name -> generator kind.  The mapping loosely mirrors the character of
+#: the real GLUE tasks (single-sentence acceptability/sentiment vs pair tasks).
+_TASK_KINDS: Dict[str, str] = {
+    "CoLA": "order",
+    "SST-2": "keyword",
+    "MRPC": "pair",
+    "STS-B": "pair",
+    "QQP": "pair",
+    "QNLI": "keyword",
+}
+
+
+def make_glue_task(
+    name: str,
+    vocab_size: int = 512,
+    seq_len: int = 32,
+    num_train: int = 512,
+    num_eval: int = 256,
+    seed: int = 0,
+) -> ClassificationTask:
+    """Generate one synthetic GLUE-like task by name."""
+    if name not in _TASK_KINDS:
+        raise ConfigurationError(f"unknown GLUE-like task {name!r}; expected one of {GLUE_TASK_NAMES}")
+    rng = np.random.default_rng(seed + crc32(name.encode()) % 10_000)
+    kind = _TASK_KINDS[name]
+    if kind == "keyword":
+        parts = _keyword_task(rng, vocab_size, seq_len, num_train, num_eval, num_keywords=6)
+    elif kind == "order":
+        parts = _order_task(rng, vocab_size, seq_len, num_train, num_eval)
+    else:
+        parts = _pair_overlap_task(rng, vocab_size, seq_len, num_train, num_eval)
+    train_inputs, train_labels, eval_inputs, eval_labels = parts
+    return ClassificationTask(
+        name=name,
+        train_inputs=train_inputs,
+        train_labels=train_labels,
+        eval_inputs=eval_inputs,
+        eval_labels=eval_labels,
+        num_classes=2,
+    )
+
+
+def make_all_glue_tasks(
+    vocab_size: int = 512,
+    seq_len: int = 32,
+    num_train: int = 512,
+    num_eval: int = 256,
+    seed: int = 0,
+) -> List[ClassificationTask]:
+    """Generate every GLUE-like task used in the Table IV reproduction."""
+    return [
+        make_glue_task(name, vocab_size, seq_len, num_train, num_eval, seed)
+        for name in GLUE_TASK_NAMES
+    ]

@@ -1,0 +1,166 @@
+"""Synthetic text corpora standing in for WikiText-2, PTB, and the Pile.
+
+The paper evaluates language-modelling perplexity on WikiText-2 and PTB and
+calibrates quantization parameters on 128 samples from the Pile.  Those
+datasets cannot be downloaded offline, so this module generates synthetic
+corpora from a fixed vocabulary with a second-order Markov process.  The three
+named corpora share the same vocabulary but use different transition
+structure, which mirrors the role the real datasets play in the paper:
+
+* the model is trained on a mixture, so it has genuinely learned structure;
+* ``wiki`` and ``ptb`` evaluation splits differ slightly in difficulty
+  (PTB perplexities in the paper are consistently higher than WikiText-2);
+* the ``pile`` split is only used for calibration and is drawn from the same
+  distribution family, like real calibration data.
+
+Because the corpora are deterministic functions of a seed, every experiment in
+``repro.experiments`` is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Word stems used to build the synthetic vocabulary.  Kept small and
+#: pronounceable so generated text is recognisably "language like" in examples.
+_STEMS = [
+    "star", "light", "night", "moon", "river", "stone", "wind", "cloud", "tree",
+    "fire", "rain", "snow", "storm", "field", "road", "city", "house", "door",
+    "bird", "wolf", "sea", "wave", "sand", "hill", "lake", "leaf", "root",
+    "iron", "gold", "glass", "paper", "song", "voice", "word", "tale", "dream",
+    "shadow", "dawn", "dusk", "frost", "ember", "spark", "mist", "valley",
+    "meadow", "harbor", "garden", "bridge", "tower", "market",
+]
+_SUFFIXES = ["", "s", "ing", "ed", "er", "ly", "ful", "less"]
+_FUNCTION_WORDS = [
+    "the", "a", "of", "in", "on", "at", "and", "or", "but", "with", "to",
+    "from", "by", "for", "as", "is", "was", "are", "were", "it", "they",
+    "he", "she", "we", "you", "that", "this", "then", "now", "here", "there",
+]
+
+#: Special tokens.
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+EOS_TOKEN = "<eos>"
+SPECIAL_TOKENS = [PAD_TOKEN, UNK_TOKEN, EOS_TOKEN]
+
+
+def build_vocabulary(vocab_size: int = 512) -> List[str]:
+    """Construct a deterministic vocabulary of ``vocab_size`` word types."""
+    if vocab_size < len(SPECIAL_TOKENS) + len(_FUNCTION_WORDS) + 10:
+        raise ConfigurationError(f"vocab_size={vocab_size} is too small")
+    words: List[str] = list(SPECIAL_TOKENS) + list(_FUNCTION_WORDS)
+    for stem in _STEMS:
+        for suffix in _SUFFIXES:
+            word = stem + suffix
+            if word not in words:
+                words.append(word)
+            if len(words) >= vocab_size:
+                return words[:vocab_size]
+    # If still short, append numbered filler types.
+    index = 0
+    while len(words) < vocab_size:
+        words.append(f"tok{index}")
+        index += 1
+    return words[:vocab_size]
+
+
+@dataclass
+class CorpusConfig:
+    """Configuration of a synthetic corpus."""
+
+    name: str = "wiki"
+    vocab_size: int = 512
+    num_tokens: int = 50_000
+    seed: int = 1234
+    #: Dirichlet concentration controlling how peaked the bigram distribution
+    #: is.  Lower values give more predictable text (lower perplexity).
+    concentration: float = 0.08
+    #: Number of candidate successor words per context (sparsity of the
+    #: transition matrix); smaller means easier to predict.
+    branching: int = 24
+
+
+#: Per-corpus presets.  PTB-like text is made harder (higher branching) than
+#: wiki-like text so the FP baseline perplexity ordering matches the paper.
+CORPUS_PRESETS: Dict[str, CorpusConfig] = {
+    "wiki": CorpusConfig(name="wiki", seed=1234, concentration=0.08, branching=20),
+    "ptb": CorpusConfig(name="ptb", seed=4321, concentration=0.15, branching=32),
+    "pile": CorpusConfig(name="pile", seed=9999, concentration=0.12, branching=26),
+}
+
+
+class SyntheticCorpus:
+    """A deterministic Markov-chain corpus over a shared vocabulary."""
+
+    def __init__(self, config: CorpusConfig) -> None:
+        self.config = config
+        self.vocabulary = build_vocabulary(config.vocab_size)
+        self._rng = np.random.default_rng(config.seed)
+        self._successors, self._probabilities = self._build_transitions()
+        self.tokens = self._generate(config.num_tokens)
+
+    # ------------------------------------------------------------------
+    def _build_transitions(self):
+        """Build a sparse first-order transition table over token ids."""
+        vocab = self.config.vocab_size
+        usable = np.arange(len(SPECIAL_TOKENS), vocab)
+        successors = np.zeros((vocab, self.config.branching), dtype=np.int64)
+        probabilities = np.zeros((vocab, self.config.branching), dtype=np.float64)
+        for token in range(vocab):
+            choices = self._rng.choice(usable, size=self.config.branching, replace=False)
+            weights = self._rng.dirichlet(np.full(self.config.branching, self.config.concentration) + 1e-3)
+            successors[token] = choices
+            probabilities[token] = weights
+        return successors, probabilities
+
+    def _generate(self, num_tokens: int) -> np.ndarray:
+        """Sample ``num_tokens`` token ids from the Markov chain."""
+        eos_id = SPECIAL_TOKENS.index(EOS_TOKEN)
+        tokens = np.empty(num_tokens, dtype=np.int64)
+        current = int(self._rng.integers(len(SPECIAL_TOKENS), self.config.vocab_size))
+        sentence_length = 0
+        for position in range(num_tokens):
+            tokens[position] = current
+            sentence_length += 1
+            if sentence_length >= 12 and self._rng.random() < 0.15:
+                current = eos_id
+                sentence_length = 0
+            if current == eos_id:
+                current = int(self._rng.integers(len(SPECIAL_TOKENS), self.config.vocab_size))
+                continue
+            row = self._successors[current]
+            probs = self._probabilities[current]
+            current = int(self._rng.choice(row, p=probs))
+        return tokens
+
+    # ------------------------------------------------------------------
+    def split(self, train_fraction: float = 0.9):
+        """Split the corpus token stream into train and evaluation arrays."""
+        cut = int(len(self.tokens) * train_fraction)
+        return self.tokens[:cut], self.tokens[cut:]
+
+    def decode(self, token_ids: Sequence[int]) -> str:
+        """Turn token ids back into whitespace-separated text."""
+        return " ".join(self.vocabulary[int(t)] for t in token_ids)
+
+
+def load_corpus(name: str, vocab_size: int = 512, num_tokens: int = 50_000) -> SyntheticCorpus:
+    """Load a named synthetic corpus ('wiki', 'ptb', or 'pile')."""
+    if name not in CORPUS_PRESETS:
+        raise ConfigurationError(f"unknown corpus {name!r}; expected one of {sorted(CORPUS_PRESETS)}")
+    preset = CORPUS_PRESETS[name]
+    config = CorpusConfig(
+        name=preset.name,
+        vocab_size=vocab_size,
+        num_tokens=num_tokens,
+        seed=preset.seed,
+        concentration=preset.concentration,
+        branching=preset.branching,
+    )
+    return SyntheticCorpus(config)

@@ -1,0 +1,66 @@
+"""Dataset utilities: language-modelling batches and calibration sampling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LMBatch:
+    """A batch of language-modelling inputs and next-token targets."""
+
+    inputs: np.ndarray  # (batch, seq)
+    targets: np.ndarray  # (batch, seq)
+
+
+class LanguageModelingDataset:
+    """Chops a token stream into fixed-length (input, target) windows."""
+
+    def __init__(self, tokens: np.ndarray, seq_len: int) -> None:
+        if seq_len < 2:
+            raise ConfigurationError("seq_len must be at least 2")
+        tokens = np.asarray(tokens, dtype=np.int64)
+        num_windows = (len(tokens) - 1) // seq_len
+        if num_windows < 1:
+            raise ConfigurationError(
+                f"token stream of length {len(tokens)} too short for seq_len={seq_len}"
+            )
+        self.seq_len = seq_len
+        usable = tokens[: num_windows * seq_len + 1]
+        self.inputs = usable[:-1].reshape(num_windows, seq_len)
+        self.targets = usable[1:].reshape(num_windows, seq_len)
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+    def window(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.targets[index]
+
+    def batches(self, batch_size: int, shuffle: bool = False, seed: int = 0) -> Iterator[LMBatch]:
+        """Yield batches; drops the last partial batch for shape stability."""
+        order = np.arange(len(self))
+        if shuffle:
+            np.random.default_rng(seed).shuffle(order)
+        for start in range(0, len(self) - batch_size + 1, batch_size):
+            idx = order[start : start + batch_size]
+            yield LMBatch(inputs=self.inputs[idx], targets=self.targets[idx])
+
+
+def calibration_samples(tokens: np.ndarray, seq_len: int, num_samples: int, seed: int = 7) -> List[np.ndarray]:
+    """Draw ``num_samples`` random windows used to calibrate scale factors.
+
+    Mirrors the paper's use of 128 samples from the Pile validation set
+    (Section V-A); the number of samples is scaled down along with the models.
+    """
+    tokens = np.asarray(tokens, dtype=np.int64)
+    max_start = len(tokens) - seq_len - 1
+    if max_start <= 0:
+        raise ConfigurationError("not enough tokens for the requested calibration windows")
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, max_start, size=num_samples)
+    return [tokens[start : start + seq_len].copy() for start in starts]

@@ -1,0 +1,114 @@
+"""Synthetic zero-shot multiple-choice tasks (Table VII stand-in).
+
+The paper's Table VII evaluates OPT-6.7B and LLaMA-7B on lm-evaluation-harness
+zero-shot tasks (Hellaswag, Winogrande, ARC, Lambada, ...).  Those tasks score
+a language model by comparing the likelihood it assigns to candidate
+continuations of a context.  This module builds synthetic tasks with the same
+scoring rule: each example consists of a context sampled from the corpus the
+model was trained on, a "correct" continuation that actually follows the
+context in the corpus, and distractor continuations sampled from elsewhere.
+An unquantized model prefers the true continuation well above chance, and
+activation-quantization error erodes that margin — which is exactly the effect
+Table VII measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from zlib import crc32
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Task names mirror Table VII of the paper.
+ZEROSHOT_TASK_NAMES = [
+    "Hellaswag",
+    "WIC",
+    "Anli-r2",
+    "Winogrande",
+    "ARC easy",
+    "ARC challenge",
+    "Lambada",
+    "College CS",
+    "Int. law",
+    "Jurisprudence",
+]
+
+#: Per-task difficulty knobs: (context length, continuation length, #choices).
+#: Longer continuations and fewer choices make a task easier, mirroring the
+#: wide accuracy spread across tasks in the paper.
+_TASK_SHAPES = {
+    "Hellaswag": (24, 8, 4),
+    "WIC": (16, 2, 2),
+    "Anli-r2": (20, 2, 3),
+    "Winogrande": (20, 4, 2),
+    "ARC easy": (16, 6, 4),
+    "ARC challenge": (24, 3, 4),
+    "Lambada": (28, 4, 2),
+    "College CS": (24, 2, 4),
+    "Int. law": (24, 2, 4),
+    "Jurisprudence": (24, 2, 4),
+}
+
+
+@dataclass
+class MultipleChoiceExample:
+    """One zero-shot example: a context and candidate continuations."""
+
+    context: np.ndarray  # (context_len,)
+    choices: List[np.ndarray]  # each (continuation_len,)
+    answer: int
+
+
+@dataclass
+class ZeroShotTask:
+    """A named collection of multiple-choice examples."""
+
+    name: str
+    examples: List[MultipleChoiceExample]
+
+    @property
+    def num_choices(self) -> int:
+        return len(self.examples[0].choices) if self.examples else 0
+
+
+def make_zeroshot_task(
+    name: str,
+    tokens: np.ndarray,
+    num_examples: int = 64,
+    seed: int = 0,
+) -> ZeroShotTask:
+    """Build one task from a held-out token stream of the training corpus."""
+    if name not in _TASK_SHAPES:
+        raise ConfigurationError(
+            f"unknown zero-shot task {name!r}; expected one of {ZEROSHOT_TASK_NAMES}"
+        )
+    context_len, continuation_len, num_choices = _TASK_SHAPES[name]
+    tokens = np.asarray(tokens, dtype=np.int64)
+    window = context_len + continuation_len
+    max_start = len(tokens) - window - 1
+    if max_start <= num_examples:
+        raise ConfigurationError("token stream too short for the requested zero-shot task")
+    rng = np.random.default_rng(seed + crc32(name.encode()) % 10_000)
+    starts = rng.choice(max_start, size=num_examples, replace=False)
+    examples: List[MultipleChoiceExample] = []
+    for start in starts:
+        context = tokens[start : start + context_len].copy()
+        true_continuation = tokens[start + context_len : start + window].copy()
+        choices = [true_continuation]
+        while len(choices) < num_choices:
+            other = int(rng.integers(0, max_start))
+            distractor = tokens[other + context_len : other + window].copy()
+            choices.append(distractor)
+        order = rng.permutation(num_choices)
+        shuffled = [choices[i] for i in order]
+        answer = int(np.where(order == 0)[0][0])
+        examples.append(MultipleChoiceExample(context=context, choices=shuffled, answer=answer))
+    return ZeroShotTask(name=name, examples=examples)
+
+
+def make_all_zeroshot_tasks(tokens: np.ndarray, num_examples: int = 64, seed: int = 0) -> List[ZeroShotTask]:
+    """Build every zero-shot task used in the Table VII reproduction."""
+    return [make_zeroshot_task(name, tokens, num_examples, seed) for name in ZEROSHOT_TASK_NAMES]

@@ -1,0 +1,33 @@
+"""Exception types shared across the repro library.
+
+Having a small hierarchy of library-specific exceptions lets callers
+distinguish configuration mistakes (bad arguments, impossible shapes) from
+numerical problems detected at runtime (overflow in an integer pipeline,
+invalid calibration state) without catching built-in exceptions too broadly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration value is invalid."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class CalibrationError(ReproError):
+    """Raised when calibration state is missing or inconsistent."""
+
+
+class QuantizationError(ReproError):
+    """Raised when a quantization step cannot be performed safely."""
+
+
+class SimulationError(ReproError):
+    """Raised by the accelerator simulator for inconsistent hardware state."""

@@ -1,0 +1,20 @@
+"""Evaluation harness: perplexity, accuracy, MSE, and sweep runner."""
+
+from repro.eval.accuracy import evaluate_classification, evaluate_zeroshot, score_continuation
+from repro.eval.mse import mean_projection_mse, projection_mse, relative_projection_error
+from repro.eval.perplexity import evaluate_perplexity, sequence_negative_log_likelihood
+from repro.eval.runner import EvalSettings, EvaluationRunner, PerplexityResult
+
+__all__ = [
+    "evaluate_perplexity",
+    "sequence_negative_log_likelihood",
+    "evaluate_classification",
+    "evaluate_zeroshot",
+    "score_continuation",
+    "projection_mse",
+    "relative_projection_error",
+    "mean_projection_mse",
+    "EvalSettings",
+    "EvaluationRunner",
+    "PerplexityResult",
+]

@@ -1,0 +1,63 @@
+"""Classification and zero-shot accuracy evaluation (Tables IV and VII)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.classification import ClassificationTask
+from repro.data.zeroshot import ZeroShotTask
+from repro.models.inference import TransformerRunner
+
+
+def evaluate_classification(
+    runner: TransformerRunner,
+    task: ClassificationTask,
+    batch_size: int = 32,
+    max_examples: Optional[int] = None,
+) -> float:
+    """Accuracy (%) of a classifier runner on a GLUE-like task's eval split."""
+    inputs = task.eval_inputs
+    labels = task.eval_labels
+    if max_examples is not None:
+        inputs = inputs[:max_examples]
+        labels = labels[:max_examples]
+    correct = 0
+    for start in range(0, inputs.shape[0], batch_size):
+        batch = inputs[start : start + batch_size]
+        logits = runner.classify(batch)
+        predictions = np.argmax(logits, axis=-1)
+        correct += int((predictions == labels[start : start + batch.shape[0]]).sum())
+    return 100.0 * correct / inputs.shape[0]
+
+
+def score_continuation(runner: TransformerRunner, context: np.ndarray, continuation: np.ndarray) -> float:
+    """Log-likelihood of ``continuation`` following ``context``.
+
+    The lm-evaluation-harness scoring rule: run the model on
+    ``context + continuation`` and sum the log-probabilities of the
+    continuation tokens.
+    """
+    sequence = np.concatenate([context, continuation])
+    inputs = sequence[:-1]
+    targets = sequence[1:]
+    log_probs = runner.log_probs(inputs[None, :])
+    continuation_start = context.shape[0] - 1
+    picked = log_probs[0, np.arange(continuation_start, targets.shape[0]), targets[continuation_start:]]
+    return float(picked.sum())
+
+
+def evaluate_zeroshot(
+    runner: TransformerRunner,
+    task: ZeroShotTask,
+    max_examples: Optional[int] = None,
+) -> float:
+    """Zero-shot accuracy (%): pick the highest-likelihood continuation."""
+    examples = task.examples if max_examples is None else task.examples[:max_examples]
+    correct = 0
+    for example in examples:
+        scores = [score_continuation(runner, example.context, choice) for choice in example.choices]
+        if int(np.argmax(scores)) == example.answer:
+            correct += 1
+    return 100.0 * correct / len(examples)

@@ -1,0 +1,49 @@
+"""Quantized-GEMM mean-squared-error measurement (Figure 12's MSE axis)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.inference import FloatExecutor, MatmulExecutor
+
+
+def projection_mse(
+    executor: MatmulExecutor,
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    name: str = "probe",
+) -> float:
+    """MSE between a scheme's projection output and the FP reference."""
+    reference = FloatExecutor().project(name, x, weight, bias)
+    candidate = executor.project(name, x, weight, bias)
+    diff = reference - candidate
+    return float(np.mean(diff * diff))
+
+
+def relative_projection_error(
+    executor: MatmulExecutor,
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    name: str = "probe",
+) -> float:
+    """Relative Frobenius error of a scheme's projection output."""
+    reference = FloatExecutor().project(name, x, weight, bias)
+    candidate = executor.project(name, x, weight, bias)
+    denom = float(np.linalg.norm(reference))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(reference - candidate) / denom)
+
+
+def mean_projection_mse(
+    executor: MatmulExecutor,
+    activations: Sequence[np.ndarray],
+    weight: np.ndarray,
+) -> float:
+    """Average projection MSE over several activation samples."""
+    errors = [projection_mse(executor, activation, weight) for activation in activations]
+    return float(np.mean(errors))

@@ -1,0 +1,43 @@
+"""Perplexity evaluation, the paper's primary model-quality metric."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.datasets import LanguageModelingDataset
+from repro.errors import ConfigurationError
+from repro.models.inference import TransformerRunner
+
+
+def sequence_negative_log_likelihood(runner: TransformerRunner, inputs: np.ndarray, targets: np.ndarray) -> float:
+    """Total negative log-likelihood of ``targets`` given ``inputs`` (one window)."""
+    log_probs = runner.log_probs(inputs[None, :])
+    picked = log_probs[0, np.arange(targets.shape[0]), targets]
+    return float(-picked.sum())
+
+
+def evaluate_perplexity(
+    runner: TransformerRunner,
+    tokens: np.ndarray,
+    seq_len: int = 64,
+    max_windows: Optional[int] = 8,
+) -> float:
+    """Perplexity of ``runner`` on a token stream.
+
+    The stream is chopped into non-overlapping windows of ``seq_len`` tokens
+    (the paper's protocol on WikiText-2/PTB with 2048-token windows, scaled
+    down), and the perplexity is ``exp`` of the mean per-token NLL.
+    """
+    dataset = LanguageModelingDataset(np.asarray(tokens), seq_len)
+    num_windows = len(dataset) if max_windows is None else min(max_windows, len(dataset))
+    if num_windows == 0:
+        raise ConfigurationError("no evaluation windows available")
+    total_nll = 0.0
+    total_tokens = 0
+    for index in range(num_windows):
+        inputs, targets = dataset.window(index)
+        total_nll += sequence_negative_log_likelihood(runner, inputs, targets)
+        total_tokens += targets.shape[0]
+    return float(np.exp(total_nll / total_tokens))

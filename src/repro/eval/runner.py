@@ -1,0 +1,151 @@
+"""Evaluation runner: scheme x model x dataset perplexity/accuracy sweeps.
+
+The experiment modules (one per paper table/figure) are thin wrappers around
+this runner: they declare which schemes, models, datasets, and bit widths to
+evaluate, and the runner handles checkpoint loading, calibration, and metric
+computation with a small in-process cache so repeated combinations are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.registry import SchemeRequest, build_runner
+from repro.data.corpus import load_corpus
+from repro.data.datasets import calibration_samples
+from repro.errors import ConfigurationError
+from repro.eval.perplexity import evaluate_perplexity
+from repro.models.checkpoints import get_language_model
+from repro.models.zoo import get_zoo_entry
+
+
+@dataclass
+class EvalSettings:
+    """Shared evaluation parameters (scaled-down analogue of the paper's setup)."""
+
+    seq_len: int = 64
+    max_windows: int = 6
+    calibration_sequences: int = 8
+    calibration_seq_len: int = 64
+    vocab_size: int = 512
+    corpus_tokens: int = 30_000
+
+
+@dataclass
+class PerplexityResult:
+    """One cell of a perplexity table."""
+
+    scheme: str
+    model: str
+    dataset: str
+    bits: Optional[int]
+    perplexity: float
+
+
+class EvaluationRunner:
+    """Caches corpora, checkpoints, calibration data, and perplexities."""
+
+    def __init__(self, settings: Optional[EvalSettings] = None) -> None:
+        self.settings = settings or EvalSettings()
+        self._corpora: Dict[str, tuple] = {}
+        self._calibration: Dict[str, List[np.ndarray]] = {}
+        self._results: Dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def corpus_splits(self, dataset: str):
+        """(train, eval) token streams of a named dataset, cached."""
+        if dataset not in self._corpora:
+            corpus = load_corpus(
+                dataset, vocab_size=self.settings.vocab_size, num_tokens=self.settings.corpus_tokens
+            )
+            self._corpora[dataset] = corpus.split()
+        return self._corpora[dataset]
+
+    def calibration_data(self, seq_len: Optional[int] = None) -> List[np.ndarray]:
+        """Calibration sequences drawn from the pile-like corpus, cached."""
+        seq_len = seq_len or self.settings.calibration_seq_len
+        key = f"pile:{seq_len}"
+        if key not in self._calibration:
+            train, _ = self.corpus_splits("pile")
+            self._calibration[key] = calibration_samples(
+                train, seq_len, self.settings.calibration_sequences
+            )
+        return self._calibration[key]
+
+    # ------------------------------------------------------------------
+    def perplexity(
+        self,
+        scheme: str,
+        model_name: str,
+        dataset: str = "wiki",
+        bits: int = 8,
+        quantize_attention: bool = False,
+        seq_len: Optional[int] = None,
+        options: Optional[dict] = None,
+    ) -> float:
+        """Perplexity of one (scheme, model, dataset, bits) combination."""
+        seq_len = seq_len or self.settings.seq_len
+        cache_key = (
+            scheme,
+            model_name,
+            dataset,
+            bits,
+            quantize_attention,
+            seq_len,
+            tuple(sorted((options or {}).items())),
+        )
+        if cache_key in self._results:
+            return self._results[cache_key]
+
+        entry = get_zoo_entry(model_name)
+        if seq_len > entry.max_seq_len:
+            raise ConfigurationError(
+                f"seq_len {seq_len} exceeds {model_name}'s max_seq_len {entry.max_seq_len}"
+            )
+        weights = get_language_model(model_name)
+        _, eval_tokens = self.corpus_splits(dataset)
+        request = SchemeRequest(
+            weights=weights,
+            calibration=self.calibration_data(),
+            bits=bits,
+            quantize_attention=quantize_attention,
+            options=options,
+        )
+        runner = build_runner(scheme, request)
+        value = evaluate_perplexity(
+            runner, eval_tokens, seq_len=seq_len, max_windows=self.settings.max_windows
+        )
+        self._results[cache_key] = value
+        return value
+
+    def sweep(
+        self,
+        schemes: Sequence[str],
+        models: Sequence[str],
+        datasets: Sequence[str],
+        bits: int = 8,
+        quantize_attention: bool = False,
+        options: Optional[dict] = None,
+    ) -> List[PerplexityResult]:
+        """Cartesian sweep returning one :class:`PerplexityResult` per cell."""
+        results = []
+        for scheme in schemes:
+            for model in models:
+                for dataset in datasets:
+                    value = self.perplexity(
+                        scheme,
+                        model,
+                        dataset,
+                        bits=bits,
+                        quantize_attention=quantize_attention,
+                        options=options,
+                    )
+                    results.append(
+                        PerplexityResult(
+                            scheme=scheme, model=model, dataset=dataset, bits=bits, perplexity=value
+                        )
+                    )
+        return results

@@ -1,0 +1,43 @@
+"""One module per paper table/figure; each returns structured rows + a renderer."""
+
+from repro.experiments.report import (
+    ExperimentProfile,
+    current_profile,
+    format_table,
+    full_evaluation_enabled,
+)
+from repro.experiments.table1 import Table1Row, render_table1, run_table1
+from repro.experiments.table2 import Table2Cell, render_table2, run_table2
+from repro.experiments.table3 import Table3Cell, render_table3, run_table3
+from repro.experiments.table4 import Table4Cell, render_table4, run_table4
+from repro.experiments.table5 import render_table5, run_table5
+from repro.experiments.table6 import Table6Row, render_table6, run_table6
+from repro.experiments.table7 import Table7Cell, render_table7, run_table7
+from repro.experiments.figure2 import TensorRangeSummary, render_figure2, run_figure2
+from repro.experiments.figure3 import Figure3Result, render_figure3, run_figure3
+from repro.experiments.figure9 import GroupSweepPoint, render_figure9, run_figure9
+from repro.experiments.figure10 import SpeedupRow, render_figure10, run_figure10
+from repro.experiments.figure11 import EnergyRow, render_figure11, run_figure11
+from repro.experiments.figure12 import Figure12Row, render_figure12, run_figure12
+from repro.experiments.figure13 import Figure13Row, render_figure13, run_figure13
+
+__all__ = [
+    "ExperimentProfile",
+    "current_profile",
+    "full_evaluation_enabled",
+    "format_table",
+    "run_table1", "render_table1", "Table1Row",
+    "run_table2", "render_table2", "Table2Cell",
+    "run_table3", "render_table3", "Table3Cell",
+    "run_table4", "render_table4", "Table4Cell",
+    "run_table5", "render_table5",
+    "run_table6", "render_table6", "Table6Row",
+    "run_table7", "render_table7", "Table7Cell",
+    "run_figure2", "render_figure2", "TensorRangeSummary",
+    "run_figure3", "render_figure3", "Figure3Result",
+    "run_figure9", "render_figure9", "GroupSweepPoint",
+    "run_figure10", "render_figure10", "SpeedupRow",
+    "run_figure11", "render_figure11", "EnergyRow",
+    "run_figure12", "render_figure12", "Figure12Row",
+    "run_figure13", "render_figure13", "Figure13Row",
+]

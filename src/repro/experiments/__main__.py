@@ -1,0 +1,96 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments table5 figure10
+    python -m repro.experiments table2            # uses the quick model profile
+    REPRO_FULL_EVAL=1 python -m repro.experiments table2   # full 8-model run
+
+Each experiment prints the same rendered table that the corresponding
+benchmark under ``benchmarks/`` asserts against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    render_figure2,
+    render_figure3,
+    render_figure9,
+    render_figure10,
+    render_figure11,
+    render_figure12,
+    render_figure13,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    run_figure2,
+    run_figure3,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+
+#: Experiment name -> (runner, renderer, description).
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable, str]] = {
+    "table1": (run_table1, render_table1, "perplexity vs activation quantization granularity"),
+    "table2": (run_table2, render_table2, "INT8/INT4 PTQ perplexity vs SmoothQuant/ANT/OliVe"),
+    "table3": (run_table3, render_table3, "sequence-length sensitivity"),
+    "table4": (run_table4, render_table4, "BERT-Large GLUE accuracy"),
+    "table5": (run_table5, render_table5, "accelerator area and power"),
+    "table6": (run_table6, render_table6, "Tender vs MSFP block floating point"),
+    "table7": (run_table7, render_table7, "zero-shot accuracy vs SMX4/MXFP4"),
+    "figure2": (run_figure2, render_figure2, "activation vs weight value ranges"),
+    "figure3": (run_figure3, render_figure3, "channel-wise outliers across layers"),
+    "figure9": (run_figure9, render_figure9, "perplexity vs number of channel groups"),
+    "figure10": (run_figure10, render_figure10, "accelerator speedup over ANT"),
+    "figure11": (run_figure11, render_figure11, "accelerator energy efficiency"),
+    "figure12": (run_figure12, render_figure12, "GPU latency and MSE of Tender SW"),
+    "figure13": (run_figure13, render_figure13, "implicit vs explicit requantization"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures from the Tender (ISCA 2024) evaluation.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment names (e.g. table2 figure10)")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, (_, _, description) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}; use --list to see options")
+
+    for name in args.experiments:
+        runner, renderer, _ = EXPERIMENTS[name]
+        print(renderer(runner()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Figure 9: perplexity vs the number of channel groups (multi-scale quantization).
+
+The paper sweeps the number of decomposition groups on Llama-2-7B (PTB,
+sequence length 256) and shows perplexity dropping rapidly as groups are
+added, for both INT4 and INT8 — evidence that a single outlier/normal split is
+not enough.  An alpha-sweep ablation is included as well (the paper argues for
+alpha = 2; larger alphas give coarser thresholds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.eval.runner import EvalSettings, EvaluationRunner
+from repro.experiments.report import current_profile, format_table
+
+DEFAULT_GROUP_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+@dataclass
+class GroupSweepPoint:
+    bits: int
+    num_groups: int
+    alpha: int
+    perplexity: float
+
+
+def run_figure9(
+    model_name: str = "llama-2-7b-sim",
+    dataset: str = "ptb",
+    group_counts: Sequence[int] = DEFAULT_GROUP_COUNTS,
+    bit_widths: Sequence[int] = (4, 8),
+    alphas: Sequence[int] = (2,),
+    seq_len: int = 64,
+    runner: Optional[EvaluationRunner] = None,
+) -> List[GroupSweepPoint]:
+    """Sweep the number of groups (and optionally alpha) for Tender."""
+    profile = current_profile()
+    runner = runner or EvaluationRunner(EvalSettings(max_windows=profile.max_windows))
+    points: List[GroupSweepPoint] = []
+    for bits in bit_widths:
+        for alpha in alphas:
+            for num_groups in group_counts:
+                perplexity = runner.perplexity(
+                    "Tender",
+                    model_name,
+                    dataset,
+                    bits=bits,
+                    seq_len=seq_len,
+                    options={"num_groups": num_groups, "alpha": alpha, "row_chunk_size": 32},
+                )
+                points.append(
+                    GroupSweepPoint(bits=bits, num_groups=num_groups, alpha=alpha, perplexity=perplexity)
+                )
+    return points
+
+
+def render_figure9(points: List[GroupSweepPoint]) -> str:
+    headers = ["Precision", "alpha", "Groups", "Perplexity"]
+    rows = [[f"INT{p.bits}", p.alpha, p.num_groups, p.perplexity] for p in points]
+    return format_table(headers, rows, title="Figure 9: perplexity vs number of channel groups")

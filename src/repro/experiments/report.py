@@ -1,0 +1,74 @@
+"""Plain-text table rendering and experiment scale profiles.
+
+Every experiment module returns structured rows plus a rendered table so both
+the benchmark harness and the examples can print paper-style output.  The
+``profile`` helpers let the benchmarks run a quick-but-representative subset
+by default and the full paper configuration when ``REPRO_FULL_EVAL=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.models.zoo import LANGUAGE_MODEL_NAMES
+
+
+def full_evaluation_enabled() -> bool:
+    """True when the environment requests the full (slow) paper configuration."""
+    return os.environ.get("REPRO_FULL_EVAL", "0") not in ("", "0", "false", "False")
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """How much work an experiment run should do."""
+
+    models: Sequence[str]
+    max_windows: int
+    zeroshot_examples: int
+    glue_examples: int
+
+
+def current_profile() -> ExperimentProfile:
+    """Quick profile by default; full model list with REPRO_FULL_EVAL=1."""
+    if full_evaluation_enabled():
+        return ExperimentProfile(
+            models=tuple(LANGUAGE_MODEL_NAMES),
+            max_windows=8,
+            zeroshot_examples=48,
+            glue_examples=256,
+        )
+    return ExperimentProfile(
+        models=("opt-6.7b-sim", "llama-2-7b-sim"),
+        max_windows=4,
+        zeroshot_examples=24,
+        glue_examples=96,
+    )
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    string_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1e4:
+            return f"{cell:.2e}"
+        return f"{cell:.2f}"
+    return str(cell)

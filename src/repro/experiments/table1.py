@@ -1,0 +1,65 @@
+"""Table I: perplexity at different activation-quantization granularities.
+
+The paper quantizes activations at per-tensor, per-row, and per-column
+granularity (INT8 and INT4) on OPT-6.7B/13B and Llama-2-7B/13B and shows that
+only per-column — impractical on integer pipelines — retains the FP16
+perplexity, which motivates Tender's channel decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.runner import EvalSettings, EvaluationRunner
+from repro.experiments.report import current_profile, format_table
+
+#: Rows of the paper's Table I, in order.
+GRANULARITY_SCHEMES = ["per-tensor", "per-row", "per-column"]
+DEFAULT_MODELS = ("opt-6.7b-sim", "opt-13b-sim", "llama-2-7b-sim", "llama-2-13b-sim")
+
+
+@dataclass
+class Table1Row:
+    """One row: a precision/granularity combination across the models."""
+
+    label: str
+    perplexities: Dict[str, float]
+
+
+def run_table1(
+    models: Optional[Sequence[str]] = None,
+    dataset: str = "wiki",
+    runner: Optional[EvaluationRunner] = None,
+) -> List[Table1Row]:
+    """Compute Table I rows (FP16 baseline plus INT8/INT4 granularities)."""
+    profile = current_profile()
+    if models is None:
+        models = [m for m in DEFAULT_MODELS if m in profile.models] or list(profile.models)
+    runner = runner or EvaluationRunner(EvalSettings(max_windows=profile.max_windows))
+
+    rows: List[Table1Row] = [
+        Table1Row(
+            label="FP16",
+            perplexities={m: runner.perplexity("Base", m, dataset, bits=16) for m in models},
+        )
+    ]
+    for bits in (8, 4):
+        for scheme in GRANULARITY_SCHEMES:
+            rows.append(
+                Table1Row(
+                    label=f"INT{bits} {scheme}",
+                    perplexities={
+                        m: runner.perplexity(scheme, m, dataset, bits=bits) for m in models
+                    },
+                )
+            )
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """Render Table I in the paper's layout."""
+    models = list(rows[0].perplexities)
+    headers = ["Scheme"] + models
+    body = [[row.label] + [row.perplexities[m] for m in models] for row in rows]
+    return format_table(headers, body, title="Table I: perplexity vs activation quantization granularity")

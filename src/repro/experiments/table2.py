@@ -1,0 +1,95 @@
+"""Table II: INT8/INT4 PTQ perplexity of Tender vs prior schemes.
+
+The paper's headline accuracy table: SmoothQuant, ANT, OliVe, and Tender on
+eight language models and two datasets (WikiText-2 and PTB), at INT8 and INT4,
+with activation-activation matmuls left unquantized for a fair comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.runner import EvalSettings, EvaluationRunner
+from repro.experiments.report import current_profile, format_table
+
+TABLE2_SCHEMES = ["SmoothQuant", "ANT", "OliVe", "Tender"]
+TABLE2_DATASETS = ("wiki", "ptb")
+
+
+@dataclass
+class Table2Cell:
+    """One (scheme, model, dataset, precision) perplexity."""
+
+    precision: str
+    scheme: str
+    model: str
+    dataset: str
+    perplexity: float
+
+
+def run_table2(
+    models: Optional[Sequence[str]] = None,
+    datasets: Sequence[str] = TABLE2_DATASETS,
+    schemes: Sequence[str] = TABLE2_SCHEMES,
+    runner: Optional[EvaluationRunner] = None,
+    row_chunk_size: int = 32,
+    num_groups: int = 12,
+) -> List[Table2Cell]:
+    """Compute all Table II cells (plus the FP16 baseline row)."""
+    profile = current_profile()
+    models = list(models) if models is not None else list(profile.models)
+    runner = runner or EvaluationRunner(EvalSettings(max_windows=profile.max_windows))
+    options = {"row_chunk_size": row_chunk_size, "num_groups": num_groups}
+
+    cells: List[Table2Cell] = []
+    for model in models:
+        for dataset in datasets:
+            cells.append(
+                Table2Cell(
+                    precision="FP16",
+                    scheme="Base",
+                    model=model,
+                    dataset=dataset,
+                    perplexity=runner.perplexity("Base", model, dataset, bits=16),
+                )
+            )
+    for bits in (8, 4):
+        for scheme in schemes:
+            for model in models:
+                for dataset in datasets:
+                    cells.append(
+                        Table2Cell(
+                            precision=f"INT{bits}",
+                            scheme=scheme,
+                            model=model,
+                            dataset=dataset,
+                            perplexity=runner.perplexity(
+                                scheme, model, dataset, bits=bits, options=options
+                            ),
+                        )
+                    )
+    return cells
+
+
+def render_table2(cells: List[Table2Cell]) -> str:
+    """Render in the paper's layout: one row per (precision, scheme)."""
+    models = sorted({c.model for c in cells}, key=lambda m: m)
+    datasets = sorted({c.dataset for c in cells})
+    headers = ["Precision", "Scheme"] + [f"{m}/{d}" for m in models for d in datasets]
+    index: Dict[tuple, float] = {
+        (c.precision, c.scheme, c.model, c.dataset): c.perplexity for c in cells
+    }
+    row_keys = []
+    for cell in cells:
+        key = (cell.precision, cell.scheme)
+        if key not in row_keys:
+            row_keys.append(key)
+    rows = []
+    for precision, scheme in row_keys:
+        row = [precision, scheme]
+        for model in models:
+            for dataset in datasets:
+                row.append(index.get((precision, scheme, model, dataset), float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title="Table II: INT8/INT4 PTQ perplexity")

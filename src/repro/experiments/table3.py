@@ -1,0 +1,101 @@
+"""Table III: sequence-length sensitivity.
+
+The paper evaluates OPT-6.7B at sequence lengths 2048, 256, and 32, comparing
+SmoothQuant/ANT/OliVe against two Tender variants: "Tender" (activation x
+activation matmuls left in FP, like the baselines) and "Tender (all)" (every
+matmul quantized).  Calibration uses the longest sequence length only.  The
+sequence lengths are scaled with the models (128 / 64 / 16 by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.runner import EvalSettings, EvaluationRunner
+from repro.experiments.report import current_profile, format_table
+
+TABLE3_SCHEMES = ["Base", "SmoothQuant", "ANT", "OliVe", "Tender (all)", "Tender"]
+DEFAULT_SEQ_LENS = (128, 64, 16)
+
+
+@dataclass
+class Table3Cell:
+    precision: str
+    scheme: str
+    seq_len: int
+    dataset: str
+    perplexity: float
+
+
+def run_table3(
+    model_name: str = "opt-6.7b-sim",
+    seq_lens: Sequence[int] = DEFAULT_SEQ_LENS,
+    datasets: Sequence[str] = ("wiki", "ptb"),
+    runner: Optional[EvaluationRunner] = None,
+    num_groups: int = 12,
+) -> List[Table3Cell]:
+    """Compute the Table III grid for one model."""
+    profile = current_profile()
+    runner = runner or EvaluationRunner(
+        EvalSettings(max_windows=profile.max_windows, calibration_seq_len=max(seq_lens))
+    )
+    options = {"num_groups": num_groups, "row_chunk_size": 32}
+    cells: List[Table3Cell] = []
+    for seq_len in seq_lens:
+        for dataset in datasets:
+            cells.append(
+                Table3Cell(
+                    precision="FP16",
+                    scheme="Base",
+                    seq_len=seq_len,
+                    dataset=dataset,
+                    perplexity=runner.perplexity("Base", model_name, dataset, bits=16, seq_len=seq_len),
+                )
+            )
+    for bits in (8, 4):
+        for scheme in TABLE3_SCHEMES[1:]:
+            quantize_attention = scheme == "Tender (all)"
+            registry_scheme = "Tender" if scheme.startswith("Tender") else scheme
+            for seq_len in seq_lens:
+                for dataset in datasets:
+                    cells.append(
+                        Table3Cell(
+                            precision=f"INT{bits}",
+                            scheme=scheme,
+                            seq_len=seq_len,
+                            dataset=dataset,
+                            perplexity=runner.perplexity(
+                                registry_scheme,
+                                model_name,
+                                dataset,
+                                bits=bits,
+                                seq_len=seq_len,
+                                quantize_attention=quantize_attention,
+                                options=options,
+                            ),
+                        )
+                    )
+    return cells
+
+
+def render_table3(cells: List[Table3Cell]) -> str:
+    seq_lens = sorted({c.seq_len for c in cells}, reverse=True)
+    datasets = sorted({c.dataset for c in cells})
+    headers = ["Precision", "Scheme"] + [f"{s}/{d}" for s in seq_lens for d in datasets]
+    index: Dict[tuple, float] = {
+        (c.precision, c.scheme, c.seq_len, c.dataset): c.perplexity for c in cells
+    }
+    row_keys = []
+    for cell in cells:
+        key = (cell.precision, cell.scheme)
+        if key not in row_keys:
+            row_keys.append(key)
+    rows = []
+    for precision, scheme in row_keys:
+        row = [precision, scheme]
+        for seq_len in seq_lens:
+            for dataset in datasets:
+                row.append(index.get((precision, scheme, seq_len, dataset), float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title="Table III: perplexity across sequence lengths")

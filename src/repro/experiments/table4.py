@@ -1,0 +1,99 @@
+"""Table IV: INT8/INT4 PTQ accuracy on BERT-Large / GLUE.
+
+All schemes quantize *every* matrix multiplication in the Transformer block
+(including attention score and value products), and accuracy is reported per
+GLUE task.  The reproduction fine-tunes the encoder stand-in on synthetic
+GLUE-like tasks and evaluates the same schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.registry import SchemeRequest, build_runner
+from repro.data.classification import GLUE_TASK_NAMES
+from repro.data.corpus import load_corpus
+from repro.data.datasets import calibration_samples
+from repro.eval.accuracy import evaluate_classification
+from repro.experiments.report import current_profile, format_table
+from repro.models.checkpoints import get_glue_classifier
+
+TABLE4_SCHEMES = ["ANT", "OliVe", "Tender"]
+
+
+@dataclass
+class Table4Cell:
+    precision: str
+    scheme: str
+    task: str
+    accuracy: float
+
+
+def run_table4(
+    model_name: str = "bert-large-sim",
+    tasks: Optional[Sequence[str]] = None,
+    schemes: Sequence[str] = TABLE4_SCHEMES,
+    max_examples: Optional[int] = None,
+) -> List[Table4Cell]:
+    """Compute Table IV accuracies (FP32 baseline plus INT8/INT4 schemes)."""
+    profile = current_profile()
+    tasks = list(tasks) if tasks is not None else list(GLUE_TASK_NAMES)
+    max_examples = max_examples or profile.glue_examples
+
+    pile_train, _ = load_corpus("pile").split()
+    cells: List[Table4Cell] = []
+    for task_name in tasks:
+        weights, task = get_glue_classifier(model_name, task_name)
+        samples = calibration_samples(pile_train, weights.config.max_seq_len // 2, 8)
+        base_request = SchemeRequest(
+            weights=weights, calibration=samples, bits=16, classify=True, quantize_attention=True
+        )
+        base_runner = build_runner("Base", base_request)
+        cells.append(
+            Table4Cell(
+                precision="FP32",
+                scheme="Base",
+                task=task_name,
+                accuracy=evaluate_classification(base_runner, task, max_examples=max_examples),
+            )
+        )
+        for bits in (8, 4):
+            for scheme in schemes:
+                request = SchemeRequest(
+                    weights=weights,
+                    calibration=samples,
+                    bits=bits,
+                    classify=True,
+                    quantize_attention=True,
+                    options={"num_groups": 12, "row_chunk_size": 32},
+                )
+                runner = build_runner(scheme, request)
+                cells.append(
+                    Table4Cell(
+                        precision=f"INT{bits}",
+                        scheme=scheme,
+                        task=task_name,
+                        accuracy=evaluate_classification(runner, task, max_examples=max_examples),
+                    )
+                )
+    return cells
+
+
+def render_table4(cells: List[Table4Cell]) -> str:
+    tasks = []
+    for cell in cells:
+        if cell.task not in tasks:
+            tasks.append(cell.task)
+    headers = ["Precision", "Scheme"] + tasks
+    row_keys = []
+    for cell in cells:
+        key = (cell.precision, cell.scheme)
+        if key not in row_keys:
+            row_keys.append(key)
+    index = {(c.precision, c.scheme, c.task): c.accuracy for c in cells}
+    rows = [
+        [precision, scheme] + [index.get((precision, scheme, task), float("nan")) for task in tasks]
+        for precision, scheme in row_keys
+    ]
+    return format_table(headers, rows, title="Table IV: BERT-Large GLUE accuracy")

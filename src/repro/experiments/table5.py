@@ -1,0 +1,23 @@
+"""Table V: area and power of the Tender accelerator."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accelerator.area import ComponentArea, tender_area_table, total_area_power
+from repro.experiments.report import format_table
+
+
+def run_table5() -> List[ComponentArea]:
+    """Component-level area/power breakdown of the Tender design."""
+    return tender_area_table()
+
+
+def render_table5(rows: List[ComponentArea]) -> str:
+    totals = total_area_power(rows)
+    body = [[row.component, row.setup, row.area_mm2, row.power_w] for row in rows]
+    body.append(["Total", "", totals["area_mm2"], totals["power_w"]])
+    return format_table(
+        ["Component", "Setup", "Area [mm2]", "Power [W]"], body,
+        title="Table V: area and power characteristics of Tender",
+    )

@@ -1,0 +1,68 @@
+"""Table VI: Tender INT4 vs MSFP block floating point.
+
+The paper compares Tender-INT4 against MSFP12 and the column-blocked
+MSFP12-OL variant on the three largest models (OPT-66B, Llama-2-70B,
+LLaMA-65B) using WikiText-2 perplexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.runner import EvalSettings, EvaluationRunner
+from repro.experiments.report import current_profile, format_table
+
+TABLE6_MODELS = ("opt-66b-sim", "llama-2-70b-sim", "llama-65b-sim")
+TABLE6_SCHEMES = ("MSFP12", "MSFP12-OL", "Tender")
+
+
+@dataclass
+class Table6Row:
+    scheme: str
+    perplexities: Dict[str, float]
+
+
+def run_table6(
+    models: Optional[Sequence[str]] = None,
+    dataset: str = "wiki",
+    runner: Optional[EvaluationRunner] = None,
+) -> List[Table6Row]:
+    """FP16 baseline, MSFP12, MSFP12-OL, and Tender-INT4 perplexities."""
+    profile = current_profile()
+    if models is None:
+        models = TABLE6_MODELS if "opt-66b-sim" in profile.models else profile.models[:2]
+    runner = runner or EvaluationRunner(EvalSettings(max_windows=profile.max_windows))
+    rows = [
+        Table6Row(
+            scheme="FP16",
+            perplexities={m: runner.perplexity("Base", m, dataset, bits=16) for m in models},
+        )
+    ]
+    for scheme in ("MSFP12", "MSFP12-OL"):
+        rows.append(
+            Table6Row(
+                scheme=scheme,
+                perplexities={m: runner.perplexity(scheme, m, dataset, bits=4) for m in models},
+            )
+        )
+    rows.append(
+        Table6Row(
+            scheme="Tender-INT4",
+            perplexities={
+                m: runner.perplexity(
+                    "Tender", m, dataset, bits=4,
+                    options={"num_groups": 12, "row_chunk_size": 32},
+                )
+                for m in models
+            },
+        )
+    )
+    return rows
+
+
+def render_table6(rows: List[Table6Row]) -> str:
+    models = list(rows[0].perplexities)
+    headers = ["Precision"] + models
+    body = [[row.scheme] + [row.perplexities[m] for m in models] for row in rows]
+    return format_table(headers, body, title="Table VI: Tender vs MSFP (WikiText-2 perplexity)")

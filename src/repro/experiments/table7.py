@@ -1,0 +1,94 @@
+"""Table VII: zero-shot accuracy under microscaling formats vs Tender.
+
+The paper evaluates OPT-6.7B and LLaMA-7B with lm-evaluation-harness zero-shot
+tasks, comparing FP32 against SMX4, MXFP4, and Tender (INT4).  The
+reproduction scores the synthetic multiple-choice tasks with the same
+likelihood rule on the stand-in checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.registry import SchemeRequest, build_runner
+from repro.data.corpus import load_corpus
+from repro.data.datasets import calibration_samples
+from repro.data.zeroshot import ZEROSHOT_TASK_NAMES, make_zeroshot_task
+from repro.eval.accuracy import evaluate_zeroshot
+from repro.experiments.report import current_profile, format_table
+from repro.models.checkpoints import get_language_model
+
+TABLE7_MODELS = ("opt-6.7b-sim", "llama-7b-sim")
+TABLE7_SCHEMES = ("Base", "SMX4", "MXFP4", "Tender")
+
+
+@dataclass
+class Table7Cell:
+    task: str
+    model: str
+    scheme: str
+    accuracy: float
+
+
+def run_table7(
+    models: Sequence[str] = TABLE7_MODELS,
+    tasks: Optional[Sequence[str]] = None,
+    schemes: Sequence[str] = TABLE7_SCHEMES,
+    num_examples: Optional[int] = None,
+) -> List[Table7Cell]:
+    """Zero-shot accuracy of every scheme on every task and model."""
+    profile = current_profile()
+    tasks = list(tasks) if tasks is not None else list(ZEROSHOT_TASK_NAMES)
+    num_examples = num_examples or profile.zeroshot_examples
+
+    cells: List[Table7Cell] = []
+    for model_name in models:
+        weights = get_language_model(model_name)
+        wiki_train, wiki_eval = load_corpus("wiki", vocab_size=weights.config.vocab_size).split()
+        pile_train, _ = load_corpus("pile", vocab_size=weights.config.vocab_size).split()
+        samples = calibration_samples(pile_train, 64, 8)
+        runners = {}
+        for scheme in schemes:
+            request = SchemeRequest(
+                weights=weights,
+                calibration=samples,
+                bits=4,
+                options={"num_groups": 12, "row_chunk_size": 32},
+            )
+            runners[scheme] = build_runner(scheme, request)
+        for task_name in tasks:
+            task = make_zeroshot_task(task_name, wiki_eval, num_examples=num_examples)
+            for scheme in schemes:
+                cells.append(
+                    Table7Cell(
+                        task=task_name,
+                        model=model_name,
+                        scheme=scheme,
+                        accuracy=evaluate_zeroshot(runners[scheme], task),
+                    )
+                )
+    return cells
+
+
+def render_table7(cells: List[Table7Cell]) -> str:
+    models = []
+    schemes = []
+    tasks = []
+    for cell in cells:
+        if cell.model not in models:
+            models.append(cell.model)
+        if cell.scheme not in schemes:
+            schemes.append(cell.scheme)
+        if cell.task not in tasks:
+            tasks.append(cell.task)
+    headers = ["Task"] + [f"{m}/{s}" for m in models for s in schemes]
+    index: Dict[tuple, float] = {(c.task, c.model, c.scheme): c.accuracy for c in cells}
+    rows = []
+    for task in tasks:
+        row = [task]
+        for model in models:
+            for scheme in schemes:
+                row.append(index.get((task, model, scheme), float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title="Table VII: zero-shot accuracy (FP32 / SMX4 / MXFP4 / Tender INT4)")

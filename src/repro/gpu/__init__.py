@@ -1,0 +1,23 @@
+"""Analytical GPU GEMM latency model (Figure 12)."""
+
+from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
+from repro.gpu.latency import (
+    GemmLatency,
+    figure12_latencies,
+    fp16_latency_ms,
+    int8_latency_ms,
+    per_channel_latency_ms,
+    tender_software_latency_ms,
+)
+
+__all__ = [
+    "GPUSpec",
+    "GPU_SPECS",
+    "get_gpu",
+    "GemmLatency",
+    "fp16_latency_ms",
+    "int8_latency_ms",
+    "per_channel_latency_ms",
+    "tender_software_latency_ms",
+    "figure12_latencies",
+]

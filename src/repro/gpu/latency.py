@@ -1,0 +1,154 @@
+"""Analytical GPU GEMM latency model for the Figure 12 reproduction.
+
+Figure 12 measures, for one query-projection GEMM, the latency of:
+
+* FP16 (cuBLAS-style half-precision GEMM),
+* INT8 per-tensor and per-row quantization (a single CUTLASS INT8 GEMM plus a
+  cheap epilogue),
+* INT8 per-channel quantization (impracticable on tensor cores: realised as a
+  floating-point GEMM after elementwise dequantization),
+* Tender SW (the Tender algorithm without hardware support: one INT8 GEMM per
+  channel group, each padded to a multiple of 16 columns for the tensor-core
+  alignment requirement, with explicit FP dequantize/accumulate between
+  groups).
+
+The model is a roofline with a per-kernel launch overhead and an
+underutilization penalty for small GEMMs, which reproduces the paper's
+qualitative findings: per-tensor/per-row INT8 is the fastest, Tender SW sits
+slightly below FP16, per-channel costs the most, and on the A100 the gains of
+INT8 over FP16 shrink because the small-model GEMM does not saturate the
+device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.gpu.devices import GPUSpec, get_gpu
+
+#: Tensor-core INT8 kernels require operand tiles aligned to 16 elements
+#: (128-bit vectors), so each channel-group submatrix is padded up to this.
+TENSOR_CORE_ALIGNMENT = 16
+
+
+@dataclass
+class GemmLatency:
+    """Latency of one scheme on one GEMM."""
+
+    scheme: str
+    milliseconds: float
+    normalized_to_fp16: float = 0.0
+
+
+def _roofline_ms(
+    m: int,
+    k: int,
+    n: int,
+    device: GPUSpec,
+    precision: str,
+    num_kernels: int = 1,
+    extra_bytes: int = 0,
+) -> float:
+    """Roofline latency (ms) of a GEMM at the given precision."""
+    macs = m * k * n
+    flops = 2.0 * macs
+    if precision == "fp16":
+        peak = device.fp16_tflops * 1e12
+        bytes_per_element = 2
+    elif precision == "int8":
+        peak = device.int8_tops * 1e12
+        bytes_per_element = 1
+    elif precision == "fp32":
+        peak = device.fp16_tflops * 1e12 / 2.0
+        bytes_per_element = 4
+    else:
+        raise ConfigurationError(f"unknown precision {precision!r}")
+    # Underutilization: small GEMMs reach roughly half of peak throughput.
+    utilization = min(1.0, 0.5 + 0.5 * (flops / 1e9) / device.saturation_gflop)
+    compute_s = flops / (peak * utilization)
+    data_bytes = (m * k + k * n + m * n) * bytes_per_element + extra_bytes
+    memory_s = data_bytes / (device.memory_bandwidth_gbps * 1e9)
+    launch_s = num_kernels * device.kernel_launch_us * 1e-6
+    return (max(compute_s, memory_s) + launch_s) * 1e3
+
+
+def fp16_latency_ms(m: int, k: int, n: int, device: GPUSpec) -> float:
+    """Baseline FP16 GEMM latency."""
+    return _roofline_ms(m, k, n, device, "fp16")
+
+
+def int8_latency_ms(m: int, k: int, n: int, device: GPUSpec) -> float:
+    """Per-tensor / per-row INT8 GEMM latency (single kernel + epilogue)."""
+    epilogue_bytes = m * n * 4  # INT32 accumulators rescaled in the epilogue
+    return _roofline_ms(m, k, n, device, "int8", extra_bytes=epilogue_bytes)
+
+
+def per_channel_latency_ms(m: int, k: int, n: int, device: GPUSpec) -> float:
+    """Per-channel INT8 activation quantization.
+
+    Each element needs its own scale during the reduction, which tensor cores
+    cannot do; the practical realisation dequantizes the activation to FP16
+    and runs the FP16 GEMM, paying an extra elementwise pass over the operand.
+    """
+    dequant_bytes = m * k * 3  # read int8, write fp16
+    return _roofline_ms(m, k, n, device, "fp16", num_kernels=2, extra_bytes=dequant_bytes)
+
+
+def tender_software_latency_ms(
+    m: int,
+    k: int,
+    n: int,
+    device: GPUSpec,
+    num_groups: int = 8,
+    group_fractions: List[float] | None = None,
+) -> float:
+    """Tender implemented in software on a GPU (no hardware rescaler).
+
+    The activation is split into ``num_groups`` column groups; each group runs
+    its own INT8 GEMM (padded to the tensor-core alignment), and the partial
+    results are dequantized and accumulated in FP32 — the explicit
+    requantization path of Figure 5(a).
+    """
+    if group_fractions is None:
+        # Channel groups are heavily skewed: the outlier groups are tiny and
+        # the final (normal-value) group holds most channels.
+        remaining = 1.0
+        group_fractions = []
+        for _ in range(num_groups - 1):
+            fraction = remaining * 0.15
+            group_fractions.append(fraction)
+            remaining -= fraction
+        group_fractions.append(remaining)
+    total_ms = 0.0
+    for fraction in group_fractions:
+        group_k = max(int(round(k * fraction)), 1)
+        padded_k = ceil(group_k / TENSOR_CORE_ALIGNMENT) * TENSOR_CORE_ALIGNMENT
+        accumulate_bytes = m * n * 8  # read + write the FP32 accumulator
+        total_ms += _roofline_ms(m, padded_k, n, device, "int8", extra_bytes=accumulate_bytes)
+    return total_ms
+
+
+def figure12_latencies(
+    m: int,
+    k: int,
+    n: int,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, GemmLatency]:
+    """All Figure 12 schemes on one GEMM, normalized to FP16."""
+    device = get_gpu(device_name)
+    latencies = {
+        "FP16": fp16_latency_ms(m, k, n, device),
+        "INT8 (per-tensor)": int8_latency_ms(m, k, n, device),
+        "INT8 (per-row)": int8_latency_ms(m, k, n, device) * 1.02,
+        "INT8 (per-channel)": per_channel_latency_ms(m, k, n, device),
+        "Tender SW": tender_software_latency_ms(m, k, n, device, num_groups),
+    }
+    fp16 = latencies["FP16"]
+    return {
+        scheme: GemmLatency(scheme=scheme, milliseconds=value, normalized_to_fp16=value / fp16)
+        for scheme, value in latencies.items()
+    }

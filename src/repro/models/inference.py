@@ -1,0 +1,227 @@
+"""Executor-based Transformer inference.
+
+All quantization schemes in this reproduction (FP baseline, per-tensor/row/
+column PTQ, SmoothQuant, LLM.int8(), ANT, OliVe, MSFP, SMX/MX, and Tender)
+plug into the same inference engine through the :class:`MatmulExecutor`
+interface.  The engine performs every surrounding operation (embeddings,
+LayerNorm, softmax, residual adds) in floating point — exactly as the paper's
+accelerator does in its Vector Processing Unit — and delegates every matrix
+multiplication to the executor:
+
+* ``project(name, x, weight, bias)`` — activation x weight products
+  (Q/K/V/output projections, FC1/FC2, LM head);
+* ``attention_matmul(name, a, b)`` — activation x activation products
+  (``X_Q @ X_K^T`` and ``X_S @ X_V``).
+
+Executors receive a stable hierarchical ``name`` (e.g. ``block3.attn.q_proj``)
+so static calibration data can be looked up per matmul site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.weights import ModelWeights
+from repro.quant.observers import ActivationObserver
+from repro.tensor.ops import gelu, log_softmax, relu, softmax
+
+
+class MatmulExecutor(Protocol):
+    """Interface every quantization scheme implements."""
+
+    def project(
+        self, name: str, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Compute ``x @ weight + bias`` for a 2-D activation ``x``."""
+        ...
+
+    def attention_matmul(self, name: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Compute the batched product ``a @ b`` between two activations."""
+        ...
+
+
+class FloatExecutor:
+    """The FP16/FP32 baseline: plain floating-point matrix multiplication."""
+
+    def project(self, name, x, weight, bias):
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
+        return out
+
+    def attention_matmul(self, name, a, b):
+        return a @ b
+
+
+class ObservingExecutor:
+    """Wraps another executor and records activation statistics per site.
+
+    Used during calibration: the paper computes scale factors, channel biases,
+    and channel-group assignments offline from calibration samples
+    (Section III-B, "Optimization").  Activation inputs of projections are
+    recorded under the projection name; operands of activation-activation
+    matmuls are recorded under ``<name>.a`` / ``<name>.b``.
+    """
+
+    def __init__(self, base: Optional[MatmulExecutor] = None) -> None:
+        self.base = base if base is not None else FloatExecutor()
+        self.observer = ActivationObserver()
+
+    def project(self, name, x, weight, bias):
+        self.observer.observe(name, x)
+        return self.base.project(name, x, weight, bias)
+
+    def attention_matmul(self, name, a, b):
+        self.observer.observe(f"{name}.a", a.reshape(-1, a.shape[-1]))
+        # The second operand's reduction axis is its second-to-last dimension;
+        # record it transposed so the channel axis is always last.
+        self.observer.observe(f"{name}.b", np.swapaxes(b, -1, -2).reshape(-1, b.shape[-2]))
+        return self.base.attention_matmul(name, a, b)
+
+
+class CapturingExecutor:
+    """Stores the raw input of each site the first time it is seen.
+
+    Used by the Figure 2 / Figure 3 reproductions, which visualise the actual
+    activation values (channel-wise outliers) rather than summary statistics.
+    """
+
+    def __init__(self, base: Optional[MatmulExecutor] = None) -> None:
+        self.base = base if base is not None else FloatExecutor()
+        self.captured: Dict[str, np.ndarray] = {}
+
+    def project(self, name, x, weight, bias):
+        if name not in self.captured:
+            self.captured[name] = x.copy()
+        return self.base.project(name, x, weight, bias)
+
+    def attention_matmul(self, name, a, b):
+        return self.base.attention_matmul(name, a, b)
+
+
+class TransformerRunner:
+    """Runs a Transformer forward pass from :class:`ModelWeights` + executor."""
+
+    def __init__(self, weights: ModelWeights, executor: Optional[MatmulExecutor] = None) -> None:
+        self.weights = weights
+        self.config = weights.config
+        self.executor = executor if executor is not None else FloatExecutor()
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _layer_norm(x: np.ndarray, gain: np.ndarray, bias: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + eps) * gain + bias
+
+    def _project(self, name: str, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]) -> np.ndarray:
+        """Flatten leading dims, delegate to the executor, restore the shape."""
+        leading = x.shape[:-1]
+        flat = x.reshape(-1, x.shape[-1])
+        out = self.executor.project(name, flat, weight, bias)
+        return out.reshape(*leading, weight.shape[-1])
+
+    def _attention(self, index: int, x: np.ndarray) -> np.ndarray:
+        block = self.weights.blocks[index]
+        config = self.config
+        batch, seq, _ = x.shape
+        prefix = f"block{index}.attn"
+
+        queries = self._project(f"{prefix}.q_proj", x, block.attn.wq, block.attn.bq)
+        keys = self._project(f"{prefix}.k_proj", x, block.attn.wk, block.attn.bk)
+        values = self._project(f"{prefix}.v_proj", x, block.attn.wv, block.attn.bv)
+
+        def split(t: np.ndarray) -> np.ndarray:
+            return t.reshape(batch, seq, config.num_heads, config.d_head).transpose(0, 2, 1, 3)
+
+        queries, keys, values = split(queries), split(keys), split(values)
+        scores = self.executor.attention_matmul(
+            f"{prefix}.qk", queries, np.swapaxes(keys, -1, -2)
+        ) / np.sqrt(config.d_head)
+        if config.causal:
+            mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+            scores = np.where(mask[None, None], -1e9, scores)
+        attention = softmax(scores, axis=-1)
+        context = self.executor.attention_matmul(f"{prefix}.sv", attention, values)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, config.d_model)
+        return self._project(f"{prefix}.out_proj", context, block.attn.wo, block.attn.bo)
+
+    def _feed_forward(self, index: int, x: np.ndarray) -> np.ndarray:
+        block = self.weights.blocks[index]
+        prefix = f"block{index}.ffn"
+        hidden = self._project(f"{prefix}.fc1", x, block.ffn.w1, block.ffn.b1)
+        hidden = relu(hidden) if self.config.activation == "relu" else gelu(hidden)
+        return self._project(f"{prefix}.fc2", hidden, block.ffn.w2, block.ffn.b2)
+
+    def _backbone(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        batch, seq = tokens.shape
+        if seq > self.config.max_seq_len:
+            raise ConfigurationError(
+                f"sequence length {seq} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        x = self.weights.token_embedding[tokens] + self.weights.position_embedding[np.arange(seq)]
+        for index, block in enumerate(self.weights.blocks):
+            attn_input = self._layer_norm(x, block.ln_attn.gain, block.ln_attn.bias)
+            x = x + self._attention(index, attn_input)
+            ffn_input = self._layer_norm(x, block.ln_ffn.gain, block.ln_ffn.bias)
+            x = x + self._feed_forward(index, ffn_input)
+        return self._layer_norm(x, self.weights.ln_final.gain, self.weights.ln_final.bias)
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def logits(self, tokens: np.ndarray) -> np.ndarray:
+        """Language-model logits of shape (batch, seq, vocab)."""
+        if self.weights.lm_head is None:
+            raise ConfigurationError("model has no LM head; use classify() instead")
+        hidden = self._backbone(tokens)
+        return self._project("lm_head", hidden, self.weights.lm_head, None)
+
+    def log_probs(self, tokens: np.ndarray) -> np.ndarray:
+        """Log-probabilities over the vocabulary for each position."""
+        return log_softmax(self.logits(tokens), axis=-1)
+
+    def classify(self, tokens: np.ndarray) -> np.ndarray:
+        """Classification logits of shape (batch, num_classes)."""
+        if self.weights.classifier_weight is None:
+            raise ConfigurationError("model has no classifier head; use logits() instead")
+        hidden = self._backbone(tokens)
+        pooled = hidden.mean(axis=1)
+        return self.executor.project(
+            "classifier", pooled, self.weights.classifier_weight, self.weights.classifier_bias
+        )
+
+
+def run_calibration(
+    weights: ModelWeights,
+    samples: List[np.ndarray],
+    classify: bool = False,
+) -> ActivationObserver:
+    """Run calibration samples through the FP model and collect statistics."""
+    executor = ObservingExecutor()
+    runner = TransformerRunner(weights, executor)
+    for sample in samples:
+        if classify:
+            runner.classify(np.asarray(sample)[None, :])
+        else:
+            runner.logits(np.asarray(sample)[None, :])
+    return executor.observer
+
+
+def capture_activations(weights: ModelWeights, sample: np.ndarray) -> Dict[str, np.ndarray]:
+    """Capture raw per-site input activations for one sample (Figures 2-3)."""
+    executor = CapturingExecutor()
+    runner = TransformerRunner(weights, executor)
+    if weights.lm_head is not None:
+        runner.logits(np.asarray(sample)[None, :])
+    else:
+        runner.classify(np.asarray(sample)[None, :])
+    return executor.captured

@@ -1,0 +1,159 @@
+"""Outlier injection: giving small models the activation structure of LLMs.
+
+Section II-B of the paper shows that activation outliers in LLMs live in a few
+*fixed channels* across layers and tokens (Figures 2 and 3), and attributes
+them to the model intrinsic — "large LayerNorm weights in the fixed channels
+across the layers".  Models beyond ~6.7B parameters develop this structure
+naturally; the small models trained in this reproduction do not, so this
+module creates it with *function-preserving* transformations of a trained
+checkpoint.  Two mechanisms are used, matching the two kinds of vertical
+stripes visible in the paper's Figure 3 (large-magnitude channels, and
+consistently positive / consistently negative channels):
+
+* **Scaled channels** — multiply ``ln.gain[c]`` (and ``ln.bias[c]``) by a
+  factor ``k`` and divide row ``c`` of every weight matrix that consumes the
+  LayerNorm output by the same ``k``.  The activation channel becomes ``k``
+  times larger; the model function is unchanged.
+* **Shifted channels** — add a constant ``B`` to ``ln.bias[c]`` and subtract
+  ``B * W[c, :]`` from the bias of every consumer.  The activation channel
+  becomes strongly one-sided (mean ``B``), again with the function unchanged.
+  These channels are the reason Tender subtracts a per-channel bias before
+  quantization: a symmetric quantizer would waste almost its entire range on
+  the offset.
+
+Both transformations are exact in floating point, but any quantizer that
+shares a scale factor across channels now has to cover a much larger range —
+reproducing the activation-quantization difficulty that motivates Tender.
+The same channels are used in every layer, matching Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.weights import ModelWeights
+
+
+@dataclass(frozen=True)
+class OutlierSpec:
+    """How many outlier channels to create and how strong they are."""
+
+    num_scale_channels: int = 2
+    scale_magnitude: float = 60.0
+    num_shift_channels: int = 2
+    shift_magnitude: float = 30.0
+    #: Each channel's factor/offset is drawn log-uniformly within
+    #: ``[magnitude / spread, magnitude * spread]`` so channel maxima span
+    #: several powers of two (exercising Tender's multi-group decomposition).
+    spread: float = 2.0
+    seed: int = 0
+
+    @property
+    def total_channels(self) -> int:
+        return self.num_scale_channels + self.num_shift_channels
+
+
+def choose_outlier_channels(d_model: int, num_channels: int, seed: int = 0) -> np.ndarray:
+    """Pick the fixed set of channels that will carry outliers."""
+    if num_channels >= d_model:
+        raise ConfigurationError(
+            f"num_channels={num_channels} must be smaller than d_model={d_model}"
+        )
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(d_model, size=num_channels, replace=False))
+
+
+def _spread_values(magnitude: float, spread: float, count: int, rng: np.random.Generator) -> np.ndarray:
+    if count == 0:
+        return np.empty(0)
+    return magnitude * np.exp(rng.uniform(-np.log(spread), np.log(spread), size=count))
+
+
+def inject_outliers(
+    weights: ModelWeights,
+    spec: Optional[OutlierSpec] = None,
+    channels: Optional[Sequence[int]] = None,
+    **overrides,
+) -> ModelWeights:
+    """Return a copy of ``weights`` with channel-wise activation outliers.
+
+    ``spec`` (or keyword overrides of :class:`OutlierSpec` fields) controls the
+    number and strength of scaled and shifted channels; ``channels`` may pin
+    the exact channel indices (scaled channels first, then shifted).
+    """
+    if spec is None:
+        spec = OutlierSpec(**overrides)
+    elif overrides:
+        raise ConfigurationError("pass either spec or keyword overrides, not both")
+    if spec.scale_magnitude <= 1.0:
+        raise ConfigurationError("scale_magnitude must be > 1")
+    if spec.spread < 1.0:
+        raise ConfigurationError("spread must be >= 1")
+
+    result = weights.copy()
+    d_model = result.config.d_model
+    total = spec.total_channels
+    if total == 0:
+        result.outlier_channels = np.array([], dtype=np.int64)
+        return result
+    if channels is None:
+        channels = choose_outlier_channels(d_model, total, spec.seed)
+    channels = np.asarray([int(c) for c in channels], dtype=np.int64)
+    if channels.size != total:
+        raise ConfigurationError(f"expected {total} channel indices, got {channels.size}")
+    if channels.size and (channels.min() < 0 or channels.max() >= d_model):
+        raise ConfigurationError("outlier channel index out of range")
+    scale_channels = channels[: spec.num_scale_channels]
+    shift_channels = channels[spec.num_scale_channels :]
+
+    rng = np.random.default_rng(spec.seed + 1)
+    scale_factors = _spread_values(spec.scale_magnitude, spec.spread, scale_channels.size, rng)
+    shift_offsets = _spread_values(spec.shift_magnitude, spec.spread, shift_channels.size, rng)
+    shift_offsets = shift_offsets * rng.choice([-1.0, 1.0], size=shift_channels.size)
+
+    for block in result.blocks:
+        # --- scaled channels: LayerNorm gain up, consumer weight rows down.
+        if scale_channels.size:
+            block.ln_attn.gain[scale_channels] *= scale_factors
+            block.ln_attn.bias[scale_channels] *= scale_factors
+            block.attn.wq[scale_channels, :] /= scale_factors[:, None]
+            block.attn.wk[scale_channels, :] /= scale_factors[:, None]
+            block.attn.wv[scale_channels, :] /= scale_factors[:, None]
+            block.ln_ffn.gain[scale_channels] *= scale_factors
+            block.ln_ffn.bias[scale_channels] *= scale_factors
+            block.ffn.w1[scale_channels, :] /= scale_factors[:, None]
+        # --- shifted channels: LayerNorm bias up, consumer layer biases down.
+        if shift_channels.size:
+            block.ln_attn.bias[shift_channels] += shift_offsets
+            block.attn.bq -= shift_offsets @ block.attn.wq[shift_channels, :]
+            block.attn.bk -= shift_offsets @ block.attn.wk[shift_channels, :]
+            block.attn.bv -= shift_offsets @ block.attn.wv[shift_channels, :]
+            block.ln_ffn.bias[shift_channels] += shift_offsets
+            block.ffn.b1 -= shift_offsets @ block.ffn.w1[shift_channels, :]
+
+    result.outlier_channels = np.sort(channels)
+    return result
+
+
+def measure_channel_ranges(activation: np.ndarray) -> np.ndarray:
+    """Per-channel absolute maxima of an activation tensor (CMax)."""
+    flat = activation.reshape(-1, activation.shape[-1])
+    return np.abs(flat).max(axis=0)
+
+
+def outlier_ratio(activation: np.ndarray) -> float:
+    """Ratio of the largest channel maximum to the median channel maximum.
+
+    A convenient scalar summary of "how much outlier structure" a tensor has;
+    the paper's OPT-6.7B attention inputs show ratios of one to two orders of
+    magnitude.
+    """
+    channel_max = measure_channel_ranges(activation)
+    median = float(np.median(channel_max))
+    if median == 0.0:
+        return float("inf")
+    return float(channel_max.max() / median)

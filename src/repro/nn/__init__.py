@@ -1,0 +1,30 @@
+"""Neural-network modules built on the repro autograd engine."""
+
+from repro.nn.attention import MultiHeadAttention, causal_mask
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.transformer import (
+    FeedForward,
+    TransformerBlock,
+    TransformerClassifier,
+    TransformerConfig,
+    TransformerLM,
+)
+
+__all__ = [
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "MultiHeadAttention",
+    "causal_mask",
+    "FeedForward",
+    "TransformerBlock",
+    "TransformerConfig",
+    "TransformerLM",
+    "TransformerClassifier",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

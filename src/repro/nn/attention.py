@@ -1,0 +1,55 @@
+"""Multi-head self-attention for the training-time (autograd) model.
+
+The attention layer follows the notation in Section II-A of the paper:
+``X_Q = X W_Q``, ``X_K = X W_K``, ``X_V = X W_V``,
+``X_S = softmax(X_Q X_K^T / sqrt(d_head))`` and
+``X_O = X_S X_V W_O + X`` (the residual add happens in the Transformer block).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Boolean mask that is True above the diagonal (positions to hide)."""
+    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+
+
+class MultiHeadAttention(Module):
+    """Multi-head scaled dot-product attention with optional causal masking."""
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator, causal: bool = True) -> None:
+        if d_model % num_heads != 0:
+            raise ConfigurationError(f"d_model={d_model} is not divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.causal = causal
+        self.q_proj = Linear(d_model, d_model, rng)
+        self.k_proj = Linear(d_model, d_model, rng)
+        self.v_proj = Linear(d_model, d_model, rng)
+        self.out_proj = Linear(d_model, d_model, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        queries = self._split_heads(self.q_proj(x), batch, seq)
+        keys = self._split_heads(self.k_proj(x), batch, seq)
+        values = self._split_heads(self.v_proj(x), batch, seq)
+
+        scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if self.causal:
+            mask = causal_mask(seq)[None, None, :, :]
+            scores = scores.masked_fill(mask, -1e9)
+        attention = scores.softmax(axis=-1)
+        context = attention.matmul(values)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        return self.out_proj(context)

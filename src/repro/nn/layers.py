@@ -1,0 +1,63 @@
+"""Basic layers: linear projection, layer normalization, embedding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, embedding_lookup, layer_norm
+from repro.tensor import init as tensor_init
+
+
+class Linear(Module):
+    """Affine projection ``y = x @ W + b`` with ``W`` of shape (in, out).
+
+    Storing the weight as (in_features, out_features) keeps the matmul in the
+    same orientation the paper uses (activations on the left, weights on the
+    right), which matters for the per-row/per-column granularity discussion.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            tensor_init.xavier_uniform((in_features, out_features), rng),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = Tensor(tensor_init.zeros((out_features,)), requires_grad=True, name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with learnable gain/bias."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.dim = dim
+        self.eps = eps
+        self.gain = Tensor(tensor_init.ones((dim,)), requires_grad=True, name="gain")
+        self.bias = Tensor(tensor_init.zeros((dim,)), requires_grad=True, name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return layer_norm(x, self.gain, self.bias, eps=self.eps)
+
+
+class Embedding(Module):
+    """Token (or position) embedding table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Tensor(
+            tensor_init.normal((num_embeddings, dim), rng),
+            requires_grad=True,
+            name="embedding",
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, indices)

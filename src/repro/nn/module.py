@@ -1,0 +1,72 @@
+"""Base class for neural-network modules built on the repro autograd engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Module:
+    """Container of parameters and submodules, mirroring the familiar API.
+
+    Parameters are :class:`Tensor` instances with ``requires_grad=True`` that
+    are registered by simple attribute assignment.  Submodules are discovered
+    the same way, so ``parameters()`` and ``state_dict()`` walk the whole tree.
+    """
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable parameter in this module and its children."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(name, parameter)`` pairs with dotted hierarchical names."""
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full_name)
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full_name}.{index}")
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all parameters to ``None``."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping from parameter name to a copy of its value."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values from a mapping produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return sum(param.size for param in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,147 @@
+"""Transformer blocks and full models for training (autograd path).
+
+Two model families are provided, matching the paper's evaluation targets:
+
+* :class:`TransformerLM` — a decoder-only, causal language model standing in
+  for the OPT / LLaMA / Llama-2 checkpoints the paper quantizes.
+* :class:`TransformerClassifier` — an encoder-only model with a classification
+  head standing in for BERT-Large on the GLUE benchmark (Table IV).
+
+Both use pre-LayerNorm blocks; the activation (ReLU for OPT-like models, GELU
+for Llama/BERT-like models) is configurable, following the architecture
+description in Section II-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+@dataclass
+class TransformerConfig:
+    """Architecture hyperparameters for the small Transformer models."""
+
+    vocab_size: int = 512
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 2
+    d_ff: int = 256
+    max_seq_len: int = 256
+    activation: str = "relu"
+    causal: bool = True
+    num_classes: Optional[int] = None
+    seed: int = 0
+    name: str = "transformer"
+
+    def __post_init__(self) -> None:
+        if self.activation not in ("relu", "gelu"):
+            raise ConfigurationError(f"unsupported activation: {self.activation!r}")
+        if self.d_model % self.num_heads != 0:
+            raise ConfigurationError(
+                f"d_model={self.d_model} must be divisible by num_heads={self.num_heads}"
+            )
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.num_heads
+
+
+class FeedForward(Module):
+    """Two-layer feed-forward network (FC1 -> activation -> FC2)."""
+
+    def __init__(self, d_model: int, d_ff: int, activation: str, rng: np.random.Generator) -> None:
+        self.fc1 = Linear(d_model, d_ff, rng)
+        self.fc2 = Linear(d_ff, d_model, rng)
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        hidden = hidden.relu() if self.activation == "relu" else hidden.gelu()
+        return self.fc2(hidden)
+
+
+class TransformerBlock(Module):
+    """Pre-LayerNorm Transformer block: attention and feed-forward sublayers."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator) -> None:
+        self.ln_attn = LayerNorm(config.d_model)
+        self.attn = MultiHeadAttention(config.d_model, config.num_heads, rng, causal=config.causal)
+        self.ln_ffn = LayerNorm(config.d_model)
+        self.ffn = FeedForward(config.d_model, config.d_ff, config.activation, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln_attn(x))
+        x = x + self.ffn(self.ln_ffn(x))
+        return x
+
+
+class TransformerLM(Module):
+    """Decoder-only causal language model."""
+
+    def __init__(self, config: TransformerConfig) -> None:
+        if not config.causal:
+            raise ConfigurationError("TransformerLM requires a causal configuration")
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng)
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock(config, rng) for _ in range(config.num_layers)
+        ]
+        self.ln_final = LayerNorm(config.d_model)
+        self.lm_head = Linear(config.d_model, config.vocab_size, rng, bias=False)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        _, seq = tokens.shape
+        if seq > self.config.max_seq_len:
+            raise ConfigurationError(
+                f"sequence length {seq} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        positions = np.arange(seq)
+        x = self.token_embedding(tokens) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x)
+        x = self.ln_final(x)
+        return self.lm_head(x)
+
+
+class TransformerClassifier(Module):
+    """Encoder-only model with a mean-pooled classification head (BERT stand-in)."""
+
+    def __init__(self, config: TransformerConfig) -> None:
+        if config.num_classes is None:
+            raise ConfigurationError("TransformerClassifier requires num_classes")
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng)
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock(config, rng) for _ in range(config.num_layers)
+        ]
+        self.ln_final = LayerNorm(config.d_model)
+        self.classifier = Linear(config.d_model, config.num_classes, rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        _, seq = tokens.shape
+        positions = np.arange(seq)
+        x = self.token_embedding(tokens) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x)
+        x = self.ln_final(x)
+        pooled = x.mean(axis=1)
+        return self.classifier(pooled)

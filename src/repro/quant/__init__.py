@@ -1,0 +1,36 @@
+"""Quantization substrate: granularities, primitives, integer GEMM, observers."""
+
+from repro.quant.granularity import Granularity, absmax, compute_scale, integer_range
+from repro.quant.quantize import (
+    QuantizedTensor,
+    dequantize_asymmetric,
+    dequantize_symmetric,
+    fake_quantize,
+    quantization_mse,
+    quantize_asymmetric,
+    quantize_symmetric,
+    quantize_tensor,
+)
+from repro.quant.gemm import ACCUMULATOR_BITS, int_matmul, quantized_matmul, shift_left
+from repro.quant.observers import ActivationObserver, TensorStatistics
+
+__all__ = [
+    "Granularity",
+    "absmax",
+    "compute_scale",
+    "integer_range",
+    "QuantizedTensor",
+    "quantize_symmetric",
+    "dequantize_symmetric",
+    "quantize_asymmetric",
+    "dequantize_asymmetric",
+    "quantize_tensor",
+    "fake_quantize",
+    "quantization_mse",
+    "ACCUMULATOR_BITS",
+    "int_matmul",
+    "quantized_matmul",
+    "shift_left",
+    "ActivationObserver",
+    "TensorStatistics",
+]

@@ -1,0 +1,72 @@
+"""Integer GEMM emulation with INT32 accumulation.
+
+The accelerators the paper targets (and the Tender hardware itself) perform
+matrix multiplication entirely in the integer pipeline: INT4/INT8 operands are
+multiplied and accumulated into 32-bit integer accumulators, and only the
+final result is rescaled to floating point by the Vector Processing Unit.
+
+This module emulates that pipeline exactly in NumPy (int64 intermediates, with
+an overflow check against the 32-bit accumulator width), so that the software
+quantization results in this repo correspond to what the hardware would
+produce bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+#: Width of the systolic-array accumulator registers (Section IV-B).
+ACCUMULATOR_BITS = 32
+_ACC_MAX = 2 ** (ACCUMULATOR_BITS - 1) - 1
+_ACC_MIN = -(2 ** (ACCUMULATOR_BITS - 1))
+
+
+def int_matmul(a: np.ndarray, b: np.ndarray, check_overflow: bool = True) -> np.ndarray:
+    """Integer matrix multiply with 32-bit accumulator semantics.
+
+    ``a`` and ``b`` must be integer arrays (any width).  The product is
+    computed in int64 and, when ``check_overflow`` is True, validated to fit
+    in the 32-bit accumulator the hardware provides.
+    """
+    if not np.issubdtype(a.dtype, np.integer) or not np.issubdtype(b.dtype, np.integer):
+        raise QuantizationError("int_matmul requires integer operands")
+    product = a.astype(np.int64) @ b.astype(np.int64)
+    if check_overflow and (product.max(initial=0) > _ACC_MAX or product.min(initial=0) < _ACC_MIN):
+        raise QuantizationError(
+            "integer matmul overflowed the 32-bit accumulator; reduce the reduction "
+            "length or the operand bit widths"
+        )
+    return product
+
+
+def quantized_matmul(
+    a_values: np.ndarray,
+    a_scale: np.ndarray,
+    b_values: np.ndarray,
+    b_scale: np.ndarray,
+    check_overflow: bool = True,
+) -> np.ndarray:
+    """Multiply two symmetric-quantized matrices and rescale to float.
+
+    Valid when the scales are constant along the reduction axis (per-tensor or
+    per-row scales for ``a``, per-tensor or per-column scales for ``b``): the
+    integer product can then be rescaled after accumulation, which is what the
+    integer pipeline supports natively.
+    """
+    product = int_matmul(a_values, b_values, check_overflow=check_overflow)
+    return product.astype(np.float64) * a_scale * b_scale
+
+
+def shift_left(accumulator: np.ndarray, bits: int = 1) -> np.ndarray:
+    """Shift an integer accumulator left, as Tender's per-PE 1-bit shifter does.
+
+    The result is checked against the 32-bit accumulator range; the paper's
+    insight is that the accumulator has enough headroom that this shift never
+    clips in practice for LLM workloads.
+    """
+    shifted = accumulator.astype(np.int64) << bits
+    if shifted.max(initial=0) > _ACC_MAX or shifted.min(initial=0) < _ACC_MIN:
+        raise QuantizationError("accumulator shift overflowed the 32-bit register")
+    return shifted

@@ -1,0 +1,75 @@
+"""Quantization granularities and scale-factor computation.
+
+Section II-C of the paper compares per-tensor, per-row, and per-column
+granularities for activation tensors (Table I) and explains why per-column —
+though the most accurate — is impractical on integer pipelines: each element
+would need rescaling during the reduction of the matrix multiplication.
+This module provides the scale computations for all granularities; the
+executors in ``repro.baselines`` and ``repro.core`` decide which are usable.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+class Granularity(str, Enum):
+    """How elements of a tensor share quantization scale factors."""
+
+    PER_TENSOR = "per_tensor"
+    PER_ROW = "per_row"
+    PER_COLUMN = "per_column"
+    PER_GROUP = "per_group"
+
+
+def integer_range(bits: int) -> int:
+    """Largest magnitude representable by a signed ``bits``-bit integer.
+
+    For symmetric quantization the paper uses ``2^(b-1) - 1`` (e.g. 127 for
+    INT8 and 7 for INT4).
+    """
+    if bits < 2 or bits > 32:
+        raise QuantizationError(f"unsupported bit width: {bits}")
+    return 2 ** (bits - 1) - 1
+
+
+def absmax(tensor: np.ndarray, axis: Optional[int] = None, keepdims: bool = False) -> np.ndarray:
+    """Absolute maximum of ``tensor`` along ``axis`` (None = whole tensor)."""
+    return np.abs(tensor).max(axis=axis, keepdims=keepdims)
+
+
+def compute_scale(
+    tensor: np.ndarray,
+    bits: int,
+    granularity: Granularity,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Compute symmetric scale factors ``s = xmax / (2^(b-1) - 1)``.
+
+    The returned array broadcasts against ``tensor``:
+
+    * ``PER_TENSOR`` — scalar (shape ``()``)
+    * ``PER_ROW`` — one scale per row, shape ``(rows, 1)``
+    * ``PER_COLUMN`` — one scale per column, shape ``(1, cols)``
+
+    ``PER_GROUP`` scales depend on an external channel-to-group assignment and
+    are computed by the Tender decomposition code, not here.
+    """
+    qmax = integer_range(bits)
+    if granularity == Granularity.PER_TENSOR:
+        scale = absmax(tensor) / qmax
+        return np.maximum(np.asarray(scale), eps)
+    if granularity == Granularity.PER_ROW:
+        scale = absmax(tensor, axis=-1, keepdims=True) / qmax
+        return np.maximum(scale, eps)
+    if granularity == Granularity.PER_COLUMN:
+        scale = absmax(tensor, axis=-2, keepdims=True) / qmax
+        return np.maximum(scale, eps)
+    raise QuantizationError(
+        "PER_GROUP scales require a channel-group assignment; use repro.core.decomposition"
+    )

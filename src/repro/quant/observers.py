@@ -1,0 +1,101 @@
+"""Calibration observers.
+
+The paper uses *static* quantization: scale factors (and, for Tender, channel
+biases and group assignments) are computed offline from a small set of
+calibration samples (128 Pile sequences) and reused at runtime.  Observers
+collect the statistics needed for that, one observer per named tensor in the
+model (e.g. ``"layer3.attn.q_proj.input"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+@dataclass
+class TensorStatistics:
+    """Running statistics of a named activation or weight tensor.
+
+    ``channel_max`` / ``channel_min`` are tracked along the last axis (the
+    feature/channel dimension), which is the axis the paper decomposes.
+    """
+
+    num_batches: int = 0
+    tensor_absmax: float = 0.0
+    channel_max: Optional[np.ndarray] = None
+    channel_min: Optional[np.ndarray] = None
+    sum_squares: float = 0.0
+    num_elements: int = 0
+
+    def update(self, tensor: np.ndarray) -> None:
+        """Fold one calibration batch into the running statistics."""
+        flat = tensor.reshape(-1, tensor.shape[-1])
+        batch_max = flat.max(axis=0)
+        batch_min = flat.min(axis=0)
+        if self.channel_max is None:
+            self.channel_max = batch_max.copy()
+            self.channel_min = batch_min.copy()
+        else:
+            if self.channel_max.shape != batch_max.shape:
+                raise CalibrationError(
+                    "calibration batches disagree on the channel dimension: "
+                    f"{self.channel_max.shape} vs {batch_max.shape}"
+                )
+            np.maximum(self.channel_max, batch_max, out=self.channel_max)
+            np.minimum(self.channel_min, batch_min, out=self.channel_min)
+        self.tensor_absmax = max(self.tensor_absmax, float(np.abs(tensor).max()))
+        self.sum_squares += float((tensor * tensor).sum())
+        self.num_elements += tensor.size
+        self.num_batches += 1
+
+    @property
+    def channel_absmax(self) -> np.ndarray:
+        """Per-channel absolute maximum (CMax in the paper's notation)."""
+        if self.channel_max is None or self.channel_min is None:
+            raise CalibrationError("no calibration batches observed")
+        return np.maximum(np.abs(self.channel_max), np.abs(self.channel_min))
+
+    @property
+    def channel_bias(self) -> np.ndarray:
+        """Per-channel midpoint (max + min) / 2, Tender's bias term."""
+        if self.channel_max is None or self.channel_min is None:
+            raise CalibrationError("no calibration batches observed")
+        return (self.channel_max + self.channel_min) / 2.0
+
+    @property
+    def rms(self) -> float:
+        """Root-mean-square of all observed values (used by SmoothQuant-style scaling)."""
+        if self.num_elements == 0:
+            raise CalibrationError("no calibration batches observed")
+        return float(np.sqrt(self.sum_squares / self.num_elements))
+
+
+class ActivationObserver:
+    """Collects :class:`TensorStatistics` for every named tensor it sees."""
+
+    def __init__(self) -> None:
+        self.statistics: Dict[str, TensorStatistics] = {}
+
+    def observe(self, name: str, tensor: np.ndarray) -> None:
+        """Record one calibration batch for tensor ``name``."""
+        self.statistics.setdefault(name, TensorStatistics()).update(np.asarray(tensor, dtype=np.float64))
+
+    def get(self, name: str) -> TensorStatistics:
+        """Return the statistics for ``name``; raises if never observed."""
+        if name not in self.statistics:
+            raise CalibrationError(f"tensor {name!r} was never observed during calibration")
+        return self.statistics[name]
+
+    def names(self):
+        return sorted(self.statistics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.statistics
+
+    def __len__(self) -> int:
+        return len(self.statistics)

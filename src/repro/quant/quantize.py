@@ -1,0 +1,124 @@
+"""Uniform integer quantization primitives.
+
+These functions implement the symmetric uniform quantization used throughout
+the paper (Section II-C):
+
+    s   = xmax / (2^(b-1) - 1)
+    x_q = round(x_f / s)            (clipped to the signed integer range)
+    x_f = x_q * s                   (dequantization)
+
+plus an asymmetric variant (explicit zero point) used by some baselines, and a
+:class:`QuantizedTensor` container that keeps integer values together with the
+metadata needed to dequantize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.granularity import Granularity, compute_scale, integer_range
+
+
+def quantize_symmetric(values: np.ndarray, scale: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize ``values`` with the given ``scale`` into signed ``bits``-bit ints."""
+    qmax = integer_range(bits)
+    quantized = np.round(values / scale)
+    return np.clip(quantized, -qmax, qmax).astype(np.int32)
+
+
+def dequantize_symmetric(quantized: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Restore floating-point values from symmetric-quantized integers."""
+    return quantized.astype(np.float64) * scale
+
+
+def quantize_asymmetric(values: np.ndarray, bits: int, axis: Optional[int] = None):
+    """Asymmetric (zero-point) quantization used by some baseline schemes.
+
+    Returns ``(quantized, scale, zero_point)`` where
+    ``values ~= (quantized - zero_point) * scale``.
+    """
+    qmin = 0
+    qmax = 2**bits - 1
+    vmax = values.max(axis=axis, keepdims=axis is not None)
+    vmin = values.min(axis=axis, keepdims=axis is not None)
+    scale = np.maximum((vmax - vmin) / (qmax - qmin), 1e-12)
+    zero_point = np.round(-vmin / scale)
+    quantized = np.clip(np.round(values / scale) + zero_point, qmin, qmax).astype(np.int32)
+    return quantized, scale, zero_point
+
+
+def dequantize_asymmetric(quantized: np.ndarray, scale: np.ndarray, zero_point: np.ndarray) -> np.ndarray:
+    """Restore floating-point values from asymmetric-quantized integers."""
+    return (quantized.astype(np.float64) - zero_point) * scale
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer values plus the metadata required to dequantize them.
+
+    ``scale`` broadcasts against ``values``.  ``bias`` (optional) is the
+    per-channel midpoint subtracted before quantization, as used by Tender's
+    bias-subtraction step; dequantization adds it back.
+    """
+
+    values: np.ndarray
+    scale: np.ndarray
+    bits: int
+    granularity: Granularity = Granularity.PER_TENSOR
+    bias: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        qmax = integer_range(self.bits)
+        if np.abs(self.values).max(initial=0) > qmax:
+            raise QuantizationError(
+                f"quantized values exceed the {self.bits}-bit range (|q| > {qmax})"
+            )
+
+    @property
+    def shape(self):
+        return self.values.shape
+
+    def dequantize(self) -> np.ndarray:
+        """Return the floating-point reconstruction of the tensor."""
+        restored = dequantize_symmetric(self.values, self.scale)
+        if self.bias is not None:
+            restored = restored + self.bias
+        return restored
+
+
+def quantize_tensor(
+    tensor: np.ndarray,
+    bits: int,
+    granularity: Granularity = Granularity.PER_TENSOR,
+    scale: Optional[np.ndarray] = None,
+) -> QuantizedTensor:
+    """Quantize a tensor at the requested granularity.
+
+    If ``scale`` is provided (static quantization with calibrated scales), it
+    is used directly; otherwise scales are computed from the tensor itself
+    (dynamic quantization).
+    """
+    if scale is None:
+        scale = compute_scale(tensor, bits, granularity)
+    values = quantize_symmetric(tensor, scale, bits)
+    return QuantizedTensor(values=values, scale=scale, bits=bits, granularity=granularity)
+
+
+def quantization_mse(tensor: np.ndarray, quantized: QuantizedTensor) -> float:
+    """Mean squared error between a tensor and its quantized reconstruction."""
+    diff = tensor - quantized.dequantize()
+    return float(np.mean(diff * diff))
+
+
+def fake_quantize(
+    tensor: np.ndarray,
+    bits: int,
+    granularity: Granularity = Granularity.PER_TENSOR,
+    scale: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Quantize then immediately dequantize (simulated quantization error)."""
+    return quantize_tensor(tensor, bits, granularity, scale).dequantize()

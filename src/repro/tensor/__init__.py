@@ -1,0 +1,27 @@
+"""Minimal NumPy-backed autograd engine used to train and run the models."""
+
+from repro.tensor.tensor import Tensor, concatenate, stack
+from repro.tensor.ops import (
+    cross_entropy,
+    embedding_lookup,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    softmax,
+)
+from repro.tensor import init
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "cross_entropy",
+    "embedding_lookup",
+    "gelu",
+    "layer_norm",
+    "log_softmax",
+    "relu",
+    "softmax",
+    "init",
+]

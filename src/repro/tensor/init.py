@@ -1,0 +1,27 @@
+"""Parameter initializers for the NumPy Transformer stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for linear projection weights."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Small normal initialization used for embeddings (GPT-style)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialization for biases."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-ones initialization for LayerNorm gains."""
+    return np.ones(shape, dtype=np.float64)

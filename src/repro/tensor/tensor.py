@@ -1,0 +1,494 @@
+"""A small reverse-mode automatic differentiation engine on top of NumPy.
+
+The paper evaluates quantization on Transformer language models.  Since no deep
+learning framework is available offline, this module provides the minimal
+autograd machinery needed to *train* small Transformer models from scratch
+(``repro.models.pretrain``) and to run them in floating point as the accuracy
+baseline for every quantization experiment.
+
+The design mirrors the classic define-by-run approach: each :class:`Tensor`
+stores its value (a NumPy array), an optional gradient, and a closure that
+propagates gradients to its parents.  Only the operations required by the
+Transformer stack are implemented, which keeps the engine small and easy to
+verify with finite-difference tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+
+
+def _as_array(value: ArrayLike, dtype: np.dtype = np.float64) -> np.ndarray:
+    """Convert ``value`` to a NumPy array of ``dtype`` without copying if possible."""
+    if isinstance(value, np.ndarray):
+        return value.astype(dtype, copy=False)
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``.
+
+    NumPy broadcasting expands leading dimensions and size-1 dimensions; the
+    gradient of a broadcast operand is the sum of the output gradient over the
+    expanded axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor that records operations for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        The tensor value.  Stored as ``float64`` for numerical robustness of
+        the small training runs used in this reproduction.
+    requires_grad:
+        Whether gradients should flow into this tensor during ``backward``.
+    parents:
+        Tensors this value was computed from (used for topological ordering).
+    backward_fn:
+        Closure that receives the gradient of the loss w.r.t. this tensor and
+        accumulates gradients into the parents.
+    name:
+        Optional human-readable label used in error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Optional[Iterable["Tensor"]] = None,
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple["Tensor", ...] = tuple(parents) if parents else ()
+        self._backward_fn = backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones for scalar outputs (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ShapeError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def build(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                build(parent)
+            topo.append(node)
+
+        build(self)
+        self._accumulate_grad(grad)
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators (elementwise, broadcasting)
+    # ------------------------------------------------------------------
+    def _binary(
+        self,
+        other: Union["Tensor", ArrayLike],
+        forward: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        backward_self: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+        backward_other: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    ) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = forward(self.data, other_t.data)
+        requires = self.requires_grad or other_t.requires_grad
+        out = Tensor(out_data, requires_grad=requires, parents=(self, other_t))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(backward_self(grad, self.data, other_t.data))
+            if other_t.requires_grad:
+                other_t._accumulate_grad(backward_other(grad, self.data, other_t.data))
+
+        out._backward_fn = backward_fn if requires else None
+        return out
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a + b,
+            lambda g, a, b: g,
+            lambda g, a, b: g,
+        )
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a - b,
+            lambda g, a, b: g,
+            lambda g, a, b: -g,
+        )
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a * b,
+            lambda g, a, b: g * b,
+            lambda g, a, b: g * a,
+        )
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a / b,
+            lambda g, a, b: g / b,
+            lambda g, a, b: -g * a / (b * b),
+        )
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return self.__mul__(-1.0)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+        out_data = self.data**exponent
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * exponent * self.data ** (exponent - 1.0))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Batched matrix multiplication with broadcasting over leading dims."""
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data @ other_t.data
+        requires = self.requires_grad or other_t.requires_grad
+        out = Tensor(out_data, requires_grad=requires, parents=(self, other_t))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other_t.data, -1, -2)
+                self._accumulate_grad(_unbroadcast(grad_self, self.data.shape))
+            if other_t.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other_t._accumulate_grad(_unbroadcast(grad_other, other_t.data.shape))
+
+        out._backward_fn = backward_fn if requires else None
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad.reshape(self.data.shape))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = Tensor(np.transpose(self.data, axes), requires_grad=self.requires_grad, parents=(self,))
+        inverse = np.argsort(axes)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(np.transpose(grad, inverse))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor(self.data[index], requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate_grad(full)
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad_full = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.ndim for a in axes):
+                    grad_full = np.expand_dims(grad_full, ax)
+            self._accumulate_grad(np.broadcast_to(grad_full, self.data.shape))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(np.float64)
+            mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            grad_full = grad if (axis is None or keepdims) else np.expand_dims(grad, axis)
+            self._accumulate_grad(mask * grad_full)
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * out_data)
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad / self.data)
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self.__pow__(0.5)
+
+    def relu(self) -> "Tensor":
+        out = Tensor(np.maximum(self.data, 0.0), requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * (self.data > 0.0))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x**3)
+        tanh = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + tanh)
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            sech2 = 1.0 - tanh**2
+            d_inner = c * (1.0 + 3 * 0.044715 * x**2)
+            local = 0.5 * (1.0 + tanh) + 0.5 * x * sech2 * d_inner
+            self._accumulate_grad(grad * local)
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(grad * (1.0 - out_data**2))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate_grad(out_data * (grad - dot))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------
+    # Masking helper used by causal attention
+    # ------------------------------------------------------------------
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a tensor where positions with ``mask`` True are set to ``value``."""
+        mask = np.asarray(mask, dtype=bool)
+        out_data = np.where(mask, value, self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, parents=(self,))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(np.where(mask, 0.0, grad))
+
+        out._backward_fn = backward_fn if self.requires_grad else None
+        return out
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, parents=tuple(tensors))
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate_grad(grad[tuple(slicer)])
+
+    out._backward_fn = backward_fn if requires else None
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, parents=tuple(tensors))
+
+    def backward_fn(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate_grad(np.squeeze(piece, axis=axis))
+
+    out._backward_fn = backward_fn if requires else None
+    return out

@@ -1,0 +1,160 @@
+"""Tests of workloads, memory models, area/energy, and the end-to-end simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorSimulator,
+    HBMModel,
+    IndexBuffer,
+    MemoryConfig,
+    ScratchpadModel,
+    all_accelerators,
+    build_accelerator,
+    iso_area_pe_count,
+    model_generation_workload,
+    model_prefill_workload,
+    simulate_on,
+    speedup_table,
+    tender_area_table,
+    total_area_power,
+    transformer_layer_gemms,
+)
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestWorkloads:
+    def test_layer_gemms_cover_all_matmuls(self):
+        gemms = transformer_layer_gemms(d_model=4096, d_ff=16384, num_heads=32, seq_len=2048)
+        names = {g.name for g in gemms}
+        assert names == {
+            "qkv_proj", "attention_scores", "attention_values", "out_proj", "fc1", "fc2",
+        }
+
+    def test_prefill_workload_macs_scale_with_model(self):
+        small = model_prefill_workload("opt-6.7b-sim", seq_len=2048).total_macs
+        large = model_prefill_workload("opt-66b-sim", seq_len=2048).total_macs
+        assert large > small * 3
+
+    def test_generation_workload_much_smaller_than_prefill(self):
+        prefill = model_prefill_workload("opt-6.7b-sim", seq_len=2048).total_macs
+        generation = model_generation_workload("opt-6.7b-sim", context_len=2048).total_macs
+        assert generation < prefill / 100
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model_prefill_workload("gpt-5-sim")
+
+    def test_operand_bytes_scale_with_precision(self):
+        workload = model_prefill_workload("opt-6.7b-sim", seq_len=256)
+        assert workload.total_bytes(8, 8) == 2 * workload.total_bytes(4, 4)
+
+
+class TestMemoryModels:
+    def test_hbm_transfer_cycles_proportional_to_bytes(self):
+        hbm = HBMModel(MemoryConfig())
+        assert hbm.transfer_cycles(2_000_000) > hbm.transfer_cycles(1_000_000)
+        assert hbm.transfer_cycles(0) == 0
+
+    def test_hbm_rejects_negative_bytes(self):
+        with pytest.raises(SimulationError):
+            HBMModel(MemoryConfig()).transfer_cycles(-1)
+
+    def test_scratchpad_capacity_check(self):
+        scratchpad = ScratchpadModel(MemoryConfig(scratchpad_kib=512))
+        assert scratchpad.fits(200 * 1024)
+        assert not scratchpad.fits(400 * 1024)
+
+    def test_index_buffer_holds_model_channel_indices(self):
+        index_buffer = IndexBuffer(MemoryConfig())
+        assert index_buffer.fits(8192)  # largest paper d_model
+        assert not index_buffer.fits(10_000_000)
+
+
+class TestAreaPower:
+    def test_table5_totals_match_paper(self):
+        totals = total_area_power(tender_area_table())
+        assert totals["area_mm2"] == pytest.approx(3.98, abs=0.02)
+        assert totals["power_w"] == pytest.approx(1.60, abs=0.02)
+
+    def test_component_names(self):
+        names = [row.component for row in tender_area_table()]
+        assert "Systolic Array" in names and "Index Buffer" in names
+
+    def test_iso_area_pe_count_inverse_to_pe_size(self):
+        assert iso_area_pe_count(4096, 1.0, 2.0) == 2048
+        with pytest.raises(ValueError):
+            iso_area_pe_count(4096, 1.0, 0.0)
+
+
+class TestAccelerators:
+    def test_all_four_designs_build(self):
+        names = [model.name for model in all_accelerators()]
+        assert names == ["ANT", "OLAccel", "OliVe", "Tender"]
+
+    def test_unknown_accelerator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_accelerator("TPUv4")
+
+    def test_baselines_have_fewer_pes_than_tender(self):
+        tender = build_accelerator("Tender").config.systolic
+        for name in ("ANT", "OLAccel", "OliVe"):
+            other = build_accelerator(name).config.systolic
+            assert other.rows * other.cols < tender.rows * tender.cols
+
+    def test_ant_precision_mix_properties(self):
+        ant = build_accelerator("ANT")
+        assert ant.compute_multiplier > 1.0
+        assert 4.0 < ant.effective_activation_bits < 8.0
+        assert ant.mac_energy_pj() > build_accelerator("Tender").mac_energy_pj()
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def prefill(self):
+        return model_prefill_workload("opt-6.7b-sim", seq_len=2048)
+
+    def test_tender_is_fastest(self, prefill):
+        seconds = {
+            name: simulate_on(name, prefill, num_groups=8 if name == "Tender" else 1).seconds
+            for name in ("ANT", "OLAccel", "OliVe", "Tender")
+        }
+        assert seconds["Tender"] < seconds["OliVe"] < seconds["OLAccel"] < seconds["ANT"]
+
+    def test_speedup_table_matches_paper_shape(self, prefill):
+        table = speedup_table({"opt": prefill})["opt"]
+        assert table["ANT"] == pytest.approx(1.0)
+        assert 1.2 < table["OLAccel"] < 2.0
+        assert 1.5 < table["OliVe"] < 2.5
+        assert 2.0 < table["Tender"] < 3.5
+
+    def test_tender_energy_lowest(self, prefill):
+        energies = {
+            name: simulate_on(name, prefill, num_groups=8 if name == "Tender" else 1).energy_j
+            for name in ("ANT", "OLAccel", "OliVe", "Tender")
+        }
+        assert energies["Tender"] < min(energies["ANT"], energies["OLAccel"], energies["OliVe"])
+
+    def test_group_count_barely_affects_implicit_runtime(self, prefill):
+        one = simulate_on("Tender", prefill, num_groups=1).seconds
+        many = simulate_on("Tender", prefill, num_groups=16).seconds
+        assert many < one * 1.02
+
+    def test_explicit_requantization_slows_down(self, prefill):
+        implicit = simulate_on("Tender", prefill, num_groups=16, implicit=True).seconds
+        explicit = simulate_on("Tender", prefill, num_groups=16, implicit=False).seconds
+        assert explicit > implicit * 1.2
+
+    def test_empty_workload_rejected(self):
+        from repro.accelerator import Workload
+
+        simulator = AcceleratorSimulator(build_accelerator("Tender"))
+        with pytest.raises(SimulationError):
+            simulator.simulate(Workload(name="empty"))
+
+    def test_throughput_reported(self, prefill):
+        result = simulate_on("Tender", prefill, num_groups=8)
+        assert result.throughput_tops() > 0
+        assert result.total_macs == prefill.total_macs

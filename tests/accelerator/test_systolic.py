@@ -1,0 +1,113 @@
+"""Tests of the systolic-array cycle model and the functional MSA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import MultiScaleSystolicArray, ProcessingElement, SystolicConfig, gemm_cycles
+from repro.core import decompose_channels, implicit_requantized_matmul, quantize_decomposed
+from repro.errors import SimulationError
+from repro.quant import Granularity, compute_scale, quantize_symmetric
+
+
+class TestGemmCycles:
+    def test_cycles_scale_with_problem_size(self):
+        config = SystolicConfig()
+        small = gemm_cycles(128, 256, 128, config, operand_bits=4).total
+        large = gemm_cycles(256, 512, 256, config, operand_bits=4).total
+        assert large > small * 3
+
+    def test_int8_slower_than_int4(self):
+        config = SystolicConfig()
+        int4 = gemm_cycles(256, 256, 256, config, operand_bits=4).total
+        int8 = gemm_cycles(256, 256, 256, config, operand_bits=8).total
+        assert int8 > int4 * 2
+
+    def test_implicit_adds_one_bubble_per_group_boundary_per_tile(self):
+        config = SystolicConfig(rows=64, cols=64)
+        no_groups = gemm_cycles(64, 512, 64, config, operand_bits=4, num_groups=1)
+        grouped = gemm_cycles(64, 512, 64, config, operand_bits=4, num_groups=9)
+        assert grouped.total - no_groups.total == 8  # one tile, eight boundaries
+
+    def test_explicit_much_slower_than_implicit(self):
+        config = SystolicConfig()
+        implicit = gemm_cycles(2048, 4096, 4096, config, 4, num_groups=16, implicit_requantization=True)
+        explicit = gemm_cycles(2048, 4096, 4096, config, 4, num_groups=16, implicit_requantization=False)
+        assert explicit.total > implicit.total * 1.2
+        assert explicit.requantization_passes > 0
+
+    def test_decode_overhead_added_per_tile(self):
+        config = SystolicConfig()
+        without = gemm_cycles(128, 128, 128, config, 4, decode_cycles_per_tile=0)
+        with_decode = gemm_cycles(128, 128, 128, config, 4, decode_cycles_per_tile=10)
+        assert with_decode.total - without.total == 10 * 4  # 2x2 tiles
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(SimulationError):
+            gemm_cycles(0, 10, 10, SystolicConfig(), 4)
+
+    def test_effective_dims_for_int8(self):
+        config = SystolicConfig(rows=64, cols=64, pe_bits=4)
+        assert config.effective_dims(4) == (64, 64)
+        assert config.effective_dims(8) == (32, 32)
+
+
+class TestProcessingElement:
+    def test_mac_and_rescale(self):
+        pe = ProcessingElement()
+        pe.step(3, 4, rescale=False)
+        pe.step(0, 0, rescale=True)
+        pe.step(1, 1, rescale=False)
+        assert pe.accumulator == 3 * 4 * 2 + 1
+
+    def test_overflow_detection(self):
+        pe = ProcessingElement()
+        pe.accumulator = 2**31 - 1
+        with pytest.raises(SimulationError):
+            pe.step(1, 1, rescale=False)
+
+
+class TestMultiScaleSystolicArray:
+    def _decomposed_problem(self, rng, rows=6, channels=20, cols=5):
+        activation = rng.normal(size=(rows, channels))
+        activation[:, 2] *= 30
+        cmax = np.abs(activation).max(axis=0)
+        decomposition = decompose_channels(cmax, num_groups=5, bits=8)
+        q_act, _ = quantize_decomposed(activation, decomposition)
+        weight = rng.normal(size=(channels, cols))
+        w_scale = compute_scale(weight, 8, Granularity.PER_COLUMN)
+        q_weight = quantize_symmetric(weight, w_scale, 8)
+        return q_act, decomposition, q_weight, w_scale
+
+    def test_hardware_matches_reference_implicit_requantization(self, rng):
+        """The MSA with 1-bit shifters computes exactly Equation 2."""
+        q_act, decomposition, q_weight, w_scale = self._decomposed_problem(rng)
+        ordered = decomposition.channel_order
+        msa = MultiScaleSystolicArray(rows=8, cols=8)
+        accumulators = msa.run_tile(
+            q_act[:, ordered], q_weight[ordered, :], decomposition.group_sizes.tolist()
+        )
+        hardware_result = accumulators * decomposition.group_scales[-1] * w_scale
+        reference = implicit_requantized_matmul(q_act, decomposition, q_weight, w_scale)
+        np.testing.assert_allclose(hardware_result, reference, rtol=1e-12)
+
+    def test_cycle_count_includes_bubbles_and_fill(self, rng):
+        q_act, decomposition, q_weight, _ = self._decomposed_problem(rng)
+        ordered = decomposition.channel_order
+        msa = MultiScaleSystolicArray(rows=8, cols=8)
+        msa.run_tile(q_act[:, ordered], q_weight[ordered, :], decomposition.group_sizes.tolist())
+        nonempty_boundaries = decomposition.num_groups - 1
+        expected = q_act.shape[1] + nonempty_boundaries + 8 + 8
+        assert msa.cycles == expected
+        assert msa.rescale_bubbles == nonempty_boundaries
+
+    def test_rejects_oversized_tiles(self, rng):
+        msa = MultiScaleSystolicArray(rows=2, cols=2)
+        with pytest.raises(SimulationError):
+            msa.run_tile(np.ones((4, 4), dtype=int), np.ones((4, 4), dtype=int), [4])
+
+    def test_rejects_mismatched_group_sizes(self, rng):
+        msa = MultiScaleSystolicArray(rows=4, cols=4)
+        with pytest.raises(SimulationError):
+            msa.run_tile(np.ones((2, 4), dtype=int), np.ones((4, 2), dtype=int), [1, 1])

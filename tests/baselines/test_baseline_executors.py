@@ -1,0 +1,229 @@
+"""Tests of the baseline quantization executors (SmoothQuant, ANT, OliVe, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ANTExecutor,
+    LLMInt8Executor,
+    MSFPExecutor,
+    MXFP4Executor,
+    OliVeExecutor,
+    RPTQExecutor,
+    SMXExecutor,
+    SmoothQuantExecutor,
+    UniformQuantExecutor,
+    kmeans_1d,
+    msfp_quantize,
+    mxfp4_quantize,
+    quantize_to_codebook,
+    smx_quantize,
+)
+from repro.errors import CalibrationError
+from repro.models import capture_activations, run_calibration
+from repro.quant import ActivationObserver, Granularity
+
+
+@pytest.fixture(scope="module")
+def probe(rng_module=np.random.default_rng(77)):
+    """A synthetic activation with one scaled and one shifted outlier channel."""
+    x = rng_module.normal(size=(64, 24))
+    x[:, 3] *= 40.0
+    x[:, 11] += 25.0
+    weight = rng_module.normal(size=(24, 16)) * 0.2
+    return x, weight
+
+
+def relative_error(result, reference):
+    return float(np.linalg.norm(result - reference) / np.linalg.norm(reference))
+
+
+class TestUniformExecutor:
+    def test_per_column_best_per_tensor_worst(self, probe):
+        x, weight = probe
+        reference = x @ weight
+        errors = {}
+        for granularity in (Granularity.PER_TENSOR, Granularity.PER_ROW, Granularity.PER_COLUMN):
+            executor = UniformQuantExecutor(8, activation_granularity=granularity)
+            errors[granularity] = relative_error(executor.project("p", x, weight, None), reference)
+        assert errors[Granularity.PER_COLUMN] <= errors[Granularity.PER_ROW]
+        assert errors[Granularity.PER_ROW] <= errors[Granularity.PER_TENSOR]
+
+    def test_attention_matmul_passthrough_and_quantized(self, rng):
+        a = rng.normal(size=(1, 2, 4, 8))
+        b = rng.normal(size=(1, 2, 8, 4))
+        plain = UniformQuantExecutor(8)
+        np.testing.assert_allclose(plain.attention_matmul("qk", a, b), a @ b)
+        quantized = UniformQuantExecutor(8, quantize_attention=True)
+        result = quantized.attention_matmul("qk", a, b)
+        assert not np.allclose(result, a @ b)
+        assert relative_error(result, a @ b) < 0.05
+
+    def test_weight_cache_reused(self, probe):
+        x, weight = probe
+        executor = UniformQuantExecutor(8)
+        executor.project("site", x, weight, None)
+        cached = executor._weight_cache["site"]
+        executor.project("site", x, weight, None)
+        assert executor._weight_cache["site"] is cached
+
+
+class TestSmoothQuant:
+    def _observer_for(self, x):
+        observer = ActivationObserver()
+        observer.observe("site", x)
+        return observer
+
+    def test_migration_flattens_scaled_outliers(self, probe):
+        x, weight = probe
+        reference = x @ weight
+        smooth = SmoothQuantExecutor(8, self._observer_for(x))
+        naive = UniformQuantExecutor(8, activation_granularity=Granularity.PER_ROW)
+        assert relative_error(smooth.project("site", x, weight, None), reference) < relative_error(
+            naive.project("site", x, weight, None), reference
+        )
+
+    def test_missing_calibration_raises(self, probe):
+        x, weight = probe
+        executor = SmoothQuantExecutor(8, ActivationObserver())
+        with pytest.raises(CalibrationError):
+            executor.project("site", x, weight, None)
+
+    def test_invalid_migration_strength_rejected(self):
+        with pytest.raises(CalibrationError):
+            SmoothQuantExecutor(8, ActivationObserver(), migration_strength=1.5)
+
+    def test_end_to_end_observer_integration(self, outlier_weights, calibration, eval_tokens):
+        observer = run_calibration(outlier_weights, calibration)
+        executor = SmoothQuantExecutor(8, observer)
+        x = capture_activations(outlier_weights, eval_tokens[:16])["block0.attn.q_proj"]
+        weight = outlier_weights.blocks[0].attn.wq
+        result = executor.project("block0.attn.q_proj", x, weight, None)
+        assert relative_error(result, x @ weight) < 0.25
+
+
+class TestLLMInt8:
+    def test_outlier_channels_kept_exact(self, probe):
+        x, weight = probe
+        reference = x @ weight
+        executor = LLMInt8Executor(8, outlier_threshold=6.0)
+        result = executor.project("site", x, weight, None)
+        assert executor.outlier_columns_seen >= 2
+        assert relative_error(result, reference) < 0.02
+
+    def test_no_outliers_behaves_like_int8(self, rng):
+        x = rng.normal(size=(16, 8))
+        weight = rng.normal(size=(8, 4))
+        executor = LLMInt8Executor(8, outlier_threshold=1e9)
+        result = executor.project("site", x, weight, None)
+        assert executor.outlier_columns_seen == 0
+        assert relative_error(result, x @ weight) < 0.02
+
+
+class TestANT:
+    def test_codebook_quantization_respects_scale(self):
+        codebook = np.array([-1.0, -0.5, 0.0, 0.5, 1.0])
+        values = np.array([0.26, -0.9, 2.0])
+        result = quantize_to_codebook(values, codebook, scale=1.0)
+        np.testing.assert_allclose(result, [0.5, -1.0, 1.0])
+
+    def test_datatype_selection_varies_with_distribution(self, rng):
+        executor = ANTExecutor(4)
+        bell = rng.normal(size=(64, 64))
+        executor.encode_activation("bell", bell)
+        uniform_ints = rng.integers(-7, 8, size=(64, 64)).astype(float)
+        executor.encode_activation("uniform", uniform_ints)
+        assert executor.chosen_datatypes["bell.act"] in ("int", "flint", "pot")
+        assert executor.chosen_datatypes["uniform.act"] in ("int", "flint", "pot")
+
+    def test_reconstruction_better_than_nothing_for_outliers(self, probe):
+        x, weight = probe
+        executor = ANTExecutor(8)
+        encoded = executor.encode_activation("site", x)
+        assert relative_error(encoded, x) < 0.2
+
+    def test_zero_tensor_passthrough(self):
+        executor = ANTExecutor(4)
+        np.testing.assert_allclose(executor.encode_activation("z", np.zeros((4, 4))), 0.0)
+
+
+class TestOliVe:
+    def test_outliers_preserved_approximately(self, probe):
+        x, weight = probe
+        executor = OliVeExecutor(8)
+        encoded = executor.encode_activation("site", x)
+        outlier_mask = np.abs(x) > 6 * np.abs(x).mean()
+        if outlier_mask.any():
+            rel = np.abs(encoded[outlier_mask] - x[outlier_mask]) / np.abs(x[outlier_mask])
+            assert rel.max() < 0.15
+
+    def test_some_victims_are_pruned(self, probe):
+        x, _ = probe
+        executor = OliVeExecutor(4)
+        encoded = executor.encode_activation("site", x)
+        flat_x = x.reshape(-1)
+        flat_encoded = encoded.reshape(-1)
+        pruned = (flat_encoded == 0.0) & (np.abs(flat_x) > 1e-3)
+        assert pruned.any()
+
+    def test_int8_reconstruction_beats_int4(self, probe):
+        x, _ = probe
+        err8 = relative_error(OliVeExecutor(8).encode_activation("s", x), x)
+        err4 = relative_error(OliVeExecutor(4).encode_activation("s", x), x)
+        assert err8 < err4
+
+
+class TestBlockFloat:
+    def test_msfp_error_bounded_for_uniform_blocks(self, rng):
+        tensor = rng.normal(size=(8, 32))
+        encoded = msfp_quantize(tensor, mantissa_bits=4, block_size=8)
+        assert relative_error(encoded, tensor) < 0.2
+
+    def test_msfp_column_blocks_help_channel_outliers(self, probe):
+        x, _ = probe
+        row_blocks = msfp_quantize(x, mantissa_bits=4, block_size=8, axis=-1)
+        column_blocks = msfp_quantize(x, mantissa_bits=4, block_size=4, axis=0)
+        assert relative_error(column_blocks, x) < relative_error(row_blocks, x)
+
+    def test_smx_is_coarser_than_mxfp4(self, probe):
+        x, _ = probe
+        assert relative_error(smx_quantize(x, 2, 8), x) > relative_error(mxfp4_quantize(x, 8), x)
+
+    def test_block_padding_handles_non_multiple_sizes(self, rng):
+        tensor = rng.normal(size=(5, 13))
+        encoded = mxfp4_quantize(tensor, block_size=8)
+        assert encoded.shape == tensor.shape
+
+    def test_executors_encode_both_operands(self, probe, rng):
+        x, weight = probe
+        for executor in (MSFPExecutor(), MSFPExecutor(outlier_variant=True), SMXExecutor(), MXFP4Executor()):
+            result = executor.project("site", x, weight, None)
+            assert result.shape == (x.shape[0], weight.shape[1])
+            assert not np.allclose(result, x @ weight)
+
+
+class TestRPTQ:
+    def test_kmeans_groups_similar_values(self):
+        values = np.array([0.1, 0.11, 0.12, 5.0, 5.2, 100.0])
+        assignment = kmeans_1d(values, num_clusters=3, seed=0)
+        assert assignment[0] == assignment[1] == assignment[2]
+        assert assignment[3] == assignment[4]
+        assert assignment[5] != assignment[0]
+
+    def test_clustered_quantization_beats_per_tensor(self, probe):
+        x, weight = probe
+        observer = ActivationObserver()
+        observer.observe("site", x)
+        rptq = RPTQExecutor(4, observer, num_clusters=6)
+        naive = UniformQuantExecutor(4, activation_granularity=Granularity.PER_TENSOR)
+        reference = x @ weight
+        assert relative_error(rptq.project("site", x, weight, None), reference) < relative_error(
+            naive.project("site", x, weight, None), reference
+        )
+
+    def test_missing_calibration_raises(self, probe):
+        x, weight = probe
+        with pytest.raises(CalibrationError):
+            RPTQExecutor(8, ActivationObserver()).project("site", x, weight, None)

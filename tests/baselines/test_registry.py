@@ -1,0 +1,93 @@
+"""Tests of the scheme registry and end-to-end scheme ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SchemeRequest, available_schemes, build_executor, build_runner
+from repro.errors import ConfigurationError
+from repro.eval import evaluate_perplexity
+from repro.models import TransformerRunner
+
+
+@pytest.fixture(scope="module")
+def scheme_perplexities(request):
+    """Perplexity of a representative scheme set at INT8 and INT4 (computed once)."""
+    outlier_weights = request.getfixturevalue("outlier_weights")
+    calibration = request.getfixturevalue("calibration")
+    eval_tokens = request.getfixturevalue("eval_tokens")
+    results = {}
+    for bits in (8, 4):
+        for scheme in ("Base", "per-tensor", "per-column", "SmoothQuant", "ANT", "OliVe", "Tender"):
+            runner = build_runner(
+                scheme,
+                SchemeRequest(
+                    weights=outlier_weights,
+                    calibration=calibration,
+                    bits=bits,
+                    options={"num_groups": 10, "row_chunk_size": 16},
+                ),
+            )
+            results[(scheme, bits)] = evaluate_perplexity(
+                runner, eval_tokens, seq_len=48, max_windows=4
+            )
+    return results
+
+
+class TestRegistry:
+    def test_available_schemes_nonempty_and_sorted(self):
+        schemes = available_schemes()
+        assert "Tender" in schemes and "SmoothQuant" in schemes
+        assert schemes == sorted(schemes)
+
+    def test_unknown_scheme_rejected(self, outlier_weights, calibration):
+        with pytest.raises(ConfigurationError):
+            build_executor("GPTQ", SchemeRequest(weights=outlier_weights, calibration=calibration))
+
+    def test_case_insensitive_lookup(self, outlier_weights, calibration):
+        executor = build_executor(
+            "tender", SchemeRequest(weights=outlier_weights, calibration=calibration, bits=8)
+        )
+        assert executor is not None
+
+    def test_build_runner_returns_runner(self, outlier_weights, calibration):
+        runner = build_runner(
+            "per-row", SchemeRequest(weights=outlier_weights, calibration=calibration, bits=8)
+        )
+        assert isinstance(runner, TransformerRunner)
+
+    def test_every_registered_scheme_builds_and_runs(self, outlier_weights, calibration, eval_tokens):
+        tokens = eval_tokens[:16][None, :]
+        for scheme in available_schemes():
+            runner = build_runner(
+                scheme, SchemeRequest(weights=outlier_weights, calibration=calibration, bits=8)
+            )
+            logits = runner.logits(tokens)
+            assert np.isfinite(logits).all()
+
+
+class TestPaperOrdering:
+    """The qualitative relationships Tables I and II report must hold."""
+
+    def test_int8_tender_close_to_fp(self, scheme_perplexities):
+        base = scheme_perplexities[("Base", 8)]
+        tender = scheme_perplexities[("Tender", 8)]
+        assert tender < base * 1.10
+
+    def test_int8_per_tensor_worse_than_per_column(self, scheme_perplexities):
+        assert scheme_perplexities[("per-tensor", 8)] > scheme_perplexities[("per-column", 8)]
+
+    def test_int4_per_tensor_catastrophic(self, scheme_perplexities):
+        assert scheme_perplexities[("per-tensor", 4)] > scheme_perplexities[("Base", 4)] * 3
+
+    def test_int4_tender_best_quantized_scheme(self, scheme_perplexities):
+        tender = scheme_perplexities[("Tender", 4)]
+        for scheme in ("per-tensor", "per-column", "ANT", "OliVe"):
+            assert tender <= scheme_perplexities[(scheme, 4)] * 1.05
+
+    def test_int4_tender_within_2x_of_fp(self, scheme_perplexities):
+        assert scheme_perplexities[("Tender", 4)] < scheme_perplexities[("Base", 4)] * 2.0
+
+    def test_int4_ant_much_worse_than_tender(self, scheme_perplexities):
+        assert scheme_perplexities[("ANT", 4)] > scheme_perplexities[("Tender", 4)] * 2

@@ -1,0 +1,104 @@
+"""Shared fixtures: a tiny trained language model and calibration data.
+
+The fixtures are session-scoped because training even a tiny Transformer takes
+a couple of seconds and many test modules reuse the same checkpoint.  The
+model is deliberately small (d_model 32, 2 layers) so the whole suite stays
+fast; tests that need the full zoo models are marked ``slow`` and load them
+through the on-disk checkpoint cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import calibration_samples, load_corpus
+from repro.models import OutlierSpec, extract_weights, inject_outliers, train_language_model
+from repro.nn import TransformerConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: tests that train or load zoo-sized checkpoints")
+
+
+@pytest.fixture(scope="session")
+def wiki_corpus():
+    """A small wiki-like corpus shared by all tests."""
+    return load_corpus("wiki", vocab_size=512, num_tokens=16_000)
+
+
+@pytest.fixture(scope="session")
+def corpus_splits(wiki_corpus):
+    """(train_tokens, eval_tokens) of the shared corpus."""
+    return wiki_corpus.split()
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """Architecture of the tiny test model."""
+    return TransformerConfig(
+        vocab_size=512,
+        d_model=32,
+        num_heads=2,
+        num_layers=2,
+        d_ff=96,
+        max_seq_len=128,
+        activation="relu",
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_model(tiny_config, corpus_splits):
+    """A tiny TransformerLM trained for a handful of steps."""
+    train_tokens, _ = corpus_splits
+    model, result = train_language_model(
+        tiny_config, train_tokens, steps=90, batch_size=8, seq_len=32, learning_rate=3e-3, seed=3
+    )
+    assert result.final_loss < result.losses[0], "training should reduce the loss"
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_weights(tiny_trained_model):
+    """Inference weights extracted from the tiny trained model (no outliers)."""
+    return extract_weights(tiny_trained_model)
+
+
+@pytest.fixture(scope="session")
+def outlier_spec():
+    """Outlier-injection parameters used across the quantization tests."""
+    return OutlierSpec(
+        num_scale_channels=2,
+        scale_magnitude=60.0,
+        num_shift_channels=2,
+        shift_magnitude=30.0,
+        spread=2.0,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def outlier_weights(tiny_weights, outlier_spec):
+    """The tiny checkpoint with injected channel-wise outliers."""
+    return inject_outliers(tiny_weights, spec=outlier_spec)
+
+
+@pytest.fixture(scope="session")
+def calibration(corpus_splits):
+    """Calibration token sequences drawn from the training split."""
+    train_tokens, _ = corpus_splits
+    return calibration_samples(train_tokens, seq_len=48, num_samples=8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def eval_tokens(corpus_splits):
+    """Held-out evaluation tokens."""
+    _, tokens = corpus_splits
+    return tokens
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,157 @@
+"""Tests of Tender's channel decomposition (power-of-alpha classification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    compute_channel_bias,
+    decompose_channels,
+    quantize_decomposed,
+    validate_decomposition,
+)
+from repro.errors import QuantizationError
+from repro.quant import integer_range
+
+
+class TestChannelBias:
+    def test_midpoint_of_max_and_min(self):
+        bias = compute_channel_bias(np.array([4.0, 10.0]), np.array([-2.0, 6.0]))
+        np.testing.assert_allclose(bias, [1.0, 8.0])
+
+    def test_symmetric_channel_has_zero_bias(self):
+        bias = compute_channel_bias(np.array([3.0]), np.array([-3.0]))
+        np.testing.assert_allclose(bias, [0.0])
+
+    def test_bias_subtraction_never_increases_absmax(self, rng):
+        """The property the paper relies on: bias centering optimizes bit usage."""
+        values = rng.normal(size=(64, 16)) + rng.normal(size=16) * 5
+        channel_max = values.max(axis=0)
+        channel_min = values.min(axis=0)
+        bias = compute_channel_bias(channel_max, channel_min)
+        before = np.abs(values).max(axis=0)
+        after = np.abs(values - bias).max(axis=0)
+        assert (after <= before + 1e-12).all()
+
+
+class TestDecomposeChannels:
+    def test_classification_rule_equation3(self):
+        cmax = np.array([22.4, 11.2 + 1e-9, 5.0, 1.0, 22.4 / 2**5])
+        decomposition = decompose_channels(cmax, num_groups=4, bits=8)
+        validate_decomposition(decomposition, cmax)
+        # Largest channel is always in group 0.
+        assert decomposition.group_of_channel[0] == 0
+        # Channels below TMax / alpha^G are clamped into the last group.
+        assert decomposition.group_of_channel[4] == 3
+
+    def test_group_scales_are_powers_of_alpha_apart(self):
+        cmax = np.array([16.0, 8.0, 4.0, 1.0])
+        decomposition = decompose_channels(cmax, num_groups=5, bits=8, alpha=2)
+        ratios = decomposition.group_scales[:-1] / decomposition.group_scales[1:]
+        np.testing.assert_allclose(ratios, 2.0)
+
+    def test_alpha_other_than_two(self):
+        cmax = np.array([27.0, 9.0, 3.0, 1.0])
+        decomposition = decompose_channels(cmax, num_groups=4, bits=8, alpha=3)
+        ratios = decomposition.group_scales[:-1] / decomposition.group_scales[1:]
+        np.testing.assert_allclose(ratios, 3.0)
+        validate_decomposition(decomposition, cmax)
+
+    def test_top_scale_covers_tensor_max(self):
+        cmax = np.array([10.0, 1.0, 0.3])
+        decomposition = decompose_channels(cmax, num_groups=4, bits=4)
+        assert decomposition.group_scales[0] == pytest.approx(10.0 / integer_range(4))
+
+    def test_channel_order_sorted_by_group(self):
+        cmax = np.array([1.0, 16.0, 2.0, 8.0])
+        decomposition = decompose_channels(cmax, num_groups=5, bits=8)
+        groups_in_order = decomposition.group_of_channel[decomposition.channel_order]
+        assert (np.diff(groups_in_order) >= 0).all()
+
+    def test_group_sizes_sum_to_channels(self):
+        cmax = np.abs(np.random.default_rng(0).normal(size=37)) + 0.01
+        decomposition = decompose_channels(cmax, num_groups=6, bits=8)
+        assert decomposition.group_sizes.sum() == 37
+        assert decomposition.num_channels == 37
+
+    def test_group_boundaries_count(self):
+        cmax = np.array([8.0, 4.0, 2.0, 1.0])
+        decomposition = decompose_channels(cmax, num_groups=4, bits=8)
+        assert decomposition.group_boundaries().shape == (3,)
+
+    def test_single_group_degenerates_to_per_tensor(self):
+        cmax = np.array([5.0, 1.0, 0.1])
+        decomposition = decompose_channels(cmax, num_groups=1, bits=8)
+        assert (decomposition.group_of_channel == 0).all()
+
+    def test_all_zero_tensor_handled(self):
+        decomposition = decompose_channels(np.zeros(8), num_groups=4, bits=8)
+        assert decomposition.group_sizes.sum() == 8
+        assert (decomposition.group_scales > 0).all()
+
+    def test_rejects_negative_cmax(self):
+        with pytest.raises(QuantizationError):
+            decompose_channels(np.array([-1.0, 2.0]), num_groups=2, bits=8)
+
+    def test_rejects_bad_shapes_and_groups(self):
+        with pytest.raises(QuantizationError):
+            decompose_channels(np.ones((2, 2)), num_groups=2, bits=8)
+        with pytest.raises(QuantizationError):
+            decompose_channels(np.ones(4), num_groups=0, bits=8)
+
+    def test_validate_detects_wrong_assignment(self):
+        cmax = np.array([16.0, 1.0])
+        decomposition = decompose_channels(cmax, num_groups=4, bits=8)
+        decomposition.group_of_channel[0] = 3  # deliberately corrupt
+        with pytest.raises(QuantizationError):
+            validate_decomposition(decomposition, cmax)
+
+    @given(
+        arrays(np.float64, st.integers(2, 48).map(lambda n: (n,)), elements=st.floats(0.0, 1e4)),
+        st.integers(1, 16),
+        st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equation3_invariant_property(self, cmax, num_groups, bits):
+        decomposition = decompose_channels(cmax, num_groups=num_groups, bits=bits)
+        validate_decomposition(decomposition, cmax)
+        assert decomposition.group_sizes.sum() == cmax.shape[0]
+        # Every channel belongs to exactly one group in range.
+        assert decomposition.group_of_channel.min() >= 0
+        assert decomposition.group_of_channel.max() < num_groups
+
+
+class TestQuantizeDecomposed:
+    def test_values_within_bit_range(self, rng):
+        values = rng.normal(size=(32, 16)) * np.exp(rng.normal(size=16) * 2)
+        cmax = np.abs(values).max(axis=0)
+        decomposition = decompose_channels(cmax, num_groups=8, bits=4)
+        quantized, scales = quantize_decomposed(values, decomposition)
+        assert quantized.max() <= integer_range(4)
+        assert quantized.min() >= -integer_range(4)
+        assert scales.shape == (16,)
+
+    def test_guaranteed_quantization_level_lower_bound(self, rng):
+        """The 'why 2' property: every channel uses at least half the levels.
+
+        A channel's CMax is more than half its group's upper threshold, so the
+        largest quantized magnitude in each channel is at least (qmax-1)/2.
+        """
+        values = rng.uniform(-1, 1, size=(256, 24)) * np.exp(rng.uniform(0, 6, size=24))
+        cmax = np.abs(values).max(axis=0)
+        decomposition = decompose_channels(cmax, num_groups=12, bits=8)
+        quantized, _ = quantize_decomposed(values, decomposition)
+        per_channel_peak = np.abs(quantized).max(axis=0)
+        assert (per_channel_peak >= (integer_range(8) - 1) // 2).all()
+
+    def test_reconstruction_error_bounded_by_channel_scale(self, rng):
+        values = rng.normal(size=(64, 12)) * np.exp(rng.normal(size=12))
+        cmax = np.abs(values).max(axis=0)
+        decomposition = decompose_channels(cmax, num_groups=8, bits=8)
+        quantized, scales = quantize_decomposed(values, decomposition)
+        error = np.abs(quantized * scales - values)
+        assert (error <= scales * 0.5 + 1e-12).all()

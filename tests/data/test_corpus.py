@@ -1,0 +1,81 @@
+"""Tests of the synthetic corpora."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CORPUS_PRESETS, SPECIAL_TOKENS, build_vocabulary, load_corpus
+from repro.data.corpus import CorpusConfig, SyntheticCorpus
+from repro.errors import ConfigurationError
+
+
+class TestVocabulary:
+    def test_size_is_exact(self):
+        assert len(build_vocabulary(512)) == 512
+        assert len(build_vocabulary(128)) == 128
+
+    def test_contains_special_tokens_first(self):
+        vocab = build_vocabulary(256)
+        assert vocab[: len(SPECIAL_TOKENS)] == SPECIAL_TOKENS
+
+    def test_no_duplicates(self):
+        vocab = build_vocabulary(512)
+        assert len(set(vocab)) == len(vocab)
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_vocabulary(10)
+
+
+class TestCorpus:
+    def test_token_ids_in_range(self):
+        corpus = load_corpus("wiki", vocab_size=256, num_tokens=5000)
+        assert corpus.tokens.min() >= 0
+        assert corpus.tokens.max() < 256
+
+    def test_deterministic_for_same_seed(self):
+        first = load_corpus("wiki", vocab_size=256, num_tokens=2000)
+        second = load_corpus("wiki", vocab_size=256, num_tokens=2000)
+        np.testing.assert_array_equal(first.tokens, second.tokens)
+
+    def test_named_corpora_differ(self):
+        wiki = load_corpus("wiki", vocab_size=256, num_tokens=2000)
+        ptb = load_corpus("ptb", vocab_size=256, num_tokens=2000)
+        assert not np.array_equal(wiki.tokens, ptb.tokens)
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_corpus("shakespeare")
+
+    def test_split_fractions(self):
+        corpus = load_corpus("pile", vocab_size=256, num_tokens=1000)
+        train, evaluation = corpus.split(0.8)
+        assert len(train) == 800
+        assert len(evaluation) == 200
+
+    def test_decode_produces_text(self):
+        corpus = load_corpus("wiki", vocab_size=256, num_tokens=100)
+        text = corpus.decode(corpus.tokens[:10])
+        assert isinstance(text, str)
+        assert len(text.split()) == 10
+
+    def test_all_presets_construct(self):
+        for name in CORPUS_PRESETS:
+            corpus = load_corpus(name, vocab_size=128, num_tokens=500)
+            assert len(corpus.tokens) == 500
+
+    def test_markov_structure_is_predictable(self):
+        """Bigram entropy must be far below the uniform entropy (learnable corpus)."""
+        corpus = SyntheticCorpus(CorpusConfig(name="wiki", vocab_size=256, num_tokens=20_000, seed=1))
+        tokens = corpus.tokens
+        pair_counts = {}
+        for a, b in zip(tokens[:-1], tokens[1:]):
+            pair_counts.setdefault(int(a), {}).setdefault(int(b), 0)
+            pair_counts[int(a)][int(b)] += 1
+        entropies = []
+        for successors in pair_counts.values():
+            counts = np.array(list(successors.values()), dtype=float)
+            probs = counts / counts.sum()
+            entropies.append(-(probs * np.log2(probs)).sum())
+        assert np.mean(entropies) < np.log2(256) / 2

@@ -1,0 +1,67 @@
+"""Tests of LM dataset windowing and calibration sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import LanguageModelingDataset, calibration_samples
+from repro.errors import ConfigurationError
+
+
+class TestLanguageModelingDataset:
+    def test_targets_are_shifted_inputs(self):
+        tokens = np.arange(100)
+        dataset = LanguageModelingDataset(tokens, seq_len=10)
+        inputs, targets = dataset.window(0)
+        np.testing.assert_array_equal(targets, inputs + 1)
+
+    def test_windows_are_non_overlapping(self):
+        tokens = np.arange(100)
+        dataset = LanguageModelingDataset(tokens, seq_len=10)
+        first_inputs, _ = dataset.window(0)
+        second_inputs, _ = dataset.window(1)
+        assert first_inputs[-1] < second_inputs[0]
+
+    def test_length_counts_full_windows_only(self):
+        dataset = LanguageModelingDataset(np.arange(35), seq_len=10)
+        assert len(dataset) == 3
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LanguageModelingDataset(np.arange(5), seq_len=10)
+
+    def test_seq_len_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            LanguageModelingDataset(np.arange(100), seq_len=1)
+
+    def test_batches_shapes_and_count(self):
+        dataset = LanguageModelingDataset(np.arange(201), seq_len=10)
+        batches = list(dataset.batches(batch_size=4))
+        assert all(b.inputs.shape == (4, 10) for b in batches)
+        assert len(batches) == len(dataset) // 4
+
+    def test_shuffled_batches_cover_same_windows(self):
+        dataset = LanguageModelingDataset(np.arange(101), seq_len=10)
+        plain = np.concatenate([b.inputs.ravel() for b in dataset.batches(2)])
+        shuffled = np.concatenate([b.inputs.ravel() for b in dataset.batches(2, shuffle=True, seed=1)])
+        assert sorted(plain.tolist()) == sorted(shuffled.tolist())
+
+
+class TestCalibrationSamples:
+    def test_sample_count_and_length(self):
+        tokens = np.arange(1000)
+        samples = calibration_samples(tokens, seq_len=32, num_samples=5)
+        assert len(samples) == 5
+        assert all(len(s) == 32 for s in samples)
+
+    def test_deterministic_for_seed(self):
+        tokens = np.arange(1000)
+        first = calibration_samples(tokens, 16, 3, seed=9)
+        second = calibration_samples(tokens, 16, 3, seed=9)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_rejects_too_short_stream(self):
+        with pytest.raises(ConfigurationError):
+            calibration_samples(np.arange(10), seq_len=32, num_samples=2)

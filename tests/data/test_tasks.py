@@ -1,0 +1,79 @@
+"""Tests of the GLUE-like classification tasks and zero-shot tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GLUE_TASK_NAMES,
+    ZEROSHOT_TASK_NAMES,
+    make_all_glue_tasks,
+    make_glue_task,
+    make_zeroshot_task,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGlueTasks:
+    def test_all_names_construct(self):
+        tasks = make_all_glue_tasks(num_train=64, num_eval=32)
+        assert [t.name for t in tasks] == GLUE_TASK_NAMES
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_glue_task("SQuAD")
+
+    def test_shapes_and_label_range(self):
+        task = make_glue_task("SST-2", seq_len=24, num_train=100, num_eval=40)
+        assert task.train_inputs.shape == (100, 24)
+        assert task.eval_inputs.shape == (40, 24)
+        assert set(np.unique(task.train_labels)) <= {0, 1}
+
+    def test_labels_are_roughly_balanced(self):
+        task = make_glue_task("QQP", num_train=400, num_eval=100, seed=3)
+        positive_fraction = task.train_labels.mean()
+        assert 0.3 < positive_fraction < 0.7
+
+    def test_keyword_task_is_separable_by_construction(self):
+        """Positive SST-2 examples must contain a token absent from negatives."""
+        task = make_glue_task("SST-2", num_train=200, num_eval=50, seed=0)
+        positive_tokens = set(task.train_inputs[task.train_labels == 1].ravel())
+        negative_tokens = set(task.train_inputs[task.train_labels == 0].ravel())
+        assert positive_tokens - negative_tokens, "keywords should only appear in positives"
+
+    def test_deterministic_per_seed(self):
+        first = make_glue_task("MRPC", seed=5)
+        second = make_glue_task("MRPC", seed=5)
+        np.testing.assert_array_equal(first.train_inputs, second.train_inputs)
+
+
+class TestZeroShotTasks:
+    def test_all_names_construct(self):
+        tokens = np.arange(3, 4000) % 500
+        for name in ZEROSHOT_TASK_NAMES:
+            task = make_zeroshot_task(name, tokens, num_examples=8)
+            assert len(task.examples) == 8
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_zeroshot_task("TriviaQA", np.arange(1000))
+
+    def test_answer_index_valid_and_correct_choice_matches_corpus(self):
+        tokens = np.arange(3, 5003) % 500
+        task = make_zeroshot_task("Hellaswag", tokens, num_examples=10, seed=2)
+        for example in task.examples:
+            assert 0 <= example.answer < len(example.choices)
+            context_len = example.context.shape[0]
+            # The correct continuation must actually follow the context in the stream.
+            joined = np.concatenate([example.context, example.choices[example.answer]])
+            matches = False
+            for start in range(len(tokens) - len(joined)):
+                if np.array_equal(tokens[start : start + len(joined)], joined):
+                    matches = True
+                    break
+            assert matches
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_zeroshot_task("Hellaswag", np.arange(40), num_examples=10)

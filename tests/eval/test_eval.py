@@ -1,0 +1,106 @@
+"""Tests of the evaluation harness: perplexity, accuracy, zero-shot, MSE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniformQuantExecutor
+from repro.data import make_glue_task, make_zeroshot_task
+from repro.errors import ConfigurationError
+from repro.eval import (
+    evaluate_classification,
+    evaluate_perplexity,
+    evaluate_zeroshot,
+    projection_mse,
+    relative_projection_error,
+    score_continuation,
+)
+from repro.models import FloatExecutor, TransformerRunner, extract_weights
+from repro.nn import TransformerClassifier, TransformerConfig, TransformerLM
+from repro.quant import Granularity
+
+
+class TestPerplexity:
+    def test_untrained_model_near_uniform(self, eval_tokens):
+        config = TransformerConfig(
+            vocab_size=512, d_model=16, num_heads=2, num_layers=1, d_ff=32, max_seq_len=64, seed=0
+        )
+        weights = extract_weights(TransformerLM(config))
+        ppl = evaluate_perplexity(TransformerRunner(weights), eval_tokens, seq_len=32, max_windows=4)
+        assert 100 < ppl < 3000  # near the uniform limit of 512, far from trained models
+
+    def test_trained_model_beats_untrained(self, tiny_weights, eval_tokens):
+        trained = evaluate_perplexity(TransformerRunner(tiny_weights), eval_tokens, seq_len=48, max_windows=4)
+        config = TransformerConfig(
+            vocab_size=512, d_model=32, num_heads=2, num_layers=2, d_ff=96, max_seq_len=128, seed=9
+        )
+        untrained = evaluate_perplexity(
+            TransformerRunner(extract_weights(TransformerLM(config))), eval_tokens, seq_len=48, max_windows=4
+        )
+        assert trained < untrained / 3
+
+    def test_max_windows_limits_work(self, tiny_weights, eval_tokens):
+        one = evaluate_perplexity(TransformerRunner(tiny_weights), eval_tokens, seq_len=32, max_windows=1)
+        assert one > 0
+
+    def test_requires_enough_tokens(self, tiny_weights):
+        with pytest.raises(ConfigurationError):
+            evaluate_perplexity(TransformerRunner(tiny_weights), np.arange(10), seq_len=64)
+
+
+class TestClassification:
+    def test_trained_classifier_beats_chance(self):
+        task = make_glue_task("SST-2", vocab_size=128, seq_len=16, num_train=256, num_eval=128, seed=1)
+        config = TransformerConfig(
+            vocab_size=128, d_model=32, num_heads=2, num_layers=1, d_ff=64,
+            causal=False, num_classes=2, max_seq_len=16, seed=1,
+        )
+        from repro.models import train_classifier
+
+        model, _ = train_classifier(config, task, steps=120, batch_size=16, seed=1)
+        weights = extract_weights(model)
+        accuracy = evaluate_classification(TransformerRunner(weights), task, max_examples=128)
+        assert accuracy > 75.0
+
+    def test_max_examples_respected(self, rng):
+        task = make_glue_task("QNLI", vocab_size=128, seq_len=8, num_train=32, num_eval=64, seed=2)
+        config = TransformerConfig(
+            vocab_size=128, d_model=16, num_heads=2, num_layers=1, d_ff=32,
+            causal=False, num_classes=2, max_seq_len=8, seed=2,
+        )
+        weights = extract_weights(TransformerClassifier(config))
+        accuracy = evaluate_classification(TransformerRunner(weights), task, max_examples=16)
+        assert 0.0 <= accuracy <= 100.0
+
+
+class TestZeroShot:
+    def test_trained_lm_beats_chance(self, tiny_weights, eval_tokens):
+        task = make_zeroshot_task("Hellaswag", eval_tokens, num_examples=32, seed=4)
+        accuracy = evaluate_zeroshot(TransformerRunner(tiny_weights), task)
+        chance = 100.0 / task.num_choices
+        assert accuracy > chance + 10
+
+    def test_score_continuation_prefers_true_continuation(self, tiny_weights, eval_tokens):
+        runner = TransformerRunner(tiny_weights)
+        context = eval_tokens[:24]
+        true_continuation = eval_tokens[24:30]
+        random_continuation = np.random.default_rng(0).integers(3, 500, size=6)
+        assert score_continuation(runner, context, true_continuation) > score_continuation(
+            runner, context, random_continuation
+        )
+
+
+class TestMSE:
+    def test_float_executor_has_zero_mse(self, rng):
+        x, weight = rng.normal(size=(8, 6)), rng.normal(size=(6, 4))
+        assert projection_mse(FloatExecutor(), x, weight) == 0.0
+        assert relative_projection_error(FloatExecutor(), x, weight) == 0.0
+
+    def test_coarser_quantization_has_higher_mse(self, rng):
+        x = rng.normal(size=(16, 12))
+        x[:, 2] *= 30
+        weight = rng.normal(size=(12, 8))
+        per_tensor = projection_mse(UniformQuantExecutor(8, Granularity.PER_TENSOR), x, weight)
+        per_column = projection_mse(UniformQuantExecutor(8, Granularity.PER_COLUMN), x, weight)
+        assert per_column < per_tensor

@@ -1,0 +1,34 @@
+"""Tests of the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "table5" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_runs_hardware_experiments(self, capsys):
+        assert main(["table5", "figure13"]) == 0
+        output = capsys.readouterr().out
+        assert "Table V" in output
+        assert "Figure 13" in output
+
+    def test_every_registered_name_has_runner_and_renderer(self):
+        for name, (runner, renderer, description) in EXPERIMENTS.items():
+            assert callable(runner) and callable(renderer)
+            assert description

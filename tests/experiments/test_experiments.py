@@ -1,0 +1,88 @@
+"""Tests of the experiment modules (the per-table/figure runners).
+
+Hardware-model experiments (Table V, Figures 10-13) run at full fidelity.
+Model-quality experiments use the zoo's smallest checkpoint through the
+on-disk cache; they are marked ``slow`` because the first run trains it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_table,
+    render_figure10,
+    render_figure11,
+    render_figure12,
+    render_figure13,
+    render_table5,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_table5,
+)
+from repro.experiments.report import current_profile, full_evaluation_enabled
+
+
+class TestReport:
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["x", 1e6]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text and "1.00e+06" in text
+
+    def test_profile_switches_on_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_EVAL", raising=False)
+        assert not full_evaluation_enabled()
+        assert len(current_profile().models) == 2
+        monkeypatch.setenv("REPRO_FULL_EVAL", "1")
+        assert full_evaluation_enabled()
+        assert len(current_profile().models) == 8
+
+
+class TestHardwareExperiments:
+    def test_table5_reproduces_totals(self):
+        rows = run_table5()
+        rendered = render_table5(rows)
+        assert "3.98" in rendered and "1.60" in rendered
+
+    def test_figure10_geomean_shape(self):
+        rows = run_figure10(models=("opt-6.7b-sim", "llama-2-7b-sim"), seq_len=1024)
+        geomean = rows[-1].speedups
+        assert rows[-1].model == "Geomean"
+        assert geomean["ANT"] == pytest.approx(1.0)
+        assert geomean["Tender"] > geomean["OliVe"] > geomean["OLAccel"] > 1.0
+        assert "Tender" in render_figure10(rows)
+
+    def test_figure11_tender_most_efficient(self):
+        rows = run_figure11(models=("opt-6.7b-sim",), seq_len=1024)
+        efficiency = rows[0].efficiency
+        assert efficiency["Tender"] > efficiency["OliVe"] > 1.0
+        assert "Geomean" in render_figure11(rows)
+
+    def test_figure13_implicit_tracks_baseline(self):
+        rows = run_figure13(models=("opt-6.7b-sim",), group_counts=(8, 16), seq_len=1024)
+        for row in rows:
+            assert row.implicit_normalized < 1.05
+            assert row.explicit_normalized > 1.1
+        sixteen = [r for r in rows if r.num_groups == 16][0]
+        eight = [r for r in rows if r.num_groups == 8][0]
+        assert sixteen.explicit_normalized > eight.explicit_normalized
+        assert "implicit" in render_figure13(rows).lower()
+
+
+@pytest.mark.slow
+class TestModelExperiments:
+    def test_figure12_rows_cover_schemes_and_devices(self):
+        rows = run_figure12(setups=(("rtx3090", "opt-6.7b-sim"),), num_groups=8, batch_tokens=1024)
+        schemes = {row.scheme for row in rows}
+        assert {"FP16", "INT8 (per-tensor)", "Tender SW"} <= schemes
+        fp16 = [r for r in rows if r.scheme == "FP16"][0]
+        tender = [r for r in rows if r.scheme == "Tender SW"][0]
+        assert fp16.mse == 0.0
+        assert tender.normalized_latency < 1.05
+        per_tensor = [r for r in rows if r.scheme == "INT8 (per-tensor)"][0]
+        assert tender.mse < per_tensor.mse
+        assert "Figure 12" in render_figure12(rows)

@@ -1,0 +1,66 @@
+"""Tests of the GPU latency model (Figure 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    figure12_latencies,
+    fp16_latency_ms,
+    get_gpu,
+    int8_latency_ms,
+    per_channel_latency_ms,
+    tender_software_latency_ms,
+)
+
+
+class TestDevices:
+    def test_known_devices(self):
+        assert get_gpu("rtx3090").name == "RTX 3090"
+        assert get_gpu("A100").fp16_tflops > get_gpu("rtx3090").fp16_tflops
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_gpu("h100")
+
+
+class TestLatencyModel:
+    DIMS = dict(m=2048, k=4096, n=4096)
+
+    def test_int8_faster_than_fp16_when_saturated(self):
+        device = get_gpu("rtx3090")
+        assert int8_latency_ms(**self.DIMS, device=device) < fp16_latency_ms(**self.DIMS, device=device)
+
+    def test_per_channel_slower_than_fp16(self):
+        device = get_gpu("rtx3090")
+        assert per_channel_latency_ms(**self.DIMS, device=device) > fp16_latency_ms(
+            **self.DIMS, device=device
+        )
+
+    def test_tender_sw_between_int8_and_fp16(self):
+        device = get_gpu("rtx3090")
+        tender = tender_software_latency_ms(**self.DIMS, device=device, num_groups=8)
+        assert int8_latency_ms(**self.DIMS, device=device) < tender < fp16_latency_ms(
+            **self.DIMS, device=device
+        ) * 1.05
+
+    def test_more_groups_cost_more_in_software(self):
+        device = get_gpu("a100")
+        few = tender_software_latency_ms(**self.DIMS, device=device, num_groups=4)
+        many = tender_software_latency_ms(**self.DIMS, device=device, num_groups=16)
+        assert many > few
+
+    def test_figure12_normalization(self):
+        latencies = figure12_latencies(2048, 4096, 4096, "rtx3090")
+        assert latencies["FP16"].normalized_to_fp16 == pytest.approx(1.0)
+        assert latencies["INT8 (per-tensor)"].normalized_to_fp16 < 1.0
+        assert latencies["INT8 (per-channel)"].normalized_to_fp16 > 1.0
+        assert latencies["Tender SW"].normalized_to_fp16 < 1.0
+
+    def test_small_gemm_underutilization_shrinks_int8_gains(self):
+        """The paper's A100 observation: small GEMMs do not benefit from INT8."""
+        device = get_gpu("a100")
+        small_ratio = int8_latency_ms(64, 512, 512, device) / fp16_latency_ms(64, 512, 512, device)
+        big_ratio = int8_latency_ms(4096, 8192, 8192, device) / fp16_latency_ms(4096, 8192, 8192, device)
+        assert small_ratio > big_ratio

@@ -1,0 +1,93 @@
+"""Tests of outlier injection: function preservation and channel structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    OutlierSpec,
+    TransformerRunner,
+    capture_activations,
+    choose_outlier_channels,
+    inject_outliers,
+    measure_channel_ranges,
+    outlier_ratio,
+)
+
+
+class TestInjection:
+    def test_model_function_is_preserved(self, tiny_weights, outlier_weights, eval_tokens):
+        """The central substitution claim: injection never changes the FP outputs."""
+        tokens = eval_tokens[:32][None, :]
+        original = TransformerRunner(tiny_weights).logits(tokens)
+        injected = TransformerRunner(outlier_weights).logits(tokens)
+        np.testing.assert_allclose(injected, original, rtol=1e-8, atol=1e-8)
+
+    def test_outlier_channels_recorded_and_sorted(self, outlier_weights, outlier_spec):
+        channels = outlier_weights.outlier_channels
+        assert channels.shape == (outlier_spec.total_channels,)
+        assert (np.diff(channels) > 0).all()
+
+    def test_activation_ranges_amplified_in_outlier_channels(self, tiny_weights, outlier_weights, eval_tokens):
+        sample = eval_tokens[:48]
+        before = capture_activations(tiny_weights, sample)["block0.attn.q_proj"]
+        after = capture_activations(outlier_weights, sample)["block0.attn.q_proj"]
+        channels = outlier_weights.outlier_channels
+        before_ranges = measure_channel_ranges(before)[channels]
+        after_ranges = measure_channel_ranges(after)[channels]
+        assert (after_ranges > 5 * before_ranges).all()
+
+    def test_outlier_ratio_increases(self, tiny_weights, outlier_weights, eval_tokens):
+        sample = eval_tokens[:48]
+        before = outlier_ratio(capture_activations(tiny_weights, sample)["block0.ffn.fc1"])
+        after = outlier_ratio(capture_activations(outlier_weights, sample)["block0.ffn.fc1"])
+        assert after > before * 3
+
+    def test_outliers_persist_across_layers(self, outlier_weights, eval_tokens):
+        """Figure 3's observation: the same channels are hot in every layer."""
+        captured = capture_activations(outlier_weights, eval_tokens[:48])
+        channels = outlier_weights.outlier_channels
+        for layer in range(outlier_weights.num_layers):
+            ranges = measure_channel_ranges(captured[f"block{layer}.attn.q_proj"])
+            median = np.median(ranges)
+            assert (ranges[channels] > 4 * median).all()
+
+    def test_explicit_channel_selection(self, tiny_weights):
+        spec = OutlierSpec(num_scale_channels=1, num_shift_channels=1, scale_magnitude=10, shift_magnitude=5)
+        injected = inject_outliers(tiny_weights, spec=spec, channels=[3, 17])
+        np.testing.assert_array_equal(injected.outlier_channels, [3, 17])
+
+    def test_zero_channels_is_identity_structure(self, tiny_weights):
+        spec = OutlierSpec(num_scale_channels=0, num_shift_channels=0)
+        injected = inject_outliers(tiny_weights, spec=spec)
+        assert injected.outlier_channels.size == 0
+        np.testing.assert_allclose(injected.blocks[0].attn.wq, tiny_weights.blocks[0].attn.wq)
+
+
+class TestValidation:
+    def test_rejects_magnitude_below_one(self, tiny_weights):
+        with pytest.raises(ConfigurationError):
+            inject_outliers(tiny_weights, spec=OutlierSpec(scale_magnitude=0.5))
+
+    def test_rejects_spec_plus_overrides(self, tiny_weights):
+        with pytest.raises(ConfigurationError):
+            inject_outliers(tiny_weights, spec=OutlierSpec(), scale_magnitude=10.0)
+
+    def test_rejects_out_of_range_channels(self, tiny_weights):
+        spec = OutlierSpec(num_scale_channels=1, num_shift_channels=0)
+        with pytest.raises(ConfigurationError):
+            inject_outliers(tiny_weights, spec=spec, channels=[10_000])
+
+    def test_rejects_wrong_channel_count(self, tiny_weights):
+        spec = OutlierSpec(num_scale_channels=2, num_shift_channels=1)
+        with pytest.raises(ConfigurationError):
+            inject_outliers(tiny_weights, spec=spec, channels=[1, 2])
+
+    def test_choose_channels_bounds(self):
+        channels = choose_outlier_channels(64, 5, seed=1)
+        assert channels.shape == (5,)
+        assert channels.min() >= 0 and channels.max() < 64
+        with pytest.raises(ConfigurationError):
+            choose_outlier_channels(8, 8)

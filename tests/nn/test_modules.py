@@ -1,0 +1,100 @@
+"""Tests of the basic NN modules: Linear, LayerNorm, Embedding, attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import Embedding, LayerNorm, Linear, MultiHeadAttention, causal_mask
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self, rng):
+        layer = Linear(6, 4, rng)
+        x = rng.normal(size=(3, 6))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_without_bias(self, rng):
+        layer = Linear(6, 4, rng, bias=False)
+        assert layer.bias is None
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), x @ layer.weight.data)
+
+    def test_parameters_are_registered(self, rng):
+        layer = Linear(6, 4, rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 6 * 4 + 4
+
+    def test_weight_orientation_is_in_by_out(self, rng):
+        layer = Linear(8, 3, rng)
+        assert layer.weight.data.shape == (8, 3)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dimension(self, rng):
+        layer = LayerNorm(8)
+        x = rng.normal(size=(5, 8)) * 4 + 7
+        out = layer(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_has_gain_and_bias_parameters(self):
+        layer = LayerNorm(8)
+        names = {name for name, _ in layer.named_parameters()}
+        assert names == {"gain", "bias"}
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        layer = Embedding(20, 6, rng)
+        out = layer(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 6)
+
+    def test_distinct_tokens_get_distinct_vectors(self, rng):
+        layer = Embedding(20, 6, rng)
+        out = layer(np.array([0, 1])).numpy()
+        assert not np.allclose(out[0], out[1])
+
+
+class TestAttention:
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultiHeadAttention(d_model=10, num_heads=3, rng=rng)
+
+    def test_output_shape(self, rng):
+        attn = MultiHeadAttention(d_model=16, num_heads=4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_causal_mask_is_upper_triangular(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] and mask[2, 3]
+        assert not mask[1, 1] and not mask[3, 0]
+
+    def test_causality_first_token_ignores_future(self, rng):
+        attn = MultiHeadAttention(d_model=8, num_heads=2, rng=rng, causal=True)
+        x1 = rng.normal(size=(1, 4, 8))
+        x2 = x1.copy()
+        x2[0, 3] += 10.0  # perturb the last position only
+        out1 = attn(Tensor(x1)).numpy()
+        out2 = attn(Tensor(x2)).numpy()
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-9)
+
+    def test_non_causal_attention_sees_future(self, rng):
+        attn = MultiHeadAttention(d_model=8, num_heads=2, rng=rng, causal=False)
+        x1 = rng.normal(size=(1, 4, 8))
+        x2 = x1.copy()
+        x2[0, 3] += 10.0
+        out1 = attn(Tensor(x1)).numpy()
+        out2 = attn(Tensor(x2)).numpy()
+        assert not np.allclose(out1[0, 0], out2[0, 0])
+
+    def test_gradients_reach_all_projections(self, rng):
+        attn = MultiHeadAttention(d_model=8, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        for _, param in attn.named_parameters():
+            assert param.grad is not None

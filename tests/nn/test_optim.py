@@ -1,0 +1,95 @@
+"""Tests of the optimizers and a tiny end-to-end training sanity check."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import SGD, Adam, TransformerConfig, TransformerLM
+from repro.nn.optim import Optimizer
+from repro.tensor import Tensor, cross_entropy
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    """Simple convex objective with minimum at 3."""
+    return ((param - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.array([0.0]), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Tensor(np.array([0.0]), requires_grad=True)
+        momentum = Tensor(np.array([0.0]), requires_grad=True)
+        opt_plain = SGD([plain], lr=0.02)
+        opt_momentum = SGD([momentum], lr=0.02, momentum=0.9)
+        for _ in range(20):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                loss = quadratic_loss(param)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_skips_parameters_without_gradients(self):
+        param = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no backward yet
+        np.testing.assert_allclose(param.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.array([0.0, 10.0]), requires_grad=True)
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, 3.0], atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = Adam([param], lr=0.01, weight_decay=1.0)
+        for _ in range(50):
+            loss = (param * 0.0).sum()  # zero task gradient; only decay acts
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert abs(param.data[0]) < 5.0
+
+    def test_base_class_step_is_abstract(self):
+        param = Tensor(np.array([0.0]), requires_grad=True)
+        try:
+            Optimizer([param]).step()
+        except NotImplementedError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("Optimizer.step should raise NotImplementedError")
+
+
+class TestTrainingStep:
+    def test_one_adam_step_reduces_lm_loss(self, rng):
+        config = TransformerConfig(
+            vocab_size=30, d_model=16, num_heads=2, num_layers=1, d_ff=32, max_seq_len=16, seed=5
+        )
+        model = TransformerLM(config)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        tokens = rng.integers(0, 30, size=(4, 9))
+        inputs, targets = tokens[:, :-1], tokens[:, 1:]
+        losses = []
+        for _ in range(10):
+            loss = cross_entropy(model(inputs), targets)
+            losses.append(loss.item())
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert losses[-1] < losses[0]

@@ -1,0 +1,107 @@
+"""Tests of the Transformer models (LM and classifier) and the Module base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import TransformerClassifier, TransformerConfig, TransformerLM
+
+
+@pytest.fixture
+def small_config():
+    return TransformerConfig(
+        vocab_size=50, d_model=16, num_heads=2, num_layers=2, d_ff=32, max_seq_len=20, seed=7
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_activation(self):
+        with pytest.raises(ConfigurationError):
+            TransformerConfig(activation="swish")
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigurationError):
+            TransformerConfig(d_model=30, num_heads=4)
+
+    def test_d_head(self):
+        assert TransformerConfig(d_model=64, num_heads=4).d_head == 16
+
+
+class TestTransformerLM:
+    def test_logits_shape(self, small_config):
+        model = TransformerLM(small_config)
+        tokens = np.array([[1, 2, 3, 4]])
+        assert model(tokens).shape == (1, 4, 50)
+
+    def test_accepts_1d_tokens(self, small_config):
+        model = TransformerLM(small_config)
+        assert model(np.array([1, 2, 3])).shape == (1, 3, 50)
+
+    def test_rejects_too_long_sequences(self, small_config):
+        model = TransformerLM(small_config)
+        with pytest.raises(ConfigurationError):
+            model(np.arange(25))
+
+    def test_requires_causal_config(self, small_config):
+        config = TransformerConfig(
+            vocab_size=50, d_model=16, num_heads=2, num_layers=1, d_ff=32, causal=False
+        )
+        with pytest.raises(ConfigurationError):
+            TransformerLM(config)
+
+    def test_causality_of_full_model(self, small_config, rng):
+        model = TransformerLM(small_config)
+        tokens = rng.integers(0, 50, size=(1, 6))
+        modified = tokens.copy()
+        modified[0, -1] = (modified[0, -1] + 1) % 50
+        out1 = model(tokens).numpy()
+        out2 = model(modified).numpy()
+        np.testing.assert_allclose(out1[0, :-1], out2[0, :-1], atol=1e-9)
+
+    def test_deterministic_given_seed(self, small_config):
+        tokens = np.array([[1, 2, 3]])
+        out1 = TransformerLM(small_config)(tokens).numpy()
+        out2 = TransformerLM(small_config)(tokens).numpy()
+        np.testing.assert_allclose(out1, out2)
+
+    def test_state_dict_roundtrip(self, small_config, rng):
+        model = TransformerLM(small_config)
+        state = model.state_dict()
+        other = TransformerLM(
+            TransformerConfig(
+                vocab_size=50, d_model=16, num_heads=2, num_layers=2, d_ff=32, max_seq_len=20, seed=99
+            )
+        )
+        other.load_state_dict(state)
+        tokens = rng.integers(0, 50, size=(1, 5))
+        np.testing.assert_allclose(model(tokens).numpy(), other(tokens).numpy())
+
+    def test_load_state_dict_rejects_missing_keys(self, small_config):
+        model = TransformerLM(small_config)
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_parameter_count_is_positive_and_consistent(self, small_config):
+        model = TransformerLM(small_config)
+        total = sum(p.size for p in model.parameters())
+        assert model.num_parameters() == total > 0
+
+
+class TestTransformerClassifier:
+    def test_requires_num_classes(self):
+        config = TransformerConfig(d_model=16, num_heads=2, num_layers=1, d_ff=32, causal=False)
+        with pytest.raises(ConfigurationError):
+            TransformerClassifier(config)
+
+    def test_classify_shape(self):
+        config = TransformerConfig(
+            vocab_size=50, d_model=16, num_heads=2, num_layers=1, d_ff=32,
+            causal=False, num_classes=3, max_seq_len=16,
+        )
+        model = TransformerClassifier(config)
+        logits = model(np.array([[1, 2, 3, 4]]))
+        assert logits.shape == (1, 3)

@@ -1,0 +1,91 @@
+"""Tests of the integer GEMM emulation and accumulator semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    Granularity,
+    compute_scale,
+    int_matmul,
+    quantize_symmetric,
+    quantized_matmul,
+    shift_left,
+)
+
+
+class TestIntMatmul:
+    def test_matches_float_matmul_exactly(self, rng):
+        a = rng.integers(-127, 128, size=(8, 16)).astype(np.int32)
+        b = rng.integers(-127, 128, size=(16, 4)).astype(np.int32)
+        np.testing.assert_array_equal(int_matmul(a, b), a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_rejects_float_operands(self, rng):
+        with pytest.raises(QuantizationError):
+            int_matmul(rng.normal(size=(2, 2)), rng.integers(0, 5, size=(2, 2)))
+
+    def test_detects_accumulator_overflow(self):
+        a = np.full((1, 300_000), 127, dtype=np.int64)
+        b = np.full((300_000, 1), 127, dtype=np.int64)
+        with pytest.raises(QuantizationError):
+            int_matmul(a, b)
+
+    def test_overflow_check_can_be_disabled(self):
+        a = np.full((1, 300_000), 127, dtype=np.int64)
+        b = np.full((300_000, 1), 127, dtype=np.int64)
+        result = int_matmul(a, b, check_overflow=False)
+        assert result[0, 0] == 127 * 127 * 300_000
+
+
+class TestQuantizedMatmul:
+    def test_approximates_float_product(self, rng):
+        x = rng.normal(size=(16, 32))
+        w = rng.normal(size=(32, 8))
+        x_scale = compute_scale(x, 8, Granularity.PER_ROW)
+        w_scale = compute_scale(w, 8, Granularity.PER_COLUMN)
+        result = quantized_matmul(
+            quantize_symmetric(x, x_scale, 8), x_scale, quantize_symmetric(w, w_scale, 8), w_scale
+        )
+        reference = x @ w
+        relative_error = np.linalg.norm(result - reference) / np.linalg.norm(reference)
+        assert relative_error < 0.02
+
+    def test_error_shrinks_with_bits(self, rng):
+        x = rng.normal(size=(8, 16))
+        w = rng.normal(size=(16, 8))
+        reference = x @ w
+        errors = {}
+        for bits in (4, 8):
+            x_scale = compute_scale(x, bits, Granularity.PER_ROW)
+            w_scale = compute_scale(w, bits, Granularity.PER_COLUMN)
+            result = quantized_matmul(
+                quantize_symmetric(x, x_scale, bits), x_scale,
+                quantize_symmetric(w, w_scale, bits), w_scale,
+            )
+            errors[bits] = np.linalg.norm(result - reference)
+        assert errors[8] < errors[4]
+
+
+class TestShiftLeft:
+    def test_doubles_values(self):
+        acc = np.array([[3, -5]], dtype=np.int64)
+        np.testing.assert_array_equal(shift_left(acc), [[6, -10]])
+
+    def test_multi_bit_shift(self):
+        acc = np.array([1], dtype=np.int64)
+        assert shift_left(acc, bits=3)[0] == 8
+
+    def test_detects_overflow(self):
+        acc = np.array([2**30 + 1], dtype=np.int64)
+        with pytest.raises(QuantizationError):
+            shift_left(acc, bits=1)
+
+    @given(arrays(np.int64, (4, 4), elements=st.integers(-(2**20), 2**20)))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_equals_multiplication_by_two(self, acc):
+        np.testing.assert_array_equal(shift_left(acc), acc * 2)

@@ -1,0 +1,68 @@
+"""Tests of calibration observers and tensor statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.quant import ActivationObserver, TensorStatistics
+
+
+class TestTensorStatistics:
+    def test_channel_max_min_track_extremes(self):
+        stats = TensorStatistics()
+        stats.update(np.array([[1.0, -2.0], [3.0, 0.5]]))
+        stats.update(np.array([[-5.0, 4.0], [0.0, 0.0]]))
+        np.testing.assert_allclose(stats.channel_max, [3.0, 4.0])
+        np.testing.assert_allclose(stats.channel_min, [-5.0, -2.0])
+
+    def test_channel_absmax_and_bias(self):
+        stats = TensorStatistics()
+        stats.update(np.array([[2.0, 10.0], [-4.0, 6.0]]))
+        np.testing.assert_allclose(stats.channel_absmax, [4.0, 10.0])
+        np.testing.assert_allclose(stats.channel_bias, [-1.0, 8.0])
+
+    def test_tensor_absmax_and_rms(self):
+        stats = TensorStatistics()
+        stats.update(np.array([[3.0, -4.0]]))
+        assert stats.tensor_absmax == 4.0
+        np.testing.assert_allclose(stats.rms, np.sqrt((9 + 16) / 2))
+
+    def test_handles_3d_batches_by_flattening(self):
+        stats = TensorStatistics()
+        stats.update(np.ones((2, 3, 4)))
+        assert stats.channel_max.shape == (4,)
+
+    def test_mismatched_channels_rejected(self):
+        stats = TensorStatistics()
+        stats.update(np.ones((2, 4)))
+        with pytest.raises(CalibrationError):
+            stats.update(np.ones((2, 5)))
+
+    def test_empty_statistics_raise(self):
+        stats = TensorStatistics()
+        with pytest.raises(CalibrationError):
+            _ = stats.channel_absmax
+        with pytest.raises(CalibrationError):
+            _ = stats.rms
+
+
+class TestActivationObserver:
+    def test_observe_and_get(self):
+        observer = ActivationObserver()
+        observer.observe("site.a", np.ones((2, 3)))
+        observer.observe("site.a", 2 * np.ones((2, 3)))
+        assert observer.get("site.a").num_batches == 2
+        assert "site.a" in observer
+        assert len(observer) == 1
+
+    def test_get_unknown_site_raises(self):
+        with pytest.raises(CalibrationError):
+            ActivationObserver().get("missing")
+
+    def test_names_sorted(self):
+        observer = ActivationObserver()
+        observer.observe("b", np.ones((1, 2)))
+        observer.observe("a", np.ones((1, 2)))
+        assert observer.names() == ["a", "b"]

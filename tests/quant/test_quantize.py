@@ -1,0 +1,163 @@
+"""Tests of the uniform quantization primitives, including property-based ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    Granularity,
+    QuantizedTensor,
+    compute_scale,
+    dequantize_asymmetric,
+    fake_quantize,
+    integer_range,
+    quantization_mse,
+    quantize_asymmetric,
+    quantize_symmetric,
+    quantize_tensor,
+)
+
+
+class TestIntegerRange:
+    def test_known_values(self):
+        assert integer_range(8) == 127
+        assert integer_range(4) == 7
+        assert integer_range(2) == 1
+
+    @pytest.mark.parametrize("bits", [0, 1, 33])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(QuantizationError):
+            integer_range(bits)
+
+
+class TestComputeScale:
+    def test_per_tensor_scale_value(self):
+        tensor = np.array([[1.0, -2.0], [0.5, 1.27]])
+        scale = compute_scale(tensor, 8, Granularity.PER_TENSOR)
+        np.testing.assert_allclose(scale, 2.0 / 127)
+
+    def test_per_row_shape_and_values(self, rng):
+        tensor = rng.normal(size=(5, 8))
+        scale = compute_scale(tensor, 8, Granularity.PER_ROW)
+        assert scale.shape == (5, 1)
+        np.testing.assert_allclose(scale[:, 0], np.abs(tensor).max(axis=1) / 127)
+
+    def test_per_column_shape(self, rng):
+        tensor = rng.normal(size=(5, 8))
+        scale = compute_scale(tensor, 8, Granularity.PER_COLUMN)
+        assert scale.shape == (1, 8)
+
+    def test_per_group_requires_decomposition(self, rng):
+        with pytest.raises(QuantizationError):
+            compute_scale(rng.normal(size=(4, 4)), 8, Granularity.PER_GROUP)
+
+    def test_zero_tensor_gets_positive_scale(self):
+        scale = compute_scale(np.zeros((3, 3)), 8, Granularity.PER_TENSOR)
+        assert scale > 0
+
+
+class TestSymmetricQuantization:
+    def test_roundtrip_error_bounded_by_half_scale(self, rng):
+        tensor = rng.normal(size=(16, 16)) * 3
+        scale = compute_scale(tensor, 8, Granularity.PER_TENSOR)
+        quantized = quantize_symmetric(tensor, scale, 8)
+        restored = quantized * scale
+        assert np.abs(tensor - restored).max() <= float(scale) / 2 + 1e-12
+
+    def test_values_stay_in_integer_range(self, rng):
+        tensor = rng.normal(size=(8, 8)) * 100
+        scale = compute_scale(tensor, 4, Granularity.PER_TENSOR)
+        quantized = quantize_symmetric(tensor, scale, 4)
+        assert quantized.max() <= 7 and quantized.min() >= -7
+
+    def test_quantize_tensor_container(self, rng):
+        tensor = rng.normal(size=(6, 6))
+        quantized = quantize_tensor(tensor, 8, Granularity.PER_ROW)
+        assert isinstance(quantized, QuantizedTensor)
+        assert quantized.shape == (6, 6)
+        assert quantized.granularity == Granularity.PER_ROW
+
+    def test_quantized_tensor_rejects_out_of_range_values(self):
+        with pytest.raises(QuantizationError):
+            QuantizedTensor(values=np.array([300]), scale=np.array(1.0), bits=8)
+
+    def test_dequantize_with_bias_restores_offset(self, rng):
+        tensor = rng.normal(size=(4, 4)) + 10.0
+        bias = np.full(4, 10.0)
+        shifted = tensor - bias
+        scale = compute_scale(shifted, 8, Granularity.PER_TENSOR)
+        quantized = QuantizedTensor(
+            values=quantize_symmetric(shifted, scale, 8), scale=scale, bits=8, bias=bias
+        )
+        np.testing.assert_allclose(quantized.dequantize(), tensor, atol=float(scale))
+
+    def test_fake_quantize_reduces_precision_not_shape(self, rng):
+        tensor = rng.normal(size=(5, 7))
+        fake = fake_quantize(tensor, 4)
+        assert fake.shape == tensor.shape
+        assert not np.allclose(fake, tensor)
+
+    def test_mse_decreases_with_more_bits(self, rng):
+        tensor = rng.normal(size=(32, 32))
+        mse4 = quantization_mse(tensor, quantize_tensor(tensor, 4))
+        mse8 = quantization_mse(tensor, quantize_tensor(tensor, 8))
+        assert mse8 < mse4
+
+    def test_finer_granularity_never_hurts_on_outlier_tensor(self, rng):
+        tensor = rng.normal(size=(32, 32))
+        tensor[:, 3] *= 50  # one outlier channel
+        per_tensor = quantization_mse(tensor, quantize_tensor(tensor, 8, Granularity.PER_TENSOR))
+        per_column = quantization_mse(tensor, quantize_tensor(tensor, 8, Granularity.PER_COLUMN))
+        assert per_column < per_tensor
+
+
+class TestAsymmetricQuantization:
+    def test_roundtrip_error_bounded(self, rng):
+        tensor = rng.normal(size=(10, 10)) + 5.0
+        quantized, scale, zero_point = quantize_asymmetric(tensor, 8)
+        restored = dequantize_asymmetric(quantized, scale, zero_point)
+        assert np.abs(tensor - restored).max() <= float(np.max(scale)) * 1.01
+
+    def test_handles_strictly_positive_tensors_efficiently(self, rng):
+        tensor = rng.uniform(10, 11, size=(20, 20))
+        _, scale_asym, _ = quantize_asymmetric(tensor, 8)
+        scale_sym = compute_scale(tensor, 8, Granularity.PER_TENSOR)
+        # Asymmetric quantization spends its range on [10, 11] only.
+        assert float(np.max(scale_asym)) < float(scale_sym)
+
+
+class TestQuantizationProperties:
+    @given(
+        arrays(np.float64, (8, 8), elements=st.floats(-1000, 1000)),
+        st.sampled_from([4, 6, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_error_bound_property(self, tensor, bits):
+        scale = compute_scale(tensor, bits, Granularity.PER_TENSOR)
+        quantized = quantize_symmetric(tensor, scale, bits)
+        restored = quantized * scale
+        assert np.abs(tensor - restored).max() <= float(scale) * 0.5 + 1e-9
+
+    @given(arrays(np.float64, (6, 6), elements=st.floats(-100, 100)))
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_is_idempotent(self, tensor):
+        scale = compute_scale(tensor, 8, Granularity.PER_TENSOR)
+        once = quantize_symmetric(tensor, scale, 8) * scale
+        twice = quantize_symmetric(once, scale, 8) * scale
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(
+        arrays(np.float64, (4, 12), elements=st.floats(-100, 100)),
+        st.sampled_from([Granularity.PER_TENSOR, Granularity.PER_ROW, Granularity.PER_COLUMN]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_per_granularity_error_bound(self, tensor, granularity):
+        quantized = quantize_tensor(tensor, 8, granularity)
+        error = np.abs(tensor - quantized.dequantize())
+        bound = np.broadcast_to(quantized.scale, tensor.shape) * 0.5 + 1e-9
+        assert (error <= bound).all()

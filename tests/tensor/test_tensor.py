@@ -1,0 +1,223 @@
+"""Tests of the autograd Tensor: forward values and gradient correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, concatenate, stack
+
+
+def numeric_gradient(func, value: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = func(value)
+        flat[index] = original - epsilon
+        lower = func(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def check_gradient(build_output, value: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autograd gradient against a finite-difference estimate."""
+    tensor = Tensor(value.copy(), requires_grad=True)
+    output = build_output(tensor)
+    output.backward()
+    numeric = numeric_gradient(lambda v: build_output(Tensor(v)).item(), value.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestForward:
+    def test_add_values(self):
+        result = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(result.numpy(), [4.0, 6.0])
+
+    def test_scalar_add_broadcasts(self):
+        result = Tensor([[1.0, 2.0]]) + 1.5
+        np.testing.assert_allclose(result.numpy(), [[2.5, 3.5]])
+
+    def test_mul_and_neg(self):
+        result = -(Tensor([2.0, 3.0]) * Tensor([4.0, 5.0]))
+        np.testing.assert_allclose(result.numpy(), [-8.0, -15.0])
+
+    def test_sub_and_div(self):
+        result = (Tensor([6.0, 9.0]) - 3.0) / Tensor([3.0, 2.0])
+        np.testing.assert_allclose(result.numpy(), [1.0, 3.0])
+
+    def test_rsub_rdiv(self):
+        np.testing.assert_allclose((10.0 - Tensor([4.0])).numpy(), [6.0])
+        np.testing.assert_allclose((12.0 / Tensor([4.0])).numpy(), [3.0])
+
+    def test_matmul_matches_numpy(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b)
+
+    def test_batched_matmul(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b)
+
+    def test_reshape_and_transpose(self, rng):
+        a = rng.normal(size=(2, 6))
+        tensor = Tensor(a)
+        np.testing.assert_allclose(tensor.reshape(3, 4).numpy(), a.reshape(3, 4))
+        np.testing.assert_allclose(tensor.transpose().numpy(), a.T)
+
+    def test_swapaxes(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(Tensor(a).swapaxes(1, 2).numpy(), np.swapaxes(a, 1, 2))
+
+    def test_getitem(self, rng):
+        a = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(Tensor(a)[1:3].numpy(), a[1:3])
+
+    def test_sum_mean_max(self, rng):
+        a = rng.normal(size=(3, 4))
+        tensor = Tensor(a)
+        np.testing.assert_allclose(tensor.sum(axis=0).numpy(), a.sum(axis=0))
+        np.testing.assert_allclose(tensor.mean(axis=1).numpy(), a.mean(axis=1))
+        np.testing.assert_allclose(tensor.max(axis=1).numpy(), a.max(axis=1))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = Tensor(rng.normal(size=(5, 7))).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(5))
+        assert (probs >= 0).all()
+
+    def test_relu_gelu_tanh_exp_log(self, rng):
+        a = rng.normal(size=(4, 4))
+        assert (Tensor(a).relu().numpy() >= 0).all()
+        np.testing.assert_allclose(Tensor(a).tanh().numpy(), np.tanh(a))
+        np.testing.assert_allclose(Tensor(np.abs(a) + 1).log().numpy(), np.log(np.abs(a) + 1))
+        np.testing.assert_allclose(Tensor(a).exp().numpy(), np.exp(a))
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False], [False, True]])
+        result = Tensor(np.ones((2, 2))).masked_fill(mask, -5.0)
+        np.testing.assert_allclose(result.numpy(), [[-5.0, 1.0], [1.0, -5.0]])
+
+    def test_detach_cuts_graph(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+
+    def test_concatenate_and_stack(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        np.testing.assert_allclose(concatenate([Tensor(a), Tensor(b)], axis=0).numpy(), np.concatenate([a, b]))
+        np.testing.assert_allclose(stack([Tensor(a), Tensor(b)], axis=0).numpy(), np.stack([a, b]))
+
+
+class TestBackward:
+    def test_backward_requires_scalar(self):
+        tensor = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ShapeError):
+            (tensor * 2).backward()
+
+    def test_add_mul_gradient(self, rng):
+        value = rng.normal(size=(3, 3))
+        check_gradient(lambda t: ((t * 3.0 + 1.0) * t).sum(), value)
+
+    def test_matmul_gradient(self, rng):
+        value = rng.normal(size=(3, 4))
+        other = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t @ Tensor(other)).sum(), value)
+
+    def test_broadcast_add_gradient(self, rng):
+        value = rng.normal(size=(3,))
+        other = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (Tensor(other) + t).sum(), value)
+
+    def test_softmax_gradient(self, rng):
+        value = rng.normal(size=(2, 5))
+        weights = rng.normal(size=(2, 5))
+        check_gradient(lambda t: (t.softmax(axis=-1) * Tensor(weights)).sum(), value)
+
+    def test_gelu_gradient(self, rng):
+        value = rng.normal(size=(4, 3))
+        check_gradient(lambda t: t.gelu().sum(), value)
+
+    def test_relu_gradient(self, rng):
+        value = rng.normal(size=(4, 3)) + 0.1  # avoid the kink at exactly zero
+        check_gradient(lambda t: (t.relu() * t).sum(), value)
+
+    def test_reshape_transpose_gradient(self, rng):
+        value = rng.normal(size=(2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4).transpose() ** 2).sum(), value)
+
+    def test_sum_axis_gradient(self, rng):
+        value = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), value)
+
+    def test_mean_gradient(self, rng):
+        value = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.mean(axis=1) ** 3).sum(), value)
+
+    def test_max_gradient(self, rng):
+        value = rng.normal(size=(3, 4))
+        check_gradient(lambda t: t.max(axis=1).sum(), value)
+
+    def test_getitem_gradient(self, rng):
+        value = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (t[1:3] ** 2).sum(), value)
+
+    def test_masked_fill_gradient(self, rng):
+        value = rng.normal(size=(3, 3))
+        mask = np.eye(3, dtype=bool)
+        check_gradient(lambda t: (t.masked_fill(mask, 0.0) ** 2).sum(), value)
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        tensor = Tensor([2.0], requires_grad=True)
+        out = tensor * 3.0 + tensor * 4.0
+        out.backward()
+        np.testing.assert_allclose(tensor.grad, [7.0])
+
+    def test_zero_grad_resets(self):
+        tensor = Tensor([2.0], requires_grad=True)
+        (tensor * 2).backward()
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+    def test_no_grad_flow_into_non_requiring_tensors(self, rng):
+        fixed = Tensor(rng.normal(size=(3, 3)), requires_grad=False)
+        variable = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        (fixed * variable).sum().backward()
+        assert fixed.grad is None
+        assert variable.grad is not None
+
+
+class TestProperties:
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=3, max_side=5),
+               elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_add_zero_is_identity(self, value):
+        result = (Tensor(value) + 0.0).numpy()
+        np.testing.assert_allclose(result, value)
+
+    @given(
+        arrays(np.float64, (3, 4), elements=st.floats(-50, 50)),
+        arrays(np.float64, (3, 4), elements=st.floats(-50, 50)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_addition_commutes(self, a, b):
+        left = (Tensor(a) + Tensor(b)).numpy()
+        right = (Tensor(b) + Tensor(a)).numpy()
+        np.testing.assert_allclose(left, right)
+
+    @given(arrays(np.float64, (4, 6), elements=st.floats(-20, 20)))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_is_shift_invariant(self, value):
+        base = Tensor(value).softmax(axis=-1).numpy()
+        shifted = Tensor(value + 100.0).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(base, shifted, atol=1e-9)
