@@ -8,7 +8,9 @@ def test_figure12_gpu_latency_mse(benchmark, render):
     rows = run_once(benchmark, run_figure12)
     render(render_figure12(rows))
     by_key = {(r.device, r.scheme): r for r in rows}
-    for device in ("rtx3090", "a100"):
+    devices = sorted({r.device for r in rows})
+    assert devices  # at least one setup even in smoke mode
+    for device in devices:
         fp16 = by_key[(device, "FP16")]
         tender = by_key[(device, "Tender SW")]
         per_tensor = by_key[(device, "INT8 (per-tensor)")]

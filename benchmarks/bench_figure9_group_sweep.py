@@ -2,6 +2,7 @@
 
 from benchmarks.conftest import run_once
 from repro.experiments import render_figure9, run_figure9
+from repro.experiments.report import current_profile
 
 
 def run_sweeps():
@@ -10,9 +11,13 @@ def run_sweeps():
     The alpha=4 ablation uses fewer groups because the rescale factor between
     the first and last group grows as alpha^(G-1) and must stay within the
     32-bit accumulator headroom (the same constraint the hardware has).
+    Smoke mode keeps only the sweep points the assertions below consume.
     """
-    points = run_figure9(group_counts=(1, 2, 4, 8, 12), bit_widths=(4, 8), alphas=(2,))
-    points += run_figure9(group_counts=(2, 4, 6), bit_widths=(4,), alphas=(4,))
+    smoke = current_profile().smoke
+    group_counts = (1, 8) if smoke else (1, 2, 4, 8, 12)
+    ablation_counts = (4,) if smoke else (2, 4, 6)
+    points = run_figure9(group_counts=group_counts, bit_widths=(4, 8), alphas=(2,))
+    points += run_figure9(group_counts=ablation_counts, bit_widths=(4,), alphas=(4,))
     return points
 
 

@@ -2,11 +2,16 @@
 
 from benchmarks.conftest import run_once
 from repro.experiments import render_table4, run_table4
-from repro.experiments.report import full_evaluation_enabled
+from repro.experiments.report import current_profile, full_evaluation_enabled
 
 
 def test_table4_bert_glue(benchmark, render):
-    tasks = None if full_evaluation_enabled() else ["SST-2", "QNLI"]
+    if full_evaluation_enabled():
+        tasks = None
+    elif current_profile().smoke:
+        tasks = ["SST-2"]
+    else:
+        tasks = ["SST-2", "QNLI"]
     cells = run_once(benchmark, run_table4, tasks=tasks)
     render(render_table4(cells))
     index = {(c.precision, c.scheme, c.task): c.accuracy for c in cells}

@@ -9,12 +9,18 @@ This example walks the full public API in a few steps:
 3. calibrate Tender (channel decomposition + per-chunk biases and scales) on a
    handful of calibration sequences,
 4. evaluate perplexity of the FP baseline, naive INT8/INT4 per-tensor
-   quantization, and Tender INT8/INT4.
+   quantization, and Tender INT8/INT4,
+5. serve a batch of ragged prompts through the KV-cached generation engine
+   (``repro.serve``) with both the FP and the Tender runner — incremental
+   decoding reproduces the full-sequence logits exactly, so the two engines
+   emit the same continuations whenever Tender tracks the FP model.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.baselines import SchemeRequest, build_runner
 from repro.core import TenderConfig, TenderQuantizer
@@ -22,6 +28,7 @@ from repro.data import calibration_samples, load_corpus
 from repro.eval import evaluate_perplexity
 from repro.models import TransformerRunner, extract_weights, inject_outliers, train_language_model
 from repro.nn import TransformerConfig
+from repro.serve import GenerationConfig, GenerationEngine
 
 
 def main() -> None:
@@ -74,6 +81,30 @@ def main() -> None:
     print(f"  INT4 Tender            : {perplexity(runner_int4):8.2f}")
     print("\nTender INT8 should track the FP16 baseline, and Tender INT4 should stay")
     print("far below the per-tensor INT4 blow-up — the paper's Table II in miniature.")
+
+    # ------------------------------------------------------------------
+    # 5. Batched generation through the KV-cached engine.
+    # ------------------------------------------------------------------
+    # Ragged prompts are fine: the engine right-pads, prefills the cache in
+    # one pass, and decodes one token per request per step.  Greedy decoding
+    # through the cache is exactly equivalent to re-running the full forward
+    # at every step — just ~seq-times cheaper per token.
+    prompts = [train_tokens[:8], train_tokens[100:105], train_tokens[200:212]]
+    generation = GenerationConfig(max_new_tokens=12)   # top_k=0 -> greedy
+    print("\ngenerating 12 tokens for 3 ragged prompts (greedy, KV-cached):")
+    for label, runner in [("FP16", fp_runner), ("INT8 Tender", runner_int8)]:
+        result = GenerationEngine(runner).generate(prompts, generation)
+        continuations = " | ".join(
+            np.array2string(tokens, separator=",") for tokens in result.generated
+        )
+        print(f"  {label:12s}: {continuations}")
+    sampled = GenerationEngine(runner_int8).generate(
+        prompts, GenerationConfig(max_new_tokens=12, top_k=8, temperature=1.2, seed=0)
+    )
+    print(f"  top-k sample : {np.array2string(sampled.generated[0], separator=',')}")
+    print("\nMatching FP16/Tender prefixes show INT8 Tender preserving the greedy")
+    print("argmax; where they diverge, quantization flipped a near-tie (the small")
+    print("perplexity gap above). Top-k adds seeded, replayable diversity.")
 
 
 if __name__ == "__main__":

@@ -31,26 +31,40 @@ from repro.core.decomposition import (
     quantize_decomposed,
 )
 from repro.core.requantization import requantized_matmul
-from repro.errors import CalibrationError
+from repro.errors import CalibrationError, QuantizationError
 from repro.models.inference import TransformerRunner
 from repro.models.weights import ModelWeights
-from repro.quant.granularity import Granularity, compute_scale
+from repro.quant.granularity import Granularity, compute_scale, integer_range
 from repro.quant.quantize import quantize_symmetric
+
+#: Hardware accumulator range (Section IV-B), shared with the requantization kernels.
+_ACC_MAX = 2**31 - 1
+_ACC_MIN = -(2**31)
 
 
 class TenderExecutor:
     """Matmul executor implementing Tender's decomposed quantization."""
+
+    #: The inference engine passes per-row token positions when this is set,
+    #: so the row-chunk lookup stays consistent between full-sequence forwards
+    #: and the incremental (KV-cached) decode path.
+    uses_positions = True
 
     def __init__(
         self,
         site_params: Dict[str, TenderSiteParams],
         config: Optional[TenderConfig] = None,
         implicit: bool = True,
+        vectorized_attention: bool = True,
     ) -> None:
         self.site_params = site_params
         self.config = config or TenderConfig()
         #: Whether to use implicit (shift-accumulate) or explicit requantization.
         self.implicit = implicit
+        #: Whether activation-activation matmuls use the batched (stacked-head)
+        #: kernel or the reference per-batch/per-head loop.  Both produce
+        #: bit-identical results; the loop is kept for regression tests.
+        self.vectorized_attention = vectorized_attention
         self._weight_cache: Dict[str, tuple] = {}
         self._bias_projection_cache: Dict[str, List[np.ndarray]] = {}
         #: Simple counters useful for tests and the GPU latency model.
@@ -77,7 +91,16 @@ class TenderExecutor:
     # ------------------------------------------------------------------
     # Projection path (activation x weight)
     # ------------------------------------------------------------------
-    def project(self, name, x, weight, bias):
+    def project(self, name, x, weight, bias, positions=None):
+        """Decomposed-quantized ``x @ weight + bias``.
+
+        ``positions`` (optional) gives the token position of each row of ``x``;
+        row-chunk calibration parameters are then looked up by position rather
+        than by flat row index.  Full-sequence forwards of a single sequence
+        are unaffected (row index == position); the incremental decode path
+        relies on this so a token's quantization parameters do not depend on
+        how its request was batched.
+        """
         if name not in self.site_params:
             raise CalibrationError(f"no Tender calibration for matmul site {name!r}")
         self.stats["projections"] += 1
@@ -87,12 +110,19 @@ class TenderExecutor:
 
         rows = x.shape[0]
         chunk_size = self.config.row_chunk_size
+        if positions is None:
+            row_chunk = np.arange(rows, dtype=np.int64) // chunk_size
+        else:
+            row_chunk = np.asarray(positions, dtype=np.int64).reshape(-1) // chunk_size
+            if row_chunk.shape[0] != rows:
+                raise CalibrationError(
+                    f"positions has {row_chunk.shape[0]} entries for {rows} activation rows"
+                )
         output = np.empty((rows, weight.shape[1]), dtype=np.float64)
-        num_chunks = (rows + chunk_size - 1) // chunk_size
-        for chunk_index in range(num_chunks):
-            row_slice = slice(chunk_index * chunk_size, min((chunk_index + 1) * chunk_size, rows))
-            chunk_params = params.chunk(chunk_index)
-            chunk_x = x[row_slice]
+        for chunk_index in np.unique(row_chunk):
+            row_indices = np.nonzero(row_chunk == chunk_index)[0]
+            chunk_params = params.chunk(int(chunk_index))
+            chunk_x = x[row_indices]
             if self.config.subtract_bias:
                 chunk_x = chunk_x - chunk_params.bias
             quantized, _ = quantize_decomposed(chunk_x, chunk_params.decomposition)
@@ -104,9 +134,9 @@ class TenderExecutor:
                 implicit=self.implicit,
             )
             if self.config.subtract_bias:
-                compensation_index = min(chunk_index, len(bias_projections) - 1)
+                compensation_index = min(int(chunk_index), len(bias_projections) - 1)
                 result = result + bias_projections[compensation_index]
-            output[row_slice] = result
+            output[row_indices] = result
             self.stats["rescales"] += chunk_params.decomposition.num_groups - 1
         if bias is not None:
             output = output + bias
@@ -119,6 +149,12 @@ class TenderExecutor:
         if not self.config.quantize_attention:
             return a @ b
         self.stats["attention_matmuls"] += 1
+        if self.vectorized_attention:
+            return self._attention_matmul_vectorized(a, b)
+        return self._attention_matmul_loop(a, b)
+
+    def _attention_matmul_loop(self, a, b):
+        """Reference implementation: one dynamic Tender matmul per (batch, head)."""
         batch, heads = a.shape[0], a.shape[1]
         output = np.empty(a.shape[:-1] + (b.shape[-1],), dtype=np.float64)
         for batch_index in range(batch):
@@ -127,6 +163,110 @@ class TenderExecutor:
                 right = b[batch_index, head_index]
                 output[batch_index, head_index] = self._dynamic_tender_matmul(left, right)
         return output
+
+    def _attention_matmul_vectorized(self, a, b):
+        """Batched dynamic Tender matmul over all (batch, head) pairs at once.
+
+        Produces bit-identical results to :meth:`_attention_matmul_loop`: every
+        floating-point operation is elementwise (hence order-independent) and
+        the integer group partial sums are exact, so collapsing the Python
+        loops into stacked einsum/matmul calls changes performance only.
+        Per-group channel gathers are replaced by masked full-width integer
+        matmuls, which keeps a single kernel shape across heads even though
+        each head has its own channel-to-group assignment.
+        """
+        config = self.config
+        qmax = integer_range(config.bits)
+        num_groups, alpha = config.num_groups, config.alpha
+        lead = a.shape[:-2]
+
+        channel_max = a.max(axis=-2)
+        channel_min = a.min(axis=-2)
+        if config.subtract_bias:
+            bias = compute_channel_bias(channel_max, channel_min)
+            shifted = a - bias[..., None, :]
+            absmax = (channel_max - channel_min) / 2.0
+        else:
+            bias = None
+            shifted = a
+            absmax = np.maximum(np.abs(channel_max), np.abs(channel_min))
+
+        # Power-of-alpha classification per (batch, head) — the same rule as
+        # repro.core.decomposition.decompose_channels, vectorized over heads.
+        tensor_absmax = absmax.max(axis=-1)
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            ratios = np.where(absmax > 0.0, tensor_absmax[..., None] / absmax, np.inf)
+            group_index = np.clip(
+                np.floor(np.log(ratios) / np.log(alpha)), 0, num_groups - 1
+            ).astype(np.int64)
+        group_scales = np.where(
+            tensor_absmax[..., None] > 0.0,
+            np.stack([tensor_absmax / (alpha**g * qmax) for g in range(num_groups)], axis=-1),
+            np.array([1e-12 / (alpha**g) for g in range(num_groups)]),
+        )
+        channel_scales = np.take_along_axis(group_scales, group_index, axis=-1)
+        quantized = np.clip(
+            np.round(shifted / channel_scales[..., None, :]), -qmax, qmax
+        ).astype(np.int64)
+
+        # Per-column (per output feature) quantization of the right operand.
+        right_scale = np.maximum(np.abs(b).max(axis=-2, keepdims=True) / qmax, 1e-12)
+        right_q = np.clip(np.round(b / right_scale), -qmax, qmax).astype(np.int64)
+
+        if self.implicit:
+            result = self._implicit_grouped_matmul(
+                quantized, group_index, group_scales, right_q, right_scale
+            )
+        else:
+            result = self._explicit_grouped_matmul(
+                quantized, group_index, group_scales, right_q, right_scale
+            )
+
+        if bias is not None:
+            # Stacked ``bias @ right`` products; BLAS evaluates each head's
+            # row-times-matrix product with the same reduction order as the
+            # reference loop's 1-D ``bias @ right``, so results stay
+            # bit-identical (the regression suite checks this).
+            result = result + bias[..., None, :] @ b
+        self.stats["rescales"] += int(np.prod(lead, dtype=np.int64)) * (num_groups - 1)
+        return result
+
+    def _implicit_grouped_matmul(self, quantized, group_index, group_scales, right_q, right_scale):
+        """Equation 2 over stacked heads: integer accumulate, rescale by alpha."""
+        alpha = self.config.alpha
+        lead_mn = quantized.shape[:-1] + (right_q.shape[-1],)
+        accumulator = np.zeros(lead_mn, dtype=np.int64)
+        for group in range(self.config.num_groups):
+            if group > 0:
+                accumulator = accumulator * alpha
+            mask = group_index == group
+            if mask.any():
+                accumulator = accumulator + (quantized * mask[..., None, :]) @ right_q
+            if accumulator.max(initial=0) > _ACC_MAX or accumulator.min(initial=0) < _ACC_MIN:
+                raise QuantizationError(
+                    "implicit requantization overflowed the 32-bit accumulator; "
+                    "reduce the number of groups or the reduction length"
+                )
+        final_scale = group_scales[..., -1][..., None, None]
+        return accumulator.astype(np.float64) * final_scale * right_scale
+
+    def _explicit_grouped_matmul(self, quantized, group_index, group_scales, right_q, right_scale):
+        """Equation 1 over stacked heads: dequantize and accumulate each group."""
+        lead_mn = quantized.shape[:-1] + (right_q.shape[-1],)
+        result = np.zeros(lead_mn, dtype=np.float64)
+        for group in range(self.config.num_groups):
+            mask = group_index == group
+            if not mask.any():
+                continue
+            partial = (quantized * mask[..., None, :]) @ right_q
+            if partial.max(initial=0) > _ACC_MAX or partial.min(initial=0) < _ACC_MIN:
+                raise QuantizationError(
+                    "integer matmul overflowed the 32-bit accumulator; reduce the "
+                    "reduction length or the operand bit widths"
+                )
+            group_scale = group_scales[..., group][..., None, None]
+            result = result + partial.astype(np.float64) * group_scale * right_scale
+        return result
 
     def _dynamic_tender_matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Tender quantization of one head's activation-activation product.

@@ -22,7 +22,7 @@ from repro.core.executor import TenderExecutor
 from repro.data.corpus import load_corpus
 from repro.data.datasets import calibration_samples
 from repro.eval.mse import projection_mse
-from repro.experiments.report import format_table
+from repro.experiments.report import current_profile, format_table
 from repro.gpu.latency import figure12_latencies
 from repro.models.checkpoints import get_language_model
 from repro.models.inference import capture_activations
@@ -71,11 +71,15 @@ def _scheme_mse(model_name: str, bits: int = 8, num_groups: int = 8) -> Dict[str
 
 
 def run_figure12(
-    setups=FIGURE12_SETUPS,
+    setups=None,
     num_groups: int = 8,
     batch_tokens: int = 2048,
 ) -> List[Figure12Row]:
     """Latency (normalized to FP16) and MSE per scheme and device."""
+    if setups is None:
+        # Smoke mode skips the A100/OPT-66B setup (the 66B stand-in is the
+        # most expensive checkpoint to train and calibrate).
+        setups = FIGURE12_SETUPS[:1] if current_profile().smoke else FIGURE12_SETUPS
     rows: List[Figure12Row] = []
     for device, model_name in setups:
         entry = get_zoo_entry(model_name)

@@ -20,6 +20,16 @@ def full_evaluation_enabled() -> bool:
     return os.environ.get("REPRO_FULL_EVAL", "0") not in ("", "0", "false", "False")
 
 
+def smoke_enabled() -> bool:
+    """True when the environment requests the minimal CI smoke configuration.
+
+    The benchmark harness sets ``REPRO_SMOKE=1`` (see ``benchmarks/conftest``)
+    so every table/figure regenerates in seconds under the tier-1 test run;
+    ``REPRO_FULL_EVAL=1`` always wins over smoke mode.
+    """
+    return os.environ.get("REPRO_SMOKE", "0") not in ("", "0", "false", "False")
+
+
 @dataclass(frozen=True)
 class ExperimentProfile:
     """How much work an experiment run should do."""
@@ -28,16 +38,27 @@ class ExperimentProfile:
     max_windows: int
     zeroshot_examples: int
     glue_examples: int
+    #: Set on the smoke profile; experiments with configuration sweeps consult
+    #: it to shrink the sweep itself (fewer devices, datasets, or tasks).
+    smoke: bool = False
 
 
 def current_profile() -> ExperimentProfile:
-    """Quick profile by default; full model list with REPRO_FULL_EVAL=1."""
+    """Quick profile by default; REPRO_FULL_EVAL=1 / REPRO_SMOKE=1 override."""
     if full_evaluation_enabled():
         return ExperimentProfile(
             models=tuple(LANGUAGE_MODEL_NAMES),
             max_windows=8,
             zeroshot_examples=48,
             glue_examples=256,
+        )
+    if smoke_enabled():
+        return ExperimentProfile(
+            models=("opt-6.7b-sim",),
+            max_windows=2,
+            zeroshot_examples=12,
+            glue_examples=24,
+            smoke=True,
         )
     return ExperimentProfile(
         models=("opt-6.7b-sim", "llama-2-7b-sim"),

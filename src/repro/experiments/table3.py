@@ -31,12 +31,15 @@ class Table3Cell:
 def run_table3(
     model_name: str = "opt-6.7b-sim",
     seq_lens: Sequence[int] = DEFAULT_SEQ_LENS,
-    datasets: Sequence[str] = ("wiki", "ptb"),
+    datasets: Optional[Sequence[str]] = None,
     runner: Optional[EvaluationRunner] = None,
     num_groups: int = 12,
 ) -> List[Table3Cell]:
     """Compute the Table III grid for one model."""
     profile = current_profile()
+    if datasets is None:
+        # Smoke mode keeps the assertion-bearing wiki column only.
+        datasets = ("wiki",) if profile.smoke else ("wiki", "ptb")
     runner = runner or EvaluationRunner(
         EvalSettings(max_windows=profile.max_windows, calibration_seq_len=max(seq_lens))
     )

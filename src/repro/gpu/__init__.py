@@ -2,7 +2,10 @@
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
 from repro.gpu.latency import (
+    DecodeWorkload,
     GemmLatency,
+    decode_step_latencies,
+    decode_throughput_tokens_per_s,
     figure12_latencies,
     fp16_latency_ms,
     int8_latency_ms,
@@ -15,9 +18,12 @@ __all__ = [
     "GPU_SPECS",
     "get_gpu",
     "GemmLatency",
+    "DecodeWorkload",
     "fp16_latency_ms",
     "int8_latency_ms",
     "per_channel_latency_ms",
     "tender_software_latency_ms",
     "figure12_latencies",
+    "decode_step_latencies",
+    "decode_throughput_tokens_per_s",
 ]

@@ -131,6 +131,31 @@ def tender_software_latency_ms(
     return total_ms
 
 
+#: Per-row INT8 pays a slightly costlier epilogue than per-tensor (the rescale
+#: reads a scale vector instead of a scalar).
+PER_ROW_EPILOGUE_FACTOR = 1.02
+
+
+def _scheme_latencies_ms(m: int, k: int, n: int, device: GPUSpec, num_groups: int) -> Dict[str, float]:
+    """Latency of every Figure 12 scheme on one GEMM (the shared scheme table)."""
+    int8 = int8_latency_ms(m, k, n, device)
+    return {
+        "FP16": fp16_latency_ms(m, k, n, device),
+        "INT8 (per-tensor)": int8,
+        "INT8 (per-row)": int8 * PER_ROW_EPILOGUE_FACTOR,
+        "INT8 (per-channel)": per_channel_latency_ms(m, k, n, device),
+        "Tender SW": tender_software_latency_ms(m, k, n, device, num_groups),
+    }
+
+
+def _normalized_to_fp16(totals: Dict[str, float]) -> Dict[str, GemmLatency]:
+    fp16 = totals["FP16"]
+    return {
+        scheme: GemmLatency(scheme=scheme, milliseconds=value, normalized_to_fp16=value / fp16)
+        for scheme, value in totals.items()
+    }
+
+
 def figure12_latencies(
     m: int,
     k: int,
@@ -140,15 +165,88 @@ def figure12_latencies(
 ) -> Dict[str, GemmLatency]:
     """All Figure 12 schemes on one GEMM, normalized to FP16."""
     device = get_gpu(device_name)
-    latencies = {
-        "FP16": fp16_latency_ms(m, k, n, device),
-        "INT8 (per-tensor)": int8_latency_ms(m, k, n, device),
-        "INT8 (per-row)": int8_latency_ms(m, k, n, device) * 1.02,
-        "INT8 (per-channel)": per_channel_latency_ms(m, k, n, device),
-        "Tender SW": tender_software_latency_ms(m, k, n, device, num_groups),
-    }
-    fp16 = latencies["FP16"]
+    return _normalized_to_fp16(_scheme_latencies_ms(m, k, n, device, num_groups))
+
+
+# ----------------------------------------------------------------------
+# Autoregressive decode workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecodeWorkload:
+    """The GEMMs of one KV-cached decode step of a decoder-only model.
+
+    Unlike the prefill GEMMs of Figure 12, decode GEMMs are skinny — the row
+    dimension is the *batch size*, not ``batch x sequence`` — and the
+    activation-activation matmuls grow with the attended ``context`` length.
+    This is the regime where per-kernel overheads and underutilization
+    dominate, which is exactly why Tender's software fallback (one GEMM per
+    channel group) is disproportionately expensive during serving.
+    """
+
+    batch: int
+    context: int
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    #: Include the LM-head GEMM when > 0 (applied once, outside the layers).
+    vocab: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.context, self.d_model, self.d_ff, self.num_heads, self.num_layers) < 1:
+            raise ConfigurationError("DecodeWorkload dimensions must be >= 1")
+        if self.d_model % self.num_heads:
+            raise ConfigurationError("d_model must be divisible by num_heads")
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.num_heads
+
+    def layer_gemms(self) -> List[tuple]:
+        """(m, k, n) of every GEMM in one Transformer layer's decode step."""
+        rows = self.batch
+        head_rows = self.batch * self.num_heads
+        return [
+            (rows, self.d_model, self.d_model),        # Q projection
+            (rows, self.d_model, self.d_model),        # K projection
+            (rows, self.d_model, self.d_model),        # V projection
+            (head_rows, self.d_head, self.context),    # X_Q @ X_K^T over the cache
+            (head_rows, self.context, self.d_head),    # X_S @ X_V over the cache
+            (rows, self.d_model, self.d_model),        # output projection
+            (rows, self.d_model, self.d_ff),           # FC1
+            (rows, self.d_ff, self.d_model),           # FC2
+        ]
+
+    def step_gemms(self) -> List[tuple]:
+        """All GEMMs of one decode step (layers plus optional LM head)."""
+        gemms = self.layer_gemms() * self.num_layers
+        if self.vocab:
+            gemms.append((self.batch, self.d_model, self.vocab))
+        return gemms
+
+
+def decode_step_latencies(
+    workload: DecodeWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, GemmLatency]:
+    """Per-scheme latency of one full decode step, normalized to FP16."""
+    device = get_gpu(device_name)
+    totals: Dict[str, float] = {}
+    for m, k, n in workload.step_gemms():
+        for scheme, latency in _scheme_latencies_ms(m, k, n, device, num_groups).items():
+            totals[scheme] = totals.get(scheme, 0.0) + latency
+    return _normalized_to_fp16(totals)
+
+
+def decode_throughput_tokens_per_s(
+    workload: DecodeWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, float]:
+    """Generated tokens per second per scheme (batch / step latency)."""
+    latencies = decode_step_latencies(workload, device_name, num_groups)
     return {
-        scheme: GemmLatency(scheme=scheme, milliseconds=value, normalized_to_fp16=value / fp16)
-        for scheme, value in latencies.items()
+        scheme: workload.batch / (latency.milliseconds * 1e-3)
+        for scheme, latency in latencies.items()
     }

@@ -19,7 +19,7 @@ so static calibration data can be looked up per matmul site.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.errors import ConfigurationError
 from repro.models.weights import ModelWeights
 from repro.quant.observers import ActivationObserver
 from repro.tensor.ops import gelu, log_softmax, relu, softmax
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.serve.kv_cache import KVCache
 
 
 class MatmulExecutor(Protocol):
@@ -119,22 +122,38 @@ class TransformerRunner:
         var = x.var(axis=-1, keepdims=True)
         return (x - mean) / np.sqrt(var + eps) * gain + bias
 
-    def _project(self, name: str, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]) -> np.ndarray:
-        """Flatten leading dims, delegate to the executor, restore the shape."""
+    def _project(
+        self,
+        name: str,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        positions: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Flatten leading dims, delegate to the executor, restore the shape.
+
+        ``positions`` carries the token position of every row for executors
+        that calibrate per row chunk (``uses_positions``); the incremental
+        decode path needs it because a decoded token's flat row index no
+        longer equals its position in the sequence.
+        """
         leading = x.shape[:-1]
         flat = x.reshape(-1, x.shape[-1])
-        out = self.executor.project(name, flat, weight, bias)
+        if positions is not None and getattr(self.executor, "uses_positions", False):
+            out = self.executor.project(name, flat, weight, bias, positions=positions.reshape(-1))
+        else:
+            out = self.executor.project(name, flat, weight, bias)
         return out.reshape(*leading, weight.shape[-1])
 
-    def _attention(self, index: int, x: np.ndarray) -> np.ndarray:
+    def _attention(self, index: int, x: np.ndarray, positions: Optional[np.ndarray] = None) -> np.ndarray:
         block = self.weights.blocks[index]
         config = self.config
         batch, seq, _ = x.shape
         prefix = f"block{index}.attn"
 
-        queries = self._project(f"{prefix}.q_proj", x, block.attn.wq, block.attn.bq)
-        keys = self._project(f"{prefix}.k_proj", x, block.attn.wk, block.attn.bk)
-        values = self._project(f"{prefix}.v_proj", x, block.attn.wv, block.attn.bv)
+        queries = self._project(f"{prefix}.q_proj", x, block.attn.wq, block.attn.bq, positions)
+        keys = self._project(f"{prefix}.k_proj", x, block.attn.wk, block.attn.bk, positions)
+        values = self._project(f"{prefix}.v_proj", x, block.attn.wv, block.attn.bv, positions)
 
         def split(t: np.ndarray) -> np.ndarray:
             return t.reshape(batch, seq, config.num_heads, config.d_head).transpose(0, 2, 1, 3)
@@ -149,14 +168,14 @@ class TransformerRunner:
         attention = softmax(scores, axis=-1)
         context = self.executor.attention_matmul(f"{prefix}.sv", attention, values)
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, config.d_model)
-        return self._project(f"{prefix}.out_proj", context, block.attn.wo, block.attn.bo)
+        return self._project(f"{prefix}.out_proj", context, block.attn.wo, block.attn.bo, positions)
 
-    def _feed_forward(self, index: int, x: np.ndarray) -> np.ndarray:
+    def _feed_forward(self, index: int, x: np.ndarray, positions: Optional[np.ndarray] = None) -> np.ndarray:
         block = self.weights.blocks[index]
         prefix = f"block{index}.ffn"
-        hidden = self._project(f"{prefix}.fc1", x, block.ffn.w1, block.ffn.b1)
+        hidden = self._project(f"{prefix}.fc1", x, block.ffn.w1, block.ffn.b1, positions)
         hidden = relu(hidden) if self.config.activation == "relu" else gelu(hidden)
-        return self._project(f"{prefix}.fc2", hidden, block.ffn.w2, block.ffn.b2)
+        return self._project(f"{prefix}.fc2", hidden, block.ffn.w2, block.ffn.b2, positions)
 
     def _backbone(self, tokens: np.ndarray) -> np.ndarray:
         tokens = np.asarray(tokens, dtype=np.int64)
@@ -167,12 +186,17 @@ class TransformerRunner:
             raise ConfigurationError(
                 f"sequence length {seq} exceeds max_seq_len {self.config.max_seq_len}"
             )
+        # Token positions of every row, so position-calibrated executors
+        # (Tender row chunks) see the same parameters for a token regardless
+        # of its batch index — batched forwards, classification batches, and
+        # the KV-cached decode path all agree per position.
+        positions = np.broadcast_to(np.arange(seq, dtype=np.int64), (batch, seq))
         x = self.weights.token_embedding[tokens] + self.weights.position_embedding[np.arange(seq)]
         for index, block in enumerate(self.weights.blocks):
             attn_input = self._layer_norm(x, block.ln_attn.gain, block.ln_attn.bias)
-            x = x + self._attention(index, attn_input)
+            x = x + self._attention(index, attn_input, positions)
             ffn_input = self._layer_norm(x, block.ln_ffn.gain, block.ln_ffn.bias)
-            x = x + self._feed_forward(index, ffn_input)
+            x = x + self._feed_forward(index, ffn_input, positions)
         return self._layer_norm(x, self.weights.ln_final.gain, self.weights.ln_final.bias)
 
     # ------------------------------------------------------------------
@@ -183,7 +207,9 @@ class TransformerRunner:
         if self.weights.lm_head is None:
             raise ConfigurationError("model has no LM head; use classify() instead")
         hidden = self._backbone(tokens)
-        return self._project("lm_head", hidden, self.weights.lm_head, None)
+        batch, seq = hidden.shape[0], hidden.shape[1]
+        positions = np.broadcast_to(np.arange(seq, dtype=np.int64), (batch, seq))
+        return self._project("lm_head", hidden, self.weights.lm_head, None, positions)
 
     def log_probs(self, tokens: np.ndarray) -> np.ndarray:
         """Log-probabilities over the vocabulary for each position."""
@@ -198,6 +224,133 @@ class TransformerRunner:
         return self.executor.project(
             "classifier", pooled, self.weights.classifier_weight, self.weights.classifier_bias
         )
+
+    # ------------------------------------------------------------------
+    # Incremental decoding over a KV-cache
+    # ------------------------------------------------------------------
+    def _attention_cached(
+        self,
+        index: int,
+        x: np.ndarray,
+        cache: "KVCache",
+        positions: np.ndarray,
+        valid: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Attention where keys/values come from (and are written to) ``cache``.
+
+        ``x`` is (batch, new_len, d_model) and ``positions`` gives each new
+        token's absolute position, which is also its cache slot.  A slot ``s``
+        is visible to a query at position ``p`` iff ``s <= p`` — this covers
+        both causality and padding, because padded/unwritten slots always sit
+        strictly after the querying token's own position.
+
+        ``valid`` marks the rows that belong to real tokens (padding rows of a
+        ragged prefill are False).  Masking alone already keeps padding out of
+        every *output*; the extra neutralisation below also keeps it out of
+        executors that quantize attention operands *dynamically* (Tender
+        "all"), whose per-head statistics would otherwise see the garbage
+        rows: padded queries are replaced by a duplicate of the sequence's
+        first row (duplicates never widen a max/min range) and padded
+        keys/values are zeroed (zeros never widen an absmax).
+        """
+        block = self.weights.blocks[index]
+        config = self.config
+        batch, new_len, _ = x.shape
+        prefix = f"block{index}.attn"
+
+        queries = self._project(f"{prefix}.q_proj", x, block.attn.wq, block.attn.bq, positions)
+        keys = self._project(f"{prefix}.k_proj", x, block.attn.wk, block.attn.bk, positions)
+        values = self._project(f"{prefix}.v_proj", x, block.attn.wv, block.attn.bv, positions)
+        if valid is not None and not valid.all():
+            row_valid = valid[..., None]
+            queries = np.where(row_valid, queries, queries[:, :1])
+            keys = keys * row_valid
+            values = values * row_valid
+
+        def split(t: np.ndarray) -> np.ndarray:
+            return t.reshape(batch, new_len, config.num_heads, config.d_head).transpose(0, 2, 1, 3)
+
+        queries, keys, values = split(queries), split(keys), split(values)
+        cache.write(index, keys, values, positions)
+        attended = int(positions.max()) + 1
+        cached_keys, cached_values = cache.view(index, attended)
+
+        scores = self.executor.attention_matmul(
+            f"{prefix}.qk", queries, np.swapaxes(cached_keys, -1, -2)
+        ) / np.sqrt(config.d_head)
+        hidden_slots = np.arange(attended)[None, None, None, :] > positions[:, None, :, None]
+        scores = np.where(hidden_slots, -1e9, scores)
+        attention = softmax(scores, axis=-1)
+        if valid is not None and not valid.all():
+            # Padded probability rows see a wider causal window than the row
+            # they were duplicated from; replace them with the first (valid)
+            # row's probabilities so dynamically-quantized X_S X_V statistics
+            # stay independent of batching.
+            attention = np.where(valid[:, None, :, None], attention, attention[:, :, :1, :])
+        context = self.executor.attention_matmul(f"{prefix}.sv", attention, cached_values)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, config.d_model)
+        return self._project(f"{prefix}.out_proj", context, block.attn.wo, block.attn.bo, positions)
+
+    def _incremental_backbone(
+        self,
+        tokens: np.ndarray,
+        cache: "KVCache",
+        positions: np.ndarray,
+        valid: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run the backbone over new tokens only, attending through the cache."""
+        if positions.max() >= self.config.max_seq_len:
+            raise ConfigurationError(
+                f"position {int(positions.max())} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        cache.ensure_capacity(int(positions.max()) + 1)
+        x = self.weights.token_embedding[tokens] + self.weights.position_embedding[positions]
+        for index, block in enumerate(self.weights.blocks):
+            attn_input = self._layer_norm(x, block.ln_attn.gain, block.ln_attn.bias)
+            x = x + self._attention_cached(index, attn_input, cache, positions, valid)
+            ffn_input = self._layer_norm(x, block.ln_ffn.gain, block.ln_ffn.bias)
+            x = x + self._feed_forward(index, ffn_input, positions)
+        return self._layer_norm(x, self.weights.ln_final.gain, self.weights.ln_final.bias)
+
+    def prefill(self, tokens: np.ndarray, lengths: np.ndarray, cache: "KVCache") -> np.ndarray:
+        """Populate ``cache`` from right-padded prompts; return next-token logits.
+
+        ``tokens`` is (batch, max_prompt_len) with each row holding a prompt of
+        ``lengths[i]`` tokens followed by padding.  Padded rows do write
+        (garbage) cache slots, but those slots are never visible to a valid
+        query and are overwritten as soon as decoding reaches them.  Returns
+        the LM logits at each sequence's final prompt position, shape
+        (batch, vocab).
+        """
+        if self.weights.lm_head is None:
+            raise ConfigurationError("model has no LM head; generation requires one")
+        tokens = np.asarray(tokens, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        batch, max_len = tokens.shape
+        if np.any(lengths < 1) or np.any(lengths > max_len):
+            raise ConfigurationError("prompt lengths must be in [1, max_prompt_len]")
+        positions = np.broadcast_to(np.arange(max_len, dtype=np.int64), (batch, max_len))
+        valid = positions < lengths[:, None]
+        hidden = self._incremental_backbone(tokens, cache, positions, valid)
+        cache.lengths[:] = lengths
+        last = hidden[np.arange(batch), lengths - 1]
+        return self._project("lm_head", last, self.weights.lm_head, None, lengths - 1)
+
+    def decode_step(self, tokens: np.ndarray, cache: "KVCache") -> np.ndarray:
+        """Append one token per sequence and return next-token logits.
+
+        ``tokens`` is (batch,) — the token each sequence just produced (or the
+        last prompt token when priming without :meth:`prefill`).  Sequences may
+        sit at different positions (ragged prompts); each writes its own next
+        cache slot.  Returns logits of shape (batch, vocab).
+        """
+        if self.weights.lm_head is None:
+            raise ConfigurationError("model has no LM head; generation requires one")
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1, 1)
+        positions = cache.lengths[:, None].copy()
+        hidden = self._incremental_backbone(tokens, cache, positions)
+        cache.lengths += 1
+        return self._project("lm_head", hidden[:, 0], self.weights.lm_head, None, positions[:, 0])
 
 
 def run_calibration(

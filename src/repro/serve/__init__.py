@@ -1,0 +1,19 @@
+"""Serving layer: KV-cached incremental decoding and batched generation.
+
+This package opens the workload the paper's accelerator actually targets —
+autoregressive decoding, where every step re-runs the activation-activation
+matmuls against a growing KV history — on top of the executor-based inference
+engine, so every quantization scheme in the repository can be served and
+measured in the decode regime.
+"""
+
+from repro.serve.engine import GenerationConfig, GenerationEngine, GenerationResult, generate
+from repro.serve.kv_cache import KVCache
+
+__all__ = [
+    "KVCache",
+    "GenerationConfig",
+    "GenerationEngine",
+    "GenerationResult",
+    "generate",
+]

@@ -1,0 +1,117 @@
+"""Per-layer key/value caches for incremental autoregressive decoding.
+
+Full-sequence inference recomputes every key and value projection for every
+token at every step — O(n^2) projection work over a generation of n tokens.
+The KV-cache stores each layer's key/value head tensors once, so a decode step
+only projects the *new* token and attends over the cached history.  This is
+the serving regime in which Tender's runtime requantization matters most: the
+activation-activation matmuls (``X_Q X_K^T`` and ``X_S X_V``) are recomputed
+against the cache at every step, with operands that only exist at runtime
+(Figures 12/13 of the paper).
+
+The cache is batch-major and slot-addressed: slot ``s`` of sequence ``b``
+holds the key/value of the token at absolute position ``s``.  Ragged batches
+simply track a per-sequence ``lengths`` vector; slots past a sequence's length
+may hold stale or padding data and are masked out by the attention visibility
+rule (``slot <= query position``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class KVCache:
+    """Cached key/value tensors for every layer of one batched generation.
+
+    Attributes
+    ----------
+    keys, values:
+        One ``(batch, num_heads, capacity, d_head)`` array per layer.
+    lengths:
+        Number of committed tokens per sequence.  ``decode_step`` writes each
+        sequence's new token at slot ``lengths[b]`` and then advances it.
+    """
+
+    def __init__(self, num_layers: int, batch_size: int, num_heads: int, d_head: int, capacity: int) -> None:
+        if min(num_layers, batch_size, num_heads, d_head, capacity) < 1:
+            raise ConfigurationError("KVCache dimensions must all be >= 1")
+        shape = (batch_size, num_heads, capacity, d_head)
+        self.keys: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
+        self.values: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
+        self.lengths = np.zeros(batch_size, dtype=np.int64)
+
+    @classmethod
+    def for_model(cls, config, batch_size: int, capacity: int = 0) -> "KVCache":
+        """Allocate a cache sized for ``config`` (a :class:`TransformerConfig`)."""
+        capacity = capacity or config.max_seq_len
+        return cls(
+            num_layers=config.num_layers,
+            batch_size=batch_size,
+            num_heads=config.num_heads,
+            d_head=config.d_head,
+            capacity=min(capacity, config.max_seq_len),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.keys)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.keys[0].shape[0])
+
+    @property
+    def capacity(self) -> int:
+        return int(self.keys[0].shape[2])
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total bytes held by the cached key/value arrays."""
+        return sum(k.nbytes + v.nbytes for k, v in zip(self.keys, self.values))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def ensure_capacity(self, needed: int) -> None:
+        """Grow every layer (by at least doubling) to hold ``needed`` slots."""
+        current = self.capacity
+        if needed <= current:
+            return
+        new_capacity = max(needed, 2 * current)
+        for layer in range(self.num_layers):
+            for arrays in (self.keys, self.values):
+                old = arrays[layer]
+                grown = np.zeros(old.shape[:2] + (new_capacity, old.shape[3]), dtype=old.dtype)
+                grown[:, :, :current] = old
+                arrays[layer] = grown
+
+    def write(self, layer: int, keys: np.ndarray, values: np.ndarray, slots: np.ndarray) -> None:
+        """Store new head tensors at per-sequence slots.
+
+        ``keys``/``values`` are (batch, num_heads, new_len, d_head) and
+        ``slots`` is (batch, new_len) — different sequences of a ragged batch
+        may write different slots in the same step.
+        """
+        batch = keys.shape[0]
+        self.ensure_capacity(int(slots.max()) + 1)
+        batch_index = np.arange(batch)[:, None]
+        # Advanced indices on axes 0 and 2 with a slice between: the head axis
+        # moves last in the indexed view, so the payload is transposed to match.
+        self.keys[layer][batch_index, :, slots] = keys.transpose(0, 2, 1, 3)
+        self.values[layer][batch_index, :, slots] = values.transpose(0, 2, 1, 3)
+
+    def view(self, layer: int, length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached (keys, values) truncated to the first ``length`` slots."""
+        if length > self.capacity:
+            raise ConfigurationError(
+                f"requested {length} cache slots but capacity is {self.capacity}"
+            )
+        return self.keys[layer][:, :, :length], self.values[layer][:, :, :length]

@@ -97,6 +97,64 @@ class TestEquivalence:
         )
 
 
+class TestGoldenEquivalenceSweep:
+    """Seeded sweep: implicit and explicit requantization agree everywhere.
+
+    Covers randomized operand shapes, alphas, group counts, and — at the
+    executor level — row-chunk counts, so the equivalence that the hardware
+    relies on (Equation 1 == Equation 2) holds across the whole configuration
+    space, not just the defaults.
+    """
+
+    @pytest.mark.parametrize("alpha", [2, 3, 4])
+    @pytest.mark.parametrize("num_groups", [1, 3, 8])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_implicit_matches_explicit(self, alpha, num_groups, seed):
+        rng = np.random.default_rng(1000 * alpha + 100 * num_groups + seed)
+        rows = int(rng.integers(1, 24))
+        channels = int(rng.integers(2, 48))
+        out_features = int(rng.integers(1, 16))
+        bits = int(rng.choice([4, 6, 8]))
+        activation = rng.normal(size=(rows, channels)) * np.exp(rng.uniform(0, 5, size=channels))
+        cmax = np.abs(activation).max(axis=0)
+        decomposition = decompose_channels(cmax, num_groups=num_groups, bits=bits, alpha=alpha)
+        q_act, _ = quantize_decomposed(activation, decomposition)
+        weight = rng.normal(size=(channels, out_features))
+        w_scale = compute_scale(weight, bits, Granularity.PER_COLUMN)
+        q_weight = quantize_symmetric(weight, w_scale, bits)
+        np.testing.assert_allclose(
+            implicit_requantized_matmul(q_act, decomposition, q_weight, w_scale),
+            explicit_requantized_matmul(q_act, decomposition, q_weight, w_scale),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    @pytest.mark.parametrize("row_chunk_size", [4, 16, 64])
+    def test_executor_paths_agree_across_chunk_counts(
+        self, row_chunk_size, outlier_weights, calibration
+    ):
+        """Full executors agree too, whatever the number of row chunks."""
+        from repro.core import TenderConfig, TenderQuantizer
+
+        config = TenderConfig(bits=8, num_groups=8, row_chunk_size=row_chunk_size)
+        quantizer = TenderQuantizer(config, implicit=True)
+        site_params = quantizer.calibrate(outlier_weights, list(calibration[:2]))
+        from repro.core import TenderExecutor
+
+        implicit_exec = TenderExecutor(site_params, config, implicit=True)
+        explicit_exec = TenderExecutor(site_params, config, implicit=False)
+        rng = np.random.default_rng(row_chunk_size)
+        site = next(name for name in site_params if name.endswith("q_proj"))
+        d_model = outlier_weights.config.d_model
+        x = rng.normal(size=(3 * row_chunk_size + 5, d_model)) * 3.0
+        weight = outlier_weights.blocks[0].attn.wq
+        bias = outlier_weights.blocks[0].attn.bq
+        np.testing.assert_allclose(
+            implicit_exec.project(site, x, weight, bias),
+            explicit_exec.project(site, x, weight, bias),
+            rtol=1e-9, atol=1e-9,
+        )
+
+
 class TestAccuracy:
     def test_decomposed_matmul_tracks_float_product(self, rng):
         activation, weight, q_act, decomposition, q_weight, w_scale = make_decomposed_operands(rng)

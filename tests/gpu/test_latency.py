@@ -6,6 +6,9 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.gpu import (
+    DecodeWorkload,
+    decode_step_latencies,
+    decode_throughput_tokens_per_s,
     figure12_latencies,
     fp16_latency_ms,
     get_gpu,
@@ -64,3 +67,59 @@ class TestLatencyModel:
         small_ratio = int8_latency_ms(64, 512, 512, device) / fp16_latency_ms(64, 512, 512, device)
         big_ratio = int8_latency_ms(4096, 8192, 8192, device) / fp16_latency_ms(4096, 8192, 8192, device)
         assert small_ratio > big_ratio
+
+
+class TestDecodeWorkload:
+    WORKLOAD = DecodeWorkload(
+        batch=8, context=512, d_model=4096, d_ff=16384, num_heads=32, num_layers=32, vocab=50272
+    )
+
+    def test_gemm_enumeration(self):
+        workload = DecodeWorkload(batch=2, context=16, d_model=64, d_ff=128, num_heads=4, num_layers=3)
+        per_layer = workload.layer_gemms()
+        assert len(per_layer) == 8
+        assert (2, 64, 64) in per_layer                  # projections are batch-rows GEMMs
+        assert (2 * 4, 16, 16) in per_layer              # X_Q X_K^T attends the cache
+        assert len(workload.step_gemms()) == 3 * 8       # no LM head when vocab == 0
+        with_head = DecodeWorkload(
+            batch=2, context=16, d_model=64, d_ff=128, num_heads=4, num_layers=3, vocab=100
+        )
+        assert with_head.step_gemms()[-1] == (2, 64, 100)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            DecodeWorkload(batch=0, context=1, d_model=64, d_ff=64, num_heads=4)
+        with pytest.raises(ConfigurationError):
+            DecodeWorkload(batch=1, context=1, d_model=65, d_ff=64, num_heads=4)
+
+    def test_all_schemes_priced_and_normalized(self):
+        latencies = decode_step_latencies(self.WORKLOAD, "rtx3090")
+        assert set(latencies) == {
+            "FP16", "INT8 (per-tensor)", "INT8 (per-row)", "INT8 (per-channel)", "Tender SW"
+        }
+        assert latencies["FP16"].normalized_to_fp16 == pytest.approx(1.0)
+        assert all(latency.milliseconds > 0 for latency in latencies.values())
+
+    def test_tender_sw_pays_per_group_kernels_in_decode(self):
+        """Skinny decode GEMMs make the per-group launches dominate: Tender SW
+        lands clearly above single-kernel INT8, the gap Figure 13 motivates."""
+        latencies = decode_step_latencies(self.WORKLOAD, "rtx3090")
+        assert latencies["Tender SW"].milliseconds > latencies["INT8 (per-tensor)"].milliseconds
+
+    def test_longer_context_costs_more(self):
+        short = decode_step_latencies(
+            DecodeWorkload(batch=8, context=64, d_model=4096, d_ff=16384, num_heads=32, num_layers=32),
+            "a100",
+        )
+        long = decode_step_latencies(
+            DecodeWorkload(batch=8, context=2048, d_model=4096, d_ff=16384, num_heads=32, num_layers=32),
+            "a100",
+        )
+        assert long["FP16"].milliseconds > short["FP16"].milliseconds
+
+    def test_throughput_is_batch_over_latency(self):
+        latencies = decode_step_latencies(self.WORKLOAD, "rtx3090")
+        throughput = decode_throughput_tokens_per_s(self.WORKLOAD, "rtx3090")
+        expected = self.WORKLOAD.batch / (latencies["FP16"].milliseconds * 1e-3)
+        assert throughput["FP16"] == pytest.approx(expected)
+        assert throughput["INT8 (per-tensor)"] > throughput["Tender SW"]

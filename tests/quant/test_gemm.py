@@ -42,6 +42,64 @@ class TestIntMatmul:
         assert result[0, 0] == 127 * 127 * 300_000
 
 
+class TestIntMatmulEdgeCases:
+    def test_empty_row_operand(self):
+        a = np.zeros((0, 4), dtype=np.int32)
+        b = np.ones((4, 3), dtype=np.int32)
+        result = int_matmul(a, b)
+        assert result.shape == (0, 3)
+        assert result.dtype == np.int64
+
+    def test_empty_reduction_axis(self):
+        """K == 0: the product is all zeros and must not trip the overflow check."""
+        a = np.zeros((2, 0), dtype=np.int32)
+        b = np.zeros((0, 3), dtype=np.int32)
+        result = int_matmul(a, b)
+        np.testing.assert_array_equal(result, np.zeros((2, 3), dtype=np.int64))
+
+    def test_empty_column_operand(self):
+        a = np.ones((2, 4), dtype=np.int32)
+        b = np.zeros((4, 0), dtype=np.int32)
+        assert int_matmul(a, b).shape == (2, 0)
+
+    def test_exact_accumulator_maximum_accepted(self):
+        a = np.array([[1]], dtype=np.int64)
+        b = np.array([[2**31 - 1]], dtype=np.int64)
+        assert int_matmul(a, b)[0, 0] == 2**31 - 1
+
+    def test_one_past_accumulator_maximum_rejected(self):
+        a = np.array([[1]], dtype=np.int64)
+        b = np.array([[2**31]], dtype=np.int64)
+        with pytest.raises(QuantizationError):
+            int_matmul(a, b)
+
+    def test_exact_accumulator_minimum_accepted(self):
+        a = np.array([[1]], dtype=np.int64)
+        b = np.array([[-(2**31)]], dtype=np.int64)
+        assert int_matmul(a, b)[0, 0] == -(2**31)
+
+    def test_one_past_accumulator_minimum_rejected(self):
+        a = np.array([[1]], dtype=np.int64)
+        b = np.array([[-(2**31) - 1]], dtype=np.int64)
+        with pytest.raises(QuantizationError):
+            int_matmul(a, b)
+
+    def test_boundary_passthrough_without_check(self):
+        """check_overflow=False returns out-of-range accumulators untouched."""
+        a = np.array([[3]], dtype=np.int64)
+        b = np.array([[2**31]], dtype=np.int64)
+        result = int_matmul(a, b, check_overflow=False)
+        assert result[0, 0] == 3 * 2**31
+        below = int_matmul(a, -b, check_overflow=False)
+        assert below[0, 0] == -3 * 2**31
+
+    def test_passthrough_preserves_exact_values_at_int64_scale(self):
+        a = np.array([[2**31, -(2**31)]], dtype=np.int64)
+        b = np.array([[2**30], [2**30]], dtype=np.int64)
+        result = int_matmul(a, b, check_overflow=False)
+        assert result[0, 0] == 0
+
+
 class TestQuantizedMatmul:
     def test_approximates_float_product(self, rng):
         x = rng.normal(size=(16, 32))

@@ -1,0 +1,98 @@
+"""Tests of the per-layer KV-cache container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import TransformerConfig
+from repro.serve import KVCache
+
+
+def make_cache(batch=3, heads=2, d_head=4, capacity=8, layers=2) -> KVCache:
+    return KVCache(num_layers=layers, batch_size=batch, num_heads=heads, d_head=d_head, capacity=capacity)
+
+
+class TestAllocation:
+    def test_for_model_uses_config_dimensions(self):
+        config = TransformerConfig(d_model=32, num_heads=2, num_layers=3, max_seq_len=16)
+        cache = KVCache.for_model(config, batch_size=5)
+        assert cache.num_layers == 3
+        assert cache.batch_size == 5
+        assert cache.capacity == 16
+        assert cache.keys[0].shape == (5, 2, 16, 16)
+
+    def test_capacity_capped_at_max_seq_len(self):
+        config = TransformerConfig(d_model=32, num_heads=2, num_layers=1, max_seq_len=16)
+        cache = KVCache.for_model(config, batch_size=1, capacity=1000)
+        assert cache.capacity == 16
+
+    def test_rejects_degenerate_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            KVCache(num_layers=0, batch_size=1, num_heads=1, d_head=1, capacity=1)
+
+    def test_memory_accounting(self):
+        cache = make_cache(batch=2, heads=2, d_head=4, capacity=8, layers=2)
+        assert cache.memory_bytes == 2 * 2 * (2 * 2 * 8 * 4) * 8
+
+
+class TestWriteAndView:
+    def test_write_scatters_per_sequence_slots(self, rng):
+        cache = make_cache()
+        keys = rng.normal(size=(3, 2, 1, 4))
+        values = rng.normal(size=(3, 2, 1, 4))
+        slots = np.array([[0], [3], [5]])
+        cache.write(0, keys, values, slots)
+        for row in range(3):
+            slot = slots[row, 0]
+            np.testing.assert_array_equal(cache.keys[0][row, :, slot], keys[row, :, 0])
+            np.testing.assert_array_equal(cache.values[0][row, :, slot], values[row, :, 0])
+        # Other layers untouched.
+        assert not cache.keys[1].any()
+
+    def test_write_multiple_new_tokens(self, rng):
+        cache = make_cache(batch=2)
+        keys = rng.normal(size=(2, 2, 4, 4))
+        values = rng.normal(size=(2, 2, 4, 4))
+        slots = np.broadcast_to(np.arange(4), (2, 4))
+        cache.write(1, keys, values, slots)
+        retrieved_keys, retrieved_values = cache.view(1, 4)
+        np.testing.assert_array_equal(retrieved_keys, keys)
+        np.testing.assert_array_equal(retrieved_values, values)
+
+    def test_view_truncates_to_requested_length(self, rng):
+        cache = make_cache()
+        keys, _ = cache.view(0, 5)
+        assert keys.shape == (3, 2, 5, 4)
+        with pytest.raises(ConfigurationError):
+            cache.view(0, cache.capacity + 1)
+
+    def test_overwrite_replaces_stale_slot(self, rng):
+        cache = make_cache(batch=1)
+        stale = rng.normal(size=(1, 2, 1, 4))
+        fresh = rng.normal(size=(1, 2, 1, 4))
+        slots = np.array([[2]])
+        cache.write(0, stale, stale, slots)
+        cache.write(0, fresh, fresh, slots)
+        np.testing.assert_array_equal(cache.keys[0][0, :, 2], fresh[0, :, 0])
+
+
+class TestGrowth:
+    def test_ensure_capacity_preserves_contents(self, rng):
+        cache = make_cache(capacity=4)
+        keys = rng.normal(size=(3, 2, 4, 4))
+        values = rng.normal(size=(3, 2, 4, 4))
+        cache.write(0, keys, values, np.broadcast_to(np.arange(4), (3, 4)))
+        cache.ensure_capacity(10)
+        assert cache.capacity >= 10
+        retrieved_keys, retrieved_values = cache.view(0, 4)
+        np.testing.assert_array_equal(retrieved_keys, keys)
+        np.testing.assert_array_equal(retrieved_values, values)
+
+    def test_write_beyond_capacity_grows_automatically(self, rng):
+        cache = make_cache(capacity=2)
+        keys = rng.normal(size=(3, 2, 1, 4))
+        cache.write(0, keys, keys, np.array([[7], [7], [7]]))
+        assert cache.capacity >= 8
+        np.testing.assert_array_equal(cache.keys[0][1, :, 7], keys[1, :, 0])
