@@ -105,6 +105,8 @@ def main() -> None:
     print("\nMatching FP16/Tender prefixes show INT8 Tender preserving the greedy")
     print("argmax; where they diverge, quantization flipped a near-tie (the small")
     print("perplexity gap above). Top-k adds seeded, replayable diversity.")
+    print("\nNext: examples/serve_continuous.py serves a Poisson arrival trace")
+    print("through the continuous-batching scheduler (repro.serve.Scheduler).")
 
 
 if __name__ == "__main__":

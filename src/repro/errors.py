@@ -31,3 +31,7 @@ class QuantizationError(ReproError):
 
 class SimulationError(ReproError):
     """Raised by the accelerator simulator for inconsistent hardware state."""
+
+
+class ResourceExhaustedError(ReproError):
+    """Raised when a bounded runtime resource pool (e.g. KV blocks) runs dry."""

@@ -1,9 +1,17 @@
-"""Analytical GPU GEMM latency model (Figure 12)."""
+"""Analytical GPU latency models: Figure 12 GEMMs, decode steps, serving.
+
+``figure12_latencies`` reproduces the paper's Figure 12;
+:class:`DecodeWorkload` extends the same roofline to one KV-cached decode
+step, and :class:`ContinuousBatchWorkload` to a whole serving trace
+(continuous vs static batching under Poisson arrivals).
+"""
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
 from repro.gpu.latency import (
+    ContinuousBatchWorkload,
     DecodeWorkload,
     GemmLatency,
+    continuous_batch_throughput,
     decode_step_latencies,
     decode_throughput_tokens_per_s,
     figure12_latencies,
@@ -19,6 +27,8 @@ __all__ = [
     "get_gpu",
     "GemmLatency",
     "DecodeWorkload",
+    "ContinuousBatchWorkload",
+    "continuous_batch_throughput",
     "fp16_latency_ms",
     "int8_latency_ms",
     "per_channel_latency_ms",

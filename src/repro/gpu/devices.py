@@ -1,4 +1,9 @@
-"""GPU device specifications used by the Figure 12 latency model."""
+"""GPU device specifications shared by all latency models in this package.
+
+Originally introduced for the Figure 12 reproduction; the decode-step and
+continuous-batching serving models (``repro.gpu.latency``) price their GEMMs
+against the same specs.
+"""
 
 from __future__ import annotations
 

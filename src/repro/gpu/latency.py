@@ -1,4 +1,14 @@
-"""Analytical GPU GEMM latency model for the Figure 12 reproduction.
+"""Analytical GPU GEMM latency model: Figure 12, decode steps, and serving.
+
+Three layers of modelling share one roofline:
+
+* :func:`figure12_latencies` — the paper's Figure 12 (one prefill-shaped
+  query-projection GEMM per scheme);
+* :class:`DecodeWorkload` / :func:`decode_step_latencies` — all GEMMs of one
+  KV-cached decode step (the skinny-GEMM serving regime);
+* :class:`ContinuousBatchWorkload` / :func:`continuous_batch_throughput` —
+  token throughput of a decode *service* under Poisson arrivals, comparing
+  continuous batching against static (gang) batching.
 
 Figure 12 measures, for one query-projection GEMM, the latency of:
 
@@ -200,6 +210,7 @@ class DecodeWorkload:
 
     @property
     def d_head(self) -> int:
+        """Per-head dimension."""
         return self.d_model // self.num_heads
 
     def layer_gemms(self) -> List[tuple]:
@@ -250,3 +261,144 @@ def decode_throughput_tokens_per_s(
         scheme: workload.batch / (latency.milliseconds * 1e-3)
         for scheme, latency in latencies.items()
     }
+
+
+# ----------------------------------------------------------------------
+# Continuous-batching serving workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContinuousBatchWorkload:
+    """A decode *service* under request arrivals, not just one decode step.
+
+    Models the serving loop of ``repro.serve.Scheduler``: requests arrive as
+    a Poisson process, each generating a geometrically distributed number of
+    tokens with mean ``mean_new_tokens``, and the engine runs batched decode
+    steps over up to ``max_batch`` concurrently live requests.
+
+    Two batching disciplines are compared on identical hardware and GEMMs:
+
+    * **continuous** — a finished request's slot is backfilled immediately,
+      so under saturation every decode step carries ``max_batch`` useful
+      tokens;
+    * **static (gang)** — the batch is admitted together and drains
+      together, so a gang's step count is the *maximum* of its members'
+      lengths.  With memoryless lengths the expected maximum of ``B`` draws
+      of mean ``L`` is ``L * H(B)`` (the ``B``-th harmonic number), while the
+      useful work is ``B * L`` token-slots — an expected occupancy of only
+      ``B / H(B)`` slots per step.
+
+    The resulting analytic speedup of continuous over static batching under
+    saturation is exactly ``H(max_batch)`` — independent of scheme and
+    device, because both disciplines execute the same per-step GEMMs.  Under
+    light load both disciplines serve the offered tokens and the speedup
+    collapses toward 1.
+
+    Parameters
+    ----------
+    max_batch : int
+        Slot count of the serving batch.
+    mean_new_tokens : float
+        Mean generated tokens per request (geometric / memoryless).
+    context : int
+        Representative attended context length of a decode step (prompt
+        plus in-flight generation).
+    d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    offered_load : float
+        Offered token demand as a fraction of the full-batch decode
+        capacity; ``>= 1`` means saturation (the default).
+    """
+
+    max_batch: int
+    mean_new_tokens: float
+    context: int
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+    offered_load: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.mean_new_tokens < 1.0:
+            raise ConfigurationError("mean_new_tokens must be >= 1")
+        if self.offered_load <= 0.0:
+            raise ConfigurationError("offered_load must be > 0")
+        # Delegate the remaining dimension checks to DecodeWorkload.
+        self.decode_workload()
+
+    @staticmethod
+    def harmonic(n: int) -> float:
+        """The n-th harmonic number ``H(n) = 1 + 1/2 + ... + 1/n``."""
+        return sum(1.0 / i for i in range(1, n + 1))
+
+    def decode_workload(self, batch: int = 0) -> DecodeWorkload:
+        """The per-step GEMM workload at a given (default: full) batch size."""
+        return DecodeWorkload(
+            batch=batch or self.max_batch,
+            context=self.context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def continuous_occupancy(self) -> float:
+        """Expected useful slots per decode step under continuous batching."""
+        return self.max_batch * min(1.0, self.offered_load)
+
+    def static_occupancy(self) -> float:
+        """Expected useful slots per decode step under gang scheduling.
+
+        A gang of ``B`` memoryless requests decodes for ``mean * H(B)``
+        expected steps to deliver ``B * mean`` useful token-slots.
+        """
+        return min(
+            self.max_batch / self.harmonic(self.max_batch),
+            self.max_batch * self.offered_load,
+        )
+
+    def speedup_over_static(self) -> float:
+        """Continuous-over-static token-throughput ratio (``H(B)`` saturated)."""
+        return self.continuous_occupancy() / self.static_occupancy()
+
+
+def continuous_batch_throughput(
+    workload: ContinuousBatchWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Serving throughput per scheme under continuous vs static batching.
+
+    Both disciplines pay the same full-batch decode-step latency (a gang
+    step still runs ``max_batch`` GEMM rows — the finished lanes are dead
+    weight, which is exactly the inefficiency continuous batching removes).
+
+    Parameters
+    ----------
+    workload : ContinuousBatchWorkload
+        The serving scenario.
+    device_name : str
+        A key of :data:`repro.gpu.devices.GPU_SPECS`.
+    num_groups : int
+        Tender channel groups (forwarded to the per-scheme GEMM model).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"continuous_tokens_per_s", "static_tokens_per_s",
+        "speedup"}}`` — the speedup is scheme-independent by construction.
+    """
+    step = decode_step_latencies(workload.decode_workload(), device_name, num_groups)
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme, latency in step.items():
+        step_s = latency.milliseconds * 1e-3
+        results[scheme] = {
+            "continuous_tokens_per_s": workload.continuous_occupancy() / step_s,
+            "static_tokens_per_s": workload.static_occupancy() / step_s,
+            "speedup": workload.speedup_over_static(),
+        }
+    return results

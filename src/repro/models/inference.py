@@ -19,7 +19,7 @@ so static calibration data can be looked up per matmul site.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -28,8 +28,33 @@ from repro.models.weights import ModelWeights
 from repro.quant.observers import ActivationObserver
 from repro.tensor.ops import gelu, log_softmax, relu, softmax
 
-if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
-    from repro.serve.kv_cache import KVCache
+
+class KVCacheLike(Protocol):
+    """What the incremental decode path needs from a key/value cache.
+
+    Both the dense :class:`repro.serve.kv_cache.KVCache` (one fixed batch
+    lane per sequence) and the continuous-batching scheduler's
+    :class:`repro.serve.paged_kv_cache.SlotBatchView` (a dense facade over
+    whichever paged slots are active this iteration) satisfy this.  Row ``b``
+    of every ``write``/``view`` call refers to the same sequence that
+    ``lengths[b]`` describes; the rows of consecutive calls may map to
+    *different* requests as the scheduler evicts and backfills slots.
+    """
+
+    #: Committed tokens per batch row; ``decode_step`` advances it in place.
+    lengths: np.ndarray
+
+    def ensure_capacity(self, needed: int) -> None:
+        """Make ``needed`` token slots addressable (grow or validate)."""
+        ...
+
+    def write(self, layer: int, keys: np.ndarray, values: np.ndarray, slots: np.ndarray) -> None:
+        """Store ``(batch, heads, new_len, d_head)`` payloads at per-row slots."""
+        ...
+
+    def view(self, layer: int, length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(keys, values)`` over the first ``length`` slots of each row."""
+        ...
 
 
 class MatmulExecutor(Protocol):
@@ -232,7 +257,7 @@ class TransformerRunner:
         self,
         index: int,
         x: np.ndarray,
-        cache: "KVCache",
+        cache: KVCacheLike,
         positions: np.ndarray,
         valid: Optional[np.ndarray] = None,
     ) -> np.ndarray:
@@ -294,7 +319,7 @@ class TransformerRunner:
     def _incremental_backbone(
         self,
         tokens: np.ndarray,
-        cache: "KVCache",
+        cache: KVCacheLike,
         positions: np.ndarray,
         valid: Optional[np.ndarray] = None,
     ) -> np.ndarray:
@@ -312,7 +337,7 @@ class TransformerRunner:
             x = x + self._feed_forward(index, ffn_input, positions)
         return self._layer_norm(x, self.weights.ln_final.gain, self.weights.ln_final.bias)
 
-    def prefill(self, tokens: np.ndarray, lengths: np.ndarray, cache: "KVCache") -> np.ndarray:
+    def prefill(self, tokens: np.ndarray, lengths: np.ndarray, cache: KVCacheLike) -> np.ndarray:
         """Populate ``cache`` from right-padded prompts; return next-token logits.
 
         ``tokens`` is (batch, max_prompt_len) with each row holding a prompt of
@@ -336,13 +361,18 @@ class TransformerRunner:
         last = hidden[np.arange(batch), lengths - 1]
         return self._project("lm_head", last, self.weights.lm_head, None, lengths - 1)
 
-    def decode_step(self, tokens: np.ndarray, cache: "KVCache") -> np.ndarray:
+    def decode_step(self, tokens: np.ndarray, cache: KVCacheLike) -> np.ndarray:
         """Append one token per sequence and return next-token logits.
 
         ``tokens`` is (batch,) — the token each sequence just produced (or the
-        last prompt token when priming without :meth:`prefill`).  Sequences may
-        sit at different positions (ragged prompts); each writes its own next
-        cache slot.  Returns logits of shape (batch, vocab).
+        last prompt token when priming without :meth:`prefill`).  Rows are
+        fully independent slots: each may sit at its own position (ragged
+        prompts, mid-flight admission) and each writes its own next cache
+        slot at ``cache.lengths[b]``.  Because quantization parameters are
+        looked up by *position* (Tender's row chunks, see ``_project``), a
+        row's logits do not depend on which physical slot or batch row it
+        currently occupies — the property that makes the continuous
+        scheduler's slot reuse safe.  Returns logits of shape (batch, vocab).
         """
         if self.weights.lm_head is None:
             raise ConfigurationError("model has no LM head; generation requires one")

@@ -1,19 +1,42 @@
-"""Serving layer: KV-cached incremental decoding and batched generation.
+"""Serving layer: KV-cached decoding, continuous batching, and generation.
 
 This package opens the workload the paper's accelerator actually targets —
 autoregressive decoding, where every step re-runs the activation-activation
-matmuls against a growing KV history — on top of the executor-based inference
-engine, so every quantization scheme in the repository can be served and
-measured in the decode regime.
+matmuls against a growing KV history — on top of the executor-based
+inference engine, so every quantization scheme in the repository can be
+served and measured in the decode regime.
+
+Three layers, bottom up:
+
+* :class:`KVCache` / :class:`PagedKVCache` — dense per-batch-lane and
+  block-allocated per-slot key/value storage;
+* :class:`Scheduler` — the continuous-batching serving loop (FIFO
+  admission, interleaved prefill/decode, mid-flight eviction);
+* :class:`GenerationEngine` / :func:`generate` — the fixed-batch policy
+  over the scheduler, returning a rectangular :class:`GenerationResult`.
 """
 
-from repro.serve.engine import GenerationConfig, GenerationEngine, GenerationResult, generate
+from repro.serve.engine import GenerationEngine, GenerationResult, generate
 from repro.serve.kv_cache import KVCache
+from repro.serve.paged_kv_cache import PagedKVCache, SlotBatchView
+from repro.serve.scheduler import (
+    GenerationConfig,
+    Request,
+    RequestOutput,
+    Scheduler,
+    SchedulerStats,
+)
 
 __all__ = [
     "KVCache",
+    "PagedKVCache",
+    "SlotBatchView",
     "GenerationConfig",
     "GenerationEngine",
     "GenerationResult",
+    "Request",
+    "RequestOutput",
+    "Scheduler",
+    "SchedulerStats",
     "generate",
 ]

@@ -1,28 +1,29 @@
-"""Batched autoregressive generation over any :class:`MatmulExecutor`.
+"""Batched generation as one policy over the continuous-batching scheduler.
 
-The engine turns the one-shot :class:`~repro.models.inference.TransformerRunner`
-into a serving loop: prompts are right-padded into a rectangular batch, a
-:class:`~repro.serve.kv_cache.KVCache` is prefilled in one pass, and decoding
-proceeds one token per sequence per step.  Because all quantization schemes in
-this repository plug into the runner through the executor interface, the same
-loop serves the FP baseline, Tender (implicit or explicit requantization), and
-every registry baseline unchanged.
+Historically this module owned the whole serving loop; since the scheduler
+landed, :class:`GenerationEngine` is a thin *policy* over
+:class:`~repro.serve.scheduler.Scheduler`: every prompt is submitted at time
+zero with a slot reserved for each (``max_batch_size = len(prompts)``), the
+scheduler runs to completion, and the per-request outputs are reassembled
+into the familiar rectangular :class:`GenerationResult`.  Because all
+quantization schemes in this repository plug into the runner through the
+executor interface, the same loop serves the FP baseline, Tender (implicit
+or explicit requantization), and every registry baseline unchanged.
 
-Two properties are load-bearing and covered by tests:
+Properties that are load-bearing and covered by tests:
 
-* for the FP baseline and every Tender variant, a sequence's logits are
-  independent of what it was batched with (padding and ragged lengths never
-  leak into valid positions — including into the dynamic
-  attention-quantization statistics of Tender "all"; baselines that compute
-  one dynamic activation scale per batched matmul, such as per-tensor INT8,
-  pool batch statistics by construction), and
-* greedy decoding through the KV-cache reproduces the full-sequence forward's
-  logits step for step for every scheme with statically-determined matmul
-  parameters (the FP baseline, Tender with attention left in FP, ...).
-  Tender "all" quantizes attention operands with dynamic per-head statistics,
-  so its decode steps form a deliberately different (per-step) quantization
-  schedule than a full forward — the serving-time behavior the paper's
-  runtime requantization targets.
+* a request's continuation is independent of what it was batched with — the
+  scheduler prefills each prompt as its own batch-of-one forward and samples
+  from a per-request seeded generator, so this now holds *bit-identically*
+  for Tender's integer pipeline (and up to ~1e-15 BLAS row-blocking noise in
+  the FP baseline's logits, which never changes its sampled tokens);
+* greedy decoding through the KV-cache reproduces the full-sequence
+  forward's logits step for step for every scheme with statically-determined
+  matmul parameters.  Tender "all" (``quantize_attention=True``) quantizes
+  attention operands with dynamic per-head statistics, so its decode steps
+  form a deliberately different (per-step) quantization schedule than a full
+  forward — the serving-time behavior the paper's runtime requantization
+  targets.
 """
 
 from __future__ import annotations
@@ -34,50 +35,35 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.models.inference import TransformerRunner
-from repro.serve.kv_cache import KVCache
+from repro.serve.scheduler import GenerationConfig, Request, Scheduler
 
-
-@dataclass(frozen=True)
-class GenerationConfig:
-    """Decoding parameters shared by every request in a batch.
-
-    ``top_k == 0`` selects greedy decoding; ``top_k > 0`` samples from the
-    ``top_k`` highest-probability tokens after ``temperature`` scaling, using
-    a generator seeded with ``seed`` so batches replay deterministically.
-    Generation stops early for sequences that emit ``eos_token`` (when set).
-    """
-
-    max_new_tokens: int = 32
-    top_k: int = 0
-    temperature: float = 1.0
-    seed: int = 0
-    eos_token: Optional[int] = None
-
-    def __post_init__(self) -> None:
-        if self.max_new_tokens < 1:
-            raise ConfigurationError("max_new_tokens must be >= 1")
-        if self.top_k < 0:
-            raise ConfigurationError("top_k must be >= 0 (0 = greedy)")
-        if self.temperature <= 0.0:
-            raise ConfigurationError("temperature must be > 0")
+__all__ = ["GenerationConfig", "GenerationResult", "GenerationEngine", "generate"]
 
 
 @dataclass
 class GenerationResult:
-    """Everything produced by one batched :meth:`GenerationEngine.generate`."""
+    """Everything produced by one batched :meth:`GenerationEngine.generate`.
 
-    #: Per request: prompt followed by its generated continuation.
+    Attributes
+    ----------
+    sequences : list of ndarray
+        Per request: prompt followed by its generated continuation.
+    generated : list of ndarray
+        Per request: only the generated tokens (truncated at eos, inclusive).
+    prompt_lengths : ndarray
+        Prompt length of each request.
+    step_logits : ndarray
+        Logits that produced each generated token, ``(batch, steps, vocab)``.
+        Rows whose request finished before ``num_steps`` (eos, or a budget
+        capped by ``max_seq_len``) have their trailing entries zeroed.
+    num_steps : int
+        The largest number of decode steps any request took.
+    """
+
     sequences: List[np.ndarray]
-    #: Per request: only the generated tokens (truncated at eos, inclusive).
     generated: List[np.ndarray]
-    #: Prompt length of each request.
     prompt_lengths: np.ndarray
-    #: Logits that produced each generated token: (batch, steps, vocab).
-    #: Rows whose per-request budget (max_new_tokens capped by max_seq_len)
-    #: ended before ``num_steps`` have their trailing entries zeroed.
     step_logits: np.ndarray
-    #: Number of decode iterations actually executed (the largest per-request
-    #: budget reached, or fewer when eos finished every request early).
     num_steps: int = 0
 
     def text_lengths(self) -> np.ndarray:
@@ -86,122 +72,89 @@ class GenerationResult:
 
 
 class GenerationEngine:
-    """Request-batched greedy/top-k generation loop with a KV-cache."""
+    """Fixed-batch generation: submit everything at once, run to completion.
+
+    This is the ``max_batch_size = len(prompts)`` policy over the
+    :class:`~repro.serve.scheduler.Scheduler` — every request is admitted at
+    time zero and the engine returns when the last one finishes.  For
+    arrival traces, mid-flight admission, or bounded batch sizes, drive the
+    scheduler directly.
+
+    Parameters
+    ----------
+    runner : TransformerRunner
+        The executor-backed model to decode with (any quantization scheme).
+
+    Examples
+    --------
+    >>> engine = GenerationEngine(TransformerRunner(weights))
+    >>> result = engine.generate([prompt_a, prompt_b], GenerationConfig(max_new_tokens=8))
+    >>> result.sequences[0]
+    array([...])
+    """
 
     def __init__(self, runner: TransformerRunner) -> None:
         self.runner = runner
 
-    # ------------------------------------------------------------------
-    # Sampling
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _greedy(logits: np.ndarray) -> np.ndarray:
-        return np.argmax(logits, axis=-1)
-
-    @staticmethod
-    def _top_k(logits: np.ndarray, config: GenerationConfig, rng: np.random.Generator) -> np.ndarray:
-        scaled = logits / config.temperature
-        k = min(config.top_k, logits.shape[-1])
-        top_indices = np.argpartition(scaled, -k, axis=-1)[:, -k:]
-        top_scores = np.take_along_axis(scaled, top_indices, axis=-1)
-        top_scores = top_scores - top_scores.max(axis=-1, keepdims=True)
-        probabilities = np.exp(top_scores)
-        probabilities /= probabilities.sum(axis=-1, keepdims=True)
-        choices = np.array(
-            [rng.choice(k, p=probabilities[row]) for row in range(logits.shape[0])]
-        )
-        return np.take_along_axis(top_indices, choices[:, None], axis=-1)[:, 0]
-
-    def _sample(self, logits: np.ndarray, config: GenerationConfig, rng: np.random.Generator) -> np.ndarray:
-        if config.top_k == 0:
-            return self._greedy(logits)
-        return self._top_k(logits, config, rng)
-
-    # ------------------------------------------------------------------
-    # Batched generation
-    # ------------------------------------------------------------------
     def generate(
         self,
         prompts: Sequence[np.ndarray],
         config: Optional[GenerationConfig] = None,
-        cache: Optional[KVCache] = None,
     ) -> GenerationResult:
-        """Generate continuations for a batch of (possibly ragged) prompts."""
+        """Generate continuations for a batch of (possibly ragged) prompts.
+
+        Parameters
+        ----------
+        prompts : sequence of ndarray
+            One token-id array per request; lengths may differ.
+        config : GenerationConfig, optional
+            Decoding parameters (default: greedy, 32 new tokens).
+
+        Returns
+        -------
+        GenerationResult
+            Sequences, continuations, and per-step logits, ordered like
+            ``prompts``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the batch is empty, a prompt is empty or out-of-vocabulary,
+            or a prompt leaves no room below ``max_seq_len``.
+        """
         config = config or GenerationConfig()
-        model_config = self.runner.config
         prompts = [np.asarray(p, dtype=np.int64).reshape(-1) for p in prompts]
         if not prompts:
             raise ConfigurationError("generate() requires at least one prompt")
+        # All requests are known up front, so size the KV pool to their exact
+        # reservations instead of the scheduler's worst case (every slot at
+        # max_seq_len) — the same memory profile the dense cache had.
+        block_size = 16
+        scheduler = Scheduler(
+            self.runner,
+            config=config,
+            max_batch_size=len(prompts),
+            block_size=block_size,
+            num_blocks=Scheduler.blocks_for_requests(
+                self.runner.config, [len(p) for p in prompts], config, block_size
+            ),
+        )
         for prompt in prompts:
-            if prompt.size == 0:
-                raise ConfigurationError("prompts must contain at least one token")
-            if prompt.min() < 0 or prompt.max() >= model_config.vocab_size:
-                raise ConfigurationError("prompt tokens must be valid vocabulary ids")
+            scheduler.submit(Request(prompt=prompt))
+        outputs = {output.request_id: output for output in scheduler.run()}
+        ordered = [outputs[request_id] for request_id in range(len(prompts))]
 
-        batch = len(prompts)
-        lengths = np.array([len(p) for p in prompts], dtype=np.int64)
-        max_len = int(lengths.max())
-        if max_len >= model_config.max_seq_len:
-            raise ConfigurationError(
-                f"longest prompt ({max_len}) leaves no room below max_seq_len "
-                f"{model_config.max_seq_len}"
-            )
-        # Each request has its own step budget: shorter prompts keep their full
-        # max_new_tokens even when batched with a near-max_seq_len prompt.  A
-        # request that exhausts its budget stops contributing (its trailing
-        # generated tokens and step logits are zeroed below).
-        budgets = np.minimum(int(config.max_new_tokens), model_config.max_seq_len - lengths)
-        num_steps = int(budgets.max())
-
-        padded = np.zeros((batch, max_len), dtype=np.int64)
-        for row, prompt in enumerate(prompts):
-            padded[row, : len(prompt)] = prompt
-        if cache is None:
-            cache = KVCache.for_model(model_config, batch, capacity=max_len + num_steps)
-
-        rng = np.random.default_rng(config.seed)
-        logits = self.runner.prefill(padded, lengths, cache)
-
-        generated = np.zeros((batch, num_steps), dtype=np.int64)
-        step_logits = np.zeros((batch, num_steps, logits.shape[-1]), dtype=np.float64)
-        finished = np.zeros(batch, dtype=bool)
-        steps_taken = 0
-        for step in range(num_steps):
-            next_tokens = self._sample(logits, config, rng)
-            step_logits[:, step] = logits
-            generated[:, step] = next_tokens
-            steps_taken = step + 1
-            if config.eos_token is not None:
-                finished |= next_tokens == config.eos_token
-            if (finished | (budgets <= steps_taken)).all():
-                break
-            if step + 1 < num_steps:
-                # Rows that hit max_seq_len keep re-writing their final cache
-                # slot; their outputs are garbage but are discarded by the
-                # per-row budget truncation below, and other rows are
-                # unaffected (each sequence owns its batch lane).
-                np.minimum(cache.lengths, model_config.max_seq_len - 1, out=cache.lengths)
-                logits = self.runner.decode_step(next_tokens, cache)
-
-        sequences: List[np.ndarray] = []
-        kept: List[np.ndarray] = []
-        for row, prompt in enumerate(prompts):
-            row_steps = min(steps_taken, int(budgets[row]))
-            generated[row, row_steps:] = 0
-            step_logits[row, row_steps:] = 0.0
-            continuation = generated[row, :row_steps]
-            if config.eos_token is not None:
-                eos_hits = np.nonzero(continuation == config.eos_token)[0]
-                if eos_hits.size:
-                    continuation = continuation[: eos_hits[0] + 1]
-            kept.append(continuation.copy())
-            sequences.append(np.concatenate([prompt, continuation]))
+        num_steps = max(output.num_steps for output in ordered)
+        vocab = self.runner.config.vocab_size
+        step_logits = np.zeros((len(prompts), num_steps, vocab), dtype=np.float64)
+        for row, output in enumerate(ordered):
+            step_logits[row, : output.num_steps] = output.step_logits
         return GenerationResult(
-            sequences=sequences,
-            generated=kept,
-            prompt_lengths=lengths,
-            step_logits=step_logits[:, :steps_taken],
-            num_steps=steps_taken,
+            sequences=[output.sequence for output in ordered],
+            generated=[output.generated for output in ordered],
+            prompt_lengths=np.array([output.prompt_length for output in ordered], dtype=np.int64),
+            step_logits=step_logits,
+            num_steps=num_steps,
         )
 
 
@@ -210,5 +163,20 @@ def generate(
     prompts: Sequence[np.ndarray],
     config: Optional[GenerationConfig] = None,
 ) -> GenerationResult:
-    """Convenience wrapper: one-shot batched generation for ``runner``."""
+    """Generate continuations for ``prompts`` in one call.
+
+    Parameters
+    ----------
+    runner : TransformerRunner
+        The executor-backed model to decode with.
+    prompts : sequence of ndarray
+        One token-id array per request.
+    config : GenerationConfig, optional
+        Decoding parameters (default: greedy, 32 new tokens).
+
+    Returns
+    -------
+    GenerationResult
+        See :class:`GenerationResult`.
+    """
     return GenerationEngine(runner).generate(prompts, config)

@@ -28,13 +28,39 @@ from repro.errors import ConfigurationError
 class KVCache:
     """Cached key/value tensors for every layer of one batched generation.
 
+    This is the *dense* cache: one fixed batch lane per sequence, grown (but
+    never reclaimed) until the whole batch drains.  The continuous-batching
+    scheduler uses the block-allocated
+    :class:`~repro.serve.paged_kv_cache.PagedKVCache` instead, which frees a
+    request's memory the moment it finishes; both expose the same
+    ``write``/``view``/``ensure_capacity``/``lengths`` interface consumed by
+    :class:`~repro.models.inference.TransformerRunner`.
+
+    Parameters
+    ----------
+    num_layers : int
+        Transformer layers (one key/value array pair each).
+    batch_size : int
+        Batch lanes (one per concurrently decoded sequence).
+    num_heads : int
+        Attention heads per layer.
+    d_head : int
+        Head dimension.
+    capacity : int
+        Token slots per lane (grown on demand by :meth:`ensure_capacity`).
+
     Attributes
     ----------
-    keys, values:
+    keys, values : list of ndarray
         One ``(batch, num_heads, capacity, d_head)`` array per layer.
-    lengths:
+    lengths : ndarray
         Number of committed tokens per sequence.  ``decode_step`` writes each
         sequence's new token at slot ``lengths[b]`` and then advances it.
+
+    Raises
+    ------
+    ConfigurationError
+        If any dimension is < 1.
     """
 
     def __init__(self, num_layers: int, batch_size: int, num_heads: int, d_head: int, capacity: int) -> None:
@@ -47,7 +73,23 @@ class KVCache:
 
     @classmethod
     def for_model(cls, config, batch_size: int, capacity: int = 0) -> "KVCache":
-        """Allocate a cache sized for ``config`` (a :class:`TransformerConfig`)."""
+        """Allocate a cache sized for a model architecture.
+
+        Parameters
+        ----------
+        config : TransformerConfig
+            Supplies layer count, head count, head dimension and the
+            ``max_seq_len`` cap.
+        batch_size : int
+            Batch lanes to allocate.
+        capacity : int, optional
+            Initial token slots per lane; defaults to ``max_seq_len`` and is
+            always capped there.
+
+        Returns
+        -------
+        KVCache
+        """
         capacity = capacity or config.max_seq_len
         return cls(
             num_layers=config.num_layers,
@@ -62,14 +104,17 @@ class KVCache:
     # ------------------------------------------------------------------
     @property
     def num_layers(self) -> int:
+        """Number of cached layers."""
         return len(self.keys)
 
     @property
     def batch_size(self) -> int:
+        """Number of batch lanes."""
         return int(self.keys[0].shape[0])
 
     @property
     def capacity(self) -> int:
+        """Token slots currently allocated per lane."""
         return int(self.keys[0].shape[2])
 
     @property
@@ -96,9 +141,15 @@ class KVCache:
     def write(self, layer: int, keys: np.ndarray, values: np.ndarray, slots: np.ndarray) -> None:
         """Store new head tensors at per-sequence slots.
 
-        ``keys``/``values`` are (batch, num_heads, new_len, d_head) and
-        ``slots`` is (batch, new_len) — different sequences of a ragged batch
-        may write different slots in the same step.
+        Parameters
+        ----------
+        layer : int
+            Layer whose arrays receive the data.
+        keys, values : ndarray
+            ``(batch, num_heads, new_len, d_head)`` payloads.
+        slots : ndarray
+            ``(batch, new_len)`` token slots — different sequences of a
+            ragged batch may write different slots in the same step.
         """
         batch = keys.shape[0]
         self.ensure_capacity(int(slots.max()) + 1)
@@ -109,7 +160,25 @@ class KVCache:
         self.values[layer][batch_index, :, slots] = values.transpose(0, 2, 1, 3)
 
     def view(self, layer: int, length: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Cached (keys, values) truncated to the first ``length`` slots."""
+        """Cached key/value arrays truncated to the first ``length`` slots.
+
+        Parameters
+        ----------
+        layer : int
+            Layer to read.
+        length : int
+            Token slots to expose.
+
+        Returns
+        -------
+        tuple of ndarray
+            ``(keys, values)`` of shape ``(batch, num_heads, length, d_head)``.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``length`` exceeds the current capacity.
+        """
         if length > self.capacity:
             raise ConfigurationError(
                 f"requested {length} cache slots but capacity is {self.capacity}"

@@ -1,0 +1,386 @@
+"""Block-allocated, slot-granular key/value cache for continuous batching.
+
+The dense :class:`~repro.serve.kv_cache.KVCache` ties one batch *lane* to one
+request for the lifetime of the whole batch: a lane's memory is only
+reclaimed when the entire batch drains.  Under continuous batching, requests
+finish (and new ones arrive) mid-flight, so the cache must be able to free
+one request's memory the moment it completes and hand it to the next
+arrival.  :class:`PagedKVCache` does exactly that, following the paging
+design popularised by vLLM: physical storage is a pool of fixed-size
+*blocks*, and each live request (a *slot*) owns a block table mapping its
+token positions onto blocks in the pool.
+
+Two pieces cooperate:
+
+* :class:`PagedKVCache` — the physical pool plus per-slot block tables
+  (``reserve`` / ``free`` / ``write`` / ``gather``), and
+* :class:`SlotBatchView` — a dense, :class:`~repro.serve.kv_cache.KVCache`
+  compatible facade over an arbitrary *subset* of slots, which is what lets
+  :meth:`repro.models.inference.TransformerRunner.decode_step` run one
+  batched iteration over whichever requests the scheduler has active without
+  knowing anything about paging.
+
+Freed blocks return to the pool dirty and are zeroed when next *reserved*.
+Output isolation alone would already follow from the attention visibility
+rule (a sequence only ever attends to slots at positions it has itself
+written), but executors that quantize attention operands *dynamically*
+(Tender ``quantize_attention=True``) take per-column statistics over the
+whole attended window — stale values there would perturb quantization
+scales even though they never reach an output, so reservation restores the
+dense cache's zeros-never-widen-an-absmax invariant.
+``tests/serve/test_scheduler.py`` pins both properties down with
+dirty-block reuse tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+
+
+class PagedKVCache:
+    """A pool of fixed-size KV blocks shared by all live requests.
+
+    Storage is one ``(num_blocks, num_heads, block_size, d_head)`` key array
+    and one value array per layer.  A *slot* (one live request) owns a list
+    of block ids covering positions ``[0, capacity)``; :meth:`reserve`
+    allocates the whole table up front so a request admitted by the
+    scheduler can never run out of cache mid-decode.
+
+    Parameters
+    ----------
+    num_layers : int
+        Transformer layers (one key/value pool pair each).
+    num_heads : int
+        Attention heads per layer.
+    d_head : int
+        Head dimension.
+    block_size : int
+        Token positions per block.
+    num_blocks : int
+        Blocks in the pool, shared across all slots and layers (a block id
+        addresses the same region in every layer's pool).
+
+    Raises
+    ------
+    ConfigurationError
+        If any dimension is < 1.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_heads: int,
+        d_head: int,
+        block_size: int = 16,
+        num_blocks: int = 64,
+    ) -> None:
+        if min(num_layers, num_heads, d_head, block_size, num_blocks) < 1:
+            raise ConfigurationError("PagedKVCache dimensions must all be >= 1")
+        shape = (num_blocks, num_heads, block_size, d_head)
+        self.block_size = int(block_size)
+        self.key_blocks: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
+        self.value_blocks: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
+        self._free_blocks: List[int] = list(range(num_blocks - 1, -1, -1))
+        self._tables: Dict[int, List[int]] = {}
+        self._lengths: Dict[int, int] = {}
+        self._next_slot = 0
+
+    @classmethod
+    def for_model(cls, config, max_active: int, block_size: int = 16) -> "PagedKVCache":
+        """Size a pool so ``max_active`` requests can each reach ``max_seq_len``.
+
+        Parameters
+        ----------
+        config : TransformerConfig
+            Model architecture (supplies layers/heads/head dim/max_seq_len).
+        max_active : int
+            Worst-case number of concurrently live slots.
+        block_size : int
+            Token positions per block.
+
+        Returns
+        -------
+        PagedKVCache
+        """
+        blocks_per_request = -(-int(config.max_seq_len) // block_size)
+        return cls(
+            num_layers=config.num_layers,
+            num_heads=config.num_heads,
+            d_head=config.d_head,
+            block_size=block_size,
+            num_blocks=max(1, int(max_active)) * blocks_per_request,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """Number of transformer layers the pool covers."""
+        return len(self.key_blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total blocks in the pool."""
+        return int(self.key_blocks[0].shape[0])
+
+    @property
+    def free_block_count(self) -> int:
+        """Blocks currently available for :meth:`reserve`."""
+        return len(self._free_blocks)
+
+    @property
+    def active_slots(self) -> List[int]:
+        """Ids of currently reserved slots, in reservation order."""
+        return list(self._tables)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total bytes held by the block pools (allocated once, up front)."""
+        return sum(k.nbytes + v.nbytes for k, v in zip(self.key_blocks, self.value_blocks))
+
+    def blocks_needed(self, capacity: int) -> int:
+        """Blocks required to cover ``capacity`` token positions."""
+        return -(-max(int(capacity), 1) // self.block_size)
+
+    def length_of(self, slot: int) -> int:
+        """Committed tokens of ``slot``."""
+        return self._lengths[slot]
+
+    def capacity_of(self, slot: int) -> int:
+        """Reserved token positions of ``slot``."""
+        return len(self._tables[slot]) * self.block_size
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+    def reserve(self, capacity: int) -> int:
+        """Reserve a fresh slot able to hold ``capacity`` token positions.
+
+        The full block table is allocated here, so admission control happens
+        exactly once per request: once reserved, every write within
+        ``capacity`` is guaranteed to succeed.  Each granted block is zeroed
+        before use: the attention mask already keeps stale positions out of
+        every *output*, but dynamically quantized attention operands (Tender
+        ``quantize_attention=True``) derive per-column statistics over the
+        whole attended window, and only zeros are guaranteed never to widen
+        an absmax (see ``TransformerRunner._attention_cached``).
+
+        Parameters
+        ----------
+        capacity : int
+            Maximum token positions the request will ever occupy.
+
+        Returns
+        -------
+        int
+            The new slot id.
+
+        Raises
+        ------
+        ResourceExhaustedError
+            If the pool does not currently hold enough free blocks.
+        """
+        needed = self.blocks_needed(capacity)
+        if needed > len(self._free_blocks):
+            raise ResourceExhaustedError(
+                f"need {needed} KV blocks for {capacity} positions but only "
+                f"{len(self._free_blocks)} of {self.num_blocks} are free"
+            )
+        slot = self._next_slot
+        self._next_slot += 1
+        blocks = [self._free_blocks.pop() for _ in range(needed)]
+        for layer in range(self.num_layers):
+            self.key_blocks[layer][blocks] = 0.0
+            self.value_blocks[layer][blocks] = 0.0
+        self._tables[slot] = blocks
+        self._lengths[slot] = 0
+        return slot
+
+    def free(self, slot: int) -> None:
+        """Return ``slot``'s blocks to the pool (scrubbed at next reserve)."""
+        self._free_blocks.extend(reversed(self._tables.pop(slot)))
+        del self._lengths[slot]
+
+    def set_length(self, slot: int, length: int) -> None:
+        """Record that ``slot`` now holds ``length`` committed tokens."""
+        if length > self.capacity_of(slot):
+            raise ConfigurationError(
+                f"length {length} exceeds slot {slot}'s reserved capacity "
+                f"{self.capacity_of(slot)}"
+            )
+        self._lengths[slot] = int(length)
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def _locate(self, slot: int, position: int) -> Tuple[int, int]:
+        """Map a (slot, token position) to its (block id, in-block offset)."""
+        table = self._tables[slot]
+        block_index, offset = divmod(int(position), self.block_size)
+        if position < 0 or block_index >= len(table):
+            raise ConfigurationError(
+                f"position {position} outside slot {slot}'s reserved capacity "
+                f"{self.capacity_of(slot)}"
+            )
+        return table[block_index], offset
+
+    def write(
+        self,
+        layer: int,
+        slot_ids: Sequence[int],
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        """Scatter new head tensors into the blocks of the given slots.
+
+        Parameters
+        ----------
+        layer : int
+            Layer whose pools receive the data.
+        slot_ids : sequence of int
+            One slot per batch row.
+        keys, values : ndarray
+            ``(len(slot_ids), num_heads, new_len, d_head)`` payloads.
+        positions : ndarray
+            ``(len(slot_ids), new_len)`` absolute token positions per row.
+
+        Raises
+        ------
+        ConfigurationError
+            If any position lies beyond its slot's reserved capacity.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        new_len = positions.shape[1]
+        for row, slot in enumerate(slot_ids):
+            # Positions are written in contiguous runs per block (the serving
+            # paths always write consecutive positions), so each run is one
+            # slice assignment instead of a per-token Python loop.
+            column = 0
+            while column < new_len:
+                block, offset = self._locate(slot, positions[row, column])
+                run = int(min(new_len - column, self.block_size - offset))
+                expected = positions[row, column] + np.arange(run)
+                if not np.array_equal(positions[row, column : column + run], expected):
+                    run = 1  # non-contiguous caller: fall back to one position
+                self.key_blocks[layer][block, :, offset : offset + run] = keys[
+                    row, :, column : column + run
+                ]
+                self.value_blocks[layer][block, :, offset : offset + run] = values[
+                    row, :, column : column + run
+                ]
+                column += run
+
+    def gather(self, layer: int, slot_ids: Sequence[int], length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble dense ``(len(slot_ids), num_heads, length, d_head)`` K/V.
+
+        Positions beyond a slot's reserved capacity are zero-filled — they
+        are only requested when a *longer* batch-mate pushes the dense view
+        past a short slot's reservation, and the attention mask hides them
+        from every query of that slot.
+
+        Parameters
+        ----------
+        layer : int
+            Layer to read.
+        slot_ids : sequence of int
+            Slots forming the dense batch, in row order.
+        length : int
+            Token positions to materialise per row.
+
+        Returns
+        -------
+        tuple of ndarray
+            ``(keys, values)`` dense arrays.
+        """
+        heads = self.key_blocks[layer].shape[1]
+        d_head = self.key_blocks[layer].shape[3]
+        keys = np.zeros((len(slot_ids), heads, length, d_head), dtype=np.float64)
+        values = np.zeros_like(keys)
+        for row, slot in enumerate(slot_ids):
+            table = self._tables[slot]
+            copied = min(length, len(table) * self.block_size)
+            for block_index in range(self.blocks_needed(copied) if copied else 0):
+                start = block_index * self.block_size
+                stop = min(start + self.block_size, copied)
+                block = table[block_index]
+                keys[row, :, start:stop] = self.key_blocks[layer][block, :, : stop - start]
+                values[row, :, start:stop] = self.value_blocks[layer][block, :, : stop - start]
+        return keys, values
+
+    def view(self, slot_ids: Sequence[int]) -> "SlotBatchView":
+        """Build a dense cache facade over ``slot_ids`` (see :class:`SlotBatchView`)."""
+        return SlotBatchView(self, slot_ids)
+
+
+class SlotBatchView:
+    """Dense-cache facade over a subset of :class:`PagedKVCache` slots.
+
+    Implements the interface :class:`~repro.models.inference.TransformerRunner`
+    expects from a :class:`~repro.serve.kv_cache.KVCache` — ``write``,
+    ``view``, ``ensure_capacity`` and a mutable ``lengths`` vector — so one
+    batched ``prefill``/``decode_step`` call can run over exactly the slots
+    the scheduler currently has active.  Length updates made by the runner
+    stay local to the view until :meth:`commit` copies them back to the pool
+    (the scheduler commits after every successful forward).
+
+    Attributes
+    ----------
+    slot_ids : list of int
+        The slots backing each batch row, in row order.
+    lengths : ndarray
+        Per-row committed-token counts, advanced in place by the runner.
+    """
+
+    def __init__(self, paged: PagedKVCache, slot_ids: Sequence[int]) -> None:
+        self._paged = paged
+        self.slot_ids = [int(s) for s in slot_ids]
+        if not self.slot_ids:
+            raise ConfigurationError("a SlotBatchView needs at least one slot")
+        self.lengths = np.array([paged.length_of(s) for s in self.slot_ids], dtype=np.int64)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers of the backing pool."""
+        return self._paged.num_layers
+
+    @property
+    def batch_size(self) -> int:
+        """Number of slots (batch rows) in this view."""
+        return len(self.slot_ids)
+
+    @property
+    def capacity(self) -> int:
+        """Largest reserved token capacity among the viewed slots."""
+        return max(self._paged.capacity_of(s) for s in self.slot_ids)
+
+    def ensure_capacity(self, needed: int) -> None:
+        """Validate that the *pool* could ever address ``needed`` positions.
+
+        Unlike the dense cache, a paged pool never grows: every slot's blocks
+        were reserved at admission, and per-slot bounds are enforced by
+        ``write``.  This only rejects positions no slot could ever hold.
+        """
+        if needed > self._paged.num_blocks * self._paged.block_size:
+            raise ConfigurationError(
+                f"position {needed - 1} can never fit a pool of "
+                f"{self._paged.num_blocks} x {self._paged.block_size} slots"
+            )
+
+    def write(self, layer: int, keys: np.ndarray, values: np.ndarray, slots: np.ndarray) -> None:
+        """Scatter per-row payloads through to the backing pool."""
+        self._paged.write(layer, self.slot_ids, keys, values, slots)
+
+    def view(self, layer: int, length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense (keys, values) over the first ``length`` positions of each slot."""
+        return self._paged.gather(layer, self.slot_ids, length)
+
+    def commit(self) -> None:
+        """Publish the view's per-row lengths back to the pool's slot table."""
+        for row, slot in enumerate(self.slot_ids):
+            self._paged.set_length(slot, int(self.lengths[row]))

@@ -1,0 +1,565 @@
+"""Continuous-batching scheduler: the serving loop behind every policy.
+
+PR 1's engine ran one fixed batch end to end: every request occupied its
+batch lane until the *slowest* request finished, so a single long generation
+stalled every already-finished slot.  The :class:`Scheduler` instead treats
+the batch as a set of *slots* over a shared :class:`~repro.serve.paged_kv_cache.PagedKVCache`:
+
+* requests are **admitted** from a FIFO queue the moment a slot and enough
+  KV blocks are free (their prompt is prefilled right away),
+* each **decode iteration** runs one batched
+  :meth:`~repro.models.inference.TransformerRunner.decode_step` over exactly
+  the currently active slots (ragged positions are fine — every slot sits at
+  its own sequence position), and
+* finished requests are **evicted mid-flight**, their blocks are reclaimed
+  immediately, and the freed slot is backfilled by the next waiting request
+  on the following iteration.
+
+Two scheduling policies share this loop (`policy=`):
+
+* ``"continuous"`` — admit whenever capacity frees up (the default), and
+* ``"gang"`` — classic static batching: only admit when the batch has fully
+  drained.  It exists as the baseline the continuous policy is benchmarked
+  against (``benchmarks/bench_generate_decode.py``).
+
+Determinism and parity are load-bearing: each request samples from its *own*
+``numpy`` generator seeded with :attr:`GenerationConfig.seed`, and each
+prefill runs as its own batch-of-one forward, so a request's output is
+independent of what it happens to share the batch with.  For Tender's
+integer pipeline the per-request outputs are bit-identical to running the
+request alone; the FP baseline's logits differ only by BLAS row-blocking
+noise (~1e-15) while its sampled tokens stay identical
+(``tests/serve/test_decode_parity.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.models.inference import TransformerRunner
+from repro.serve.paged_kv_cache import PagedKVCache
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Decoding parameters shared by every request of a scheduler or batch.
+
+    ``top_k == 0`` selects greedy decoding; ``top_k > 0`` samples from the
+    ``top_k`` highest-probability tokens after ``temperature`` scaling.
+    Sampling draws from a per-request generator seeded with ``seed``, so a
+    request's continuation replays deterministically *and* is independent of
+    how it was batched.  Generation stops early for requests that emit
+    ``eos_token`` (when set).
+
+    Parameters
+    ----------
+    max_new_tokens : int
+        Token budget per request (capped by the model's ``max_seq_len``).
+        Individual requests may lower it via ``Request.max_new_tokens``.
+    top_k : int
+        ``0`` for greedy argmax decoding, ``k > 0`` for top-k sampling.
+    temperature : float
+        Softmax temperature applied before top-k sampling.
+    seed : int
+        Seed of each request's private sampling generator.
+    eos_token : int, optional
+        Token id that terminates a request early (kept in the output).
+
+    Raises
+    ------
+    ConfigurationError
+        If any field is outside its valid range.
+    """
+
+    max_new_tokens: int = 32
+    top_k: int = 0
+    temperature: float = 1.0
+    seed: int = 0
+    eos_token: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens < 1:
+            raise ConfigurationError("max_new_tokens must be >= 1")
+        if self.top_k < 0:
+            raise ConfigurationError("top_k must be >= 0 (0 = greedy)")
+        if self.temperature <= 0.0:
+            raise ConfigurationError("temperature must be > 0")
+
+
+@dataclass
+class Request:
+    """One generation request submitted to a :class:`Scheduler`.
+
+    Parameters
+    ----------
+    prompt : ndarray
+        Token ids, shape ``(prompt_len,)``.
+    max_new_tokens : int, optional
+        Per-request budget override of the scheduler's
+        :attr:`GenerationConfig.max_new_tokens`.
+    arrival_time : float
+        Scheduler-clock tick at which the request becomes admissible (the
+        clock advances by one per model forward pass).  ``0.0`` means
+        "available immediately".
+    request_id : int, optional
+        Set on the scheduler's internal copy by :meth:`Scheduler.submit`
+        (which also returns it); a caller-constructed request is never
+        mutated and may be resubmitted freely.
+    """
+
+    prompt: np.ndarray
+    max_new_tokens: Optional[int] = None
+    arrival_time: float = 0.0
+    request_id: Optional[int] = None
+
+
+@dataclass
+class RequestOutput:
+    """Everything the scheduler produced for one finished request."""
+
+    #: Id assigned at submission (submission order).
+    request_id: int
+    #: The request's prompt, as submitted.
+    prompt: np.ndarray
+    #: Prompt followed by the kept continuation.
+    sequence: np.ndarray
+    #: Only the generated tokens (truncated at eos, inclusive).
+    generated: np.ndarray
+    #: Number of prompt tokens.
+    prompt_length: int
+    #: Logits behind each generated token, ``(num_steps, vocab)`` — empty
+    #: when the scheduler was built with ``record_logits=False``.
+    step_logits: np.ndarray
+    #: Decode steps this request took (``len(generated)``).
+    num_steps: int
+    #: ``"eos"`` or ``"length"``.
+    finish_reason: str
+    #: Scheduler-clock ticks at admission (prefill) and completion.
+    admitted_at: float = 0.0
+    finished_at: float = 0.0
+
+
+@dataclass
+class SchedulerStats:
+    """Iteration accounting of one scheduler run (deterministic, not wall time)."""
+
+    #: Prefill forward passes executed (one per admitted request).
+    prefill_iterations: int = 0
+    #: Batched decode forward passes executed.
+    decode_iterations: int = 0
+    #: Sum over decode iterations of the number of active slots.
+    decode_slot_steps: int = 0
+    #: Tokens sampled (across prefill and decode logits).
+    generated_tokens: int = 0
+    #: Requests completed.
+    completed_requests: int = 0
+    #: Largest number of concurrently active slots observed.
+    peak_active: int = 0
+    #: Clock ticks spent with an empty batch waiting for the next arrival.
+    idle_time: float = 0.0
+
+    @property
+    def total_iterations(self) -> int:
+        """Model forward passes executed (prefill + decode)."""
+        return self.prefill_iterations + self.decode_iterations
+
+    def tokens_per_iteration(self) -> float:
+        """Generated tokens per forward pass — the batching-efficiency metric."""
+        return self.generated_tokens / max(1, self.total_iterations)
+
+
+class _ActiveRequest:
+    """Book-keeping for one admitted, not-yet-finished request."""
+
+    __slots__ = ("request", "slot", "budget", "rng", "generated", "logits", "next_token", "admitted_at")
+
+    def __init__(self, request: Request, slot: int, budget: int, seed: int, admitted_at: float) -> None:
+        self.request = request
+        self.slot = slot
+        self.budget = budget
+        self.rng = np.random.default_rng(seed)
+        self.generated: List[int] = []
+        self.logits: List[np.ndarray] = []
+        self.next_token = -1
+        self.admitted_at = admitted_at
+
+
+def _token_budget(prompt_len: int, max_new_tokens: int, max_seq_len: int) -> int:
+    """Per-request token budget: the configured budget, clipped at max_seq_len."""
+    return int(min(max_new_tokens, max_seq_len - prompt_len))
+
+
+def _reserved_positions(prompt_len: int, budget: int) -> int:
+    """Cache positions a request can ever write (prompt + budget - 1, >= 1)."""
+    return max(prompt_len + budget - 1, 1)
+
+
+def _sample_token(logits_row: np.ndarray, config: GenerationConfig, rng: np.random.Generator) -> int:
+    """Draw one token for one request (greedy or seeded top-k)."""
+    if config.top_k == 0:
+        return int(np.argmax(logits_row))
+    scaled = logits_row / config.temperature
+    k = min(config.top_k, scaled.shape[-1])
+    top_indices = np.argpartition(scaled, -k)[-k:]
+    top_scores = scaled[top_indices] - scaled[top_indices].max()
+    probabilities = np.exp(top_scores)
+    probabilities /= probabilities.sum()
+    return int(top_indices[rng.choice(k, p=probabilities)])
+
+
+class Scheduler:
+    """Continuous-batching serving loop over a paged KV cache.
+
+    Parameters
+    ----------
+    runner : TransformerRunner
+        The executor-backed model (any quantization scheme).
+    config : GenerationConfig, optional
+        Decoding parameters shared by all requests (default: greedy, 32
+        tokens).
+    max_batch_size : int
+        Maximum concurrently active requests (slots).
+    block_size : int
+        Token positions per KV block (see :class:`PagedKVCache`).
+    num_blocks : int, optional
+        KV pool size; defaults to enough blocks for ``max_batch_size``
+        requests at ``max_seq_len``.
+    policy : {"continuous", "gang"}
+        ``"continuous"`` backfills freed slots immediately; ``"gang"`` only
+        admits into a fully drained batch (static batching).
+    record_logits : bool
+        Keep per-step logits in each :class:`RequestOutput` (disable for
+        long benchmark traces to save memory).
+
+    Raises
+    ------
+    ConfigurationError
+        For invalid parameters or un-servable requests at :meth:`submit`.
+
+    Examples
+    --------
+    >>> scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=16))
+    >>> scheduler.submit(prompt_tokens)
+    0
+    >>> outputs = scheduler.run()
+    >>> outputs[0].generated
+    array([...])
+    """
+
+    def __init__(
+        self,
+        runner: TransformerRunner,
+        config: Optional[GenerationConfig] = None,
+        max_batch_size: int = 8,
+        block_size: int = 16,
+        num_blocks: Optional[int] = None,
+        policy: str = "continuous",
+        record_logits: bool = True,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if policy not in ("continuous", "gang"):
+            raise ConfigurationError(f"unknown scheduling policy {policy!r}")
+        self.runner = runner
+        self.config = config or GenerationConfig()
+        self.max_batch_size = int(max_batch_size)
+        self.policy = policy
+        self.record_logits = record_logits
+        model_config = runner.config
+        if num_blocks is None:
+            self.cache = PagedKVCache.for_model(model_config, max_batch_size, block_size)
+        else:
+            self.cache = PagedKVCache(
+                num_layers=model_config.num_layers,
+                num_heads=model_config.num_heads,
+                d_head=model_config.d_head,
+                block_size=block_size,
+                num_blocks=num_blocks,
+            )
+        self.now = 0.0
+        self.stats = SchedulerStats()
+        #: Min-heap of (arrival_time, request_id, request): FIFO by arrival,
+        #: submission order breaking ties, with O(log n) admission peeks.
+        self._waiting: List[Tuple[float, int, Request]] = []
+        self._active: Dict[int, _ActiveRequest] = {}
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Queue interface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Union[Request, np.ndarray],
+        *,
+        max_new_tokens: Optional[int] = None,
+        arrival_time: float = 0.0,
+    ) -> int:
+        """Enqueue a request (or a bare prompt) and return its request id.
+
+        Parameters
+        ----------
+        request : Request or ndarray
+            A full :class:`Request`, or just its prompt token array.
+        max_new_tokens, arrival_time
+            Conveniences for the bare-prompt form; passing either alongside
+            a full :class:`Request` is rejected (set the fields on the
+            request instead) so overrides can never be silently dropped.
+
+        Returns
+        -------
+        int
+            The request id (monotonically increasing submission order).
+
+        Raises
+        ------
+        ConfigurationError
+            If the prompt is empty, contains out-of-vocabulary ids, leaves
+            no room below ``max_seq_len``, or can never fit the KV pool.
+        """
+        if isinstance(request, Request):
+            if max_new_tokens is not None or arrival_time != 0.0:
+                raise ConfigurationError(
+                    "pass max_new_tokens/arrival_time on the Request itself, "
+                    "not as submit() keywords alongside one"
+                )
+            max_new_tokens = request.max_new_tokens
+            arrival_time = request.arrival_time
+            request = request.prompt
+        # The scheduler owns its queue entries: an internal Request is built
+        # even from a full Request so the caller's object is never mutated
+        # (it can be resubmitted, or submitted to several schedulers).
+        prompt = np.asarray(request, dtype=np.int64).reshape(-1)
+        admitted = Request(prompt=prompt, max_new_tokens=max_new_tokens, arrival_time=arrival_time)
+        model_config = self.runner.config
+        if prompt.size == 0:
+            raise ConfigurationError("prompts must contain at least one token")
+        if prompt.min() < 0 or prompt.max() >= model_config.vocab_size:
+            raise ConfigurationError("prompt tokens must be valid vocabulary ids")
+        if len(prompt) >= model_config.max_seq_len:
+            raise ConfigurationError(
+                f"prompt ({len(prompt)} tokens) leaves no room below "
+                f"max_seq_len {model_config.max_seq_len}"
+            )
+        if max_new_tokens is not None and max_new_tokens < 1:
+            raise ConfigurationError("max_new_tokens must be >= 1")
+        needed = self.cache.blocks_needed(self._reserved_capacity(admitted))
+        if needed > self.cache.num_blocks:
+            raise ConfigurationError(
+                f"request needs {needed} KV blocks but the pool only has "
+                f"{self.cache.num_blocks}; enlarge num_blocks or block_size"
+            )
+        admitted.request_id = self._next_request_id
+        self._next_request_id += 1
+        heapq.heappush(self._waiting, (admitted.arrival_time, admitted.request_id, admitted))
+        return admitted.request_id
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any request is waiting or active."""
+        return bool(self._waiting or self._active)
+
+    @property
+    def num_active(self) -> int:
+        """Requests currently holding a slot."""
+        return len(self._active)
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests queued but not yet admitted."""
+        return len(self._waiting)
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    def step(self) -> List[RequestOutput]:
+        """Run one scheduler iteration: admit + prefill, then one decode.
+
+        With an empty batch and every waiting arrival still in the future,
+        the clock jumps to the next arrival (recorded as ``stats.idle_time``)
+        so a ``while scheduler.has_pending: scheduler.step()`` loop always
+        makes progress.
+
+        Returns
+        -------
+        list of RequestOutput
+            Requests that finished during this iteration (possibly empty).
+        """
+        if not self._active and self._waiting:
+            next_arrival = self._waiting[0][0]
+            if next_arrival > self.now:
+                self.stats.idle_time += next_arrival - self.now
+                self.now = next_arrival
+        finished: List[RequestOutput] = []
+        self._admit(finished)
+        if self._active:
+            self._decode_iteration(finished)
+        return finished
+
+    def run(self) -> List[RequestOutput]:
+        """Serve until every submitted request has finished.
+
+        When the batch is empty and the next arrival lies in the future,
+        :meth:`step` jumps the clock forward (the gap is recorded as
+        ``stats.idle_time``).
+
+        Returns
+        -------
+        list of RequestOutput
+            All outputs, in completion order (sort by ``request_id`` for
+            submission order).
+        """
+        outputs: List[RequestOutput] = []
+        while self.has_pending:
+            before = (self.now, self.stats.total_iterations, len(self._waiting), len(self._active))
+            outputs.extend(self.step())
+            after = (self.now, self.stats.total_iterations, len(self._waiting), len(self._active))
+            if before == after:  # pragma: no cover - defensive livelock guard
+                raise ResourceExhaustedError(
+                    "scheduler made no progress; the KV pool is too small for "
+                    "the waiting request"
+                )
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @classmethod
+    def blocks_for_requests(
+        cls,
+        model_config,
+        prompt_lengths,
+        config: GenerationConfig,
+        block_size: int = 16,
+    ) -> int:
+        """KV blocks an exactly-sized pool needs to hold all requests at once.
+
+        Uses the same budget/reservation formulas as admission, so a pool of
+        this size can never be under-provisioned for the given prompts.
+
+        Parameters
+        ----------
+        model_config : TransformerConfig
+            Supplies ``max_seq_len``.
+        prompt_lengths : iterable of int
+            One entry per request.
+        config : GenerationConfig
+            Supplies the shared ``max_new_tokens`` budget.
+        block_size : int
+            Token positions per block.
+
+        Returns
+        -------
+        int
+        """
+        total = 0
+        for prompt_len in prompt_lengths:
+            budget = _token_budget(prompt_len, config.max_new_tokens, model_config.max_seq_len)
+            total += -(-_reserved_positions(prompt_len, budget) // block_size)
+        return max(total, 1)
+
+    def _budget(self, request: Request) -> int:
+        """Token budget: per-request override, clipped at max_seq_len."""
+        configured = request.max_new_tokens or self.config.max_new_tokens
+        return _token_budget(len(request.prompt), configured, self.runner.config.max_seq_len)
+
+    def _reserved_capacity(self, request: Request) -> int:
+        """Cache positions the request can ever write (prompt + budget - 1)."""
+        return _reserved_positions(len(request.prompt), self._budget(request))
+
+    def _admit(self, finished: List[RequestOutput]) -> None:
+        """FIFO admission: prefill waiting requests into free slots.
+
+        Admission is strictly in (arrival_time, request_id) order and stops
+        at the first request that cannot start — a head-of-line request
+        waiting for blocks is never overtaken by a cheaper later one, which
+        is what makes starvation impossible.
+        """
+        if self.policy == "gang" and self._active:
+            return
+        while self._waiting and len(self._active) < self.max_batch_size:
+            arrival, _, head = self._waiting[0]
+            if arrival > self.now:
+                break
+            needed = self.cache.blocks_needed(self._reserved_capacity(head))
+            if needed > self.cache.free_block_count:
+                break
+            heapq.heappop(self._waiting)
+            self._prefill(head, finished)
+
+    def _prefill(self, request: Request, finished: List[RequestOutput]) -> None:
+        """Reserve a slot, prefill the prompt, and sample the first token."""
+        slot = self.cache.reserve(self._reserved_capacity(request))
+        state = _ActiveRequest(
+            request, slot, self._budget(request), self.config.seed, admitted_at=self.now
+        )
+        prompt = request.prompt
+        view = self.cache.view([slot])
+        logits = self.runner.prefill(prompt[None, :], np.array([len(prompt)]), view)
+        view.commit()
+        self.stats.prefill_iterations += 1
+        self.now += 1.0
+        self._active[state.slot] = state
+        self.stats.peak_active = max(self.stats.peak_active, len(self._active))
+        self._consume_logits(state, logits[0], finished)
+
+    def _decode_iteration(self, finished: List[RequestOutput]) -> None:
+        """One batched decode step over every active slot."""
+        slots = list(self._active)
+        states = [self._active[slot] for slot in slots]
+        tokens = np.array([state.next_token for state in states], dtype=np.int64)
+        view = self.cache.view(slots)
+        logits = self.runner.decode_step(tokens, view)
+        view.commit()
+        self.stats.decode_iterations += 1
+        self.stats.decode_slot_steps += len(slots)
+        self.now += 1.0
+        for row, state in enumerate(states):
+            self._consume_logits(state, logits[row], finished)
+
+    def _consume_logits(
+        self, state: _ActiveRequest, logits_row: np.ndarray, finished: List[RequestOutput]
+    ) -> None:
+        """Sample the next token for one request and retire it if done."""
+        token = _sample_token(logits_row, self.config, state.rng)
+        state.generated.append(token)
+        if self.record_logits:
+            state.logits.append(np.asarray(logits_row, dtype=np.float64).copy())
+        state.next_token = token
+        self.stats.generated_tokens += 1
+        eos = self.config.eos_token
+        if eos is not None and token == eos:
+            self._finalize(state, "eos", finished)
+        elif len(state.generated) >= state.budget:
+            self._finalize(state, "length", finished)
+
+    def _finalize(self, state: _ActiveRequest, reason: str, finished: List[RequestOutput]) -> None:
+        """Evict a finished request: free its blocks, emit its output."""
+        self._active.pop(state.slot, None)
+        self.cache.free(state.slot)
+        continuation = np.array(state.generated, dtype=np.int64)
+        vocab = self.runner.config.vocab_size
+        step_logits = (
+            np.stack(state.logits)
+            if state.logits
+            else np.zeros((0, vocab), dtype=np.float64)
+        )
+        self.stats.completed_requests += 1
+        finished.append(
+            RequestOutput(
+                request_id=int(state.request.request_id),
+                prompt=state.request.prompt,
+                sequence=np.concatenate([state.request.prompt, continuation]),
+                generated=continuation,
+                prompt_length=len(state.request.prompt),
+                step_logits=step_logits,
+                num_steps=len(continuation),
+                finish_reason=reason,
+                admitted_at=state.admitted_at,
+                finished_at=self.now,
+            )
+        )

@@ -123,3 +123,59 @@ class TestDecodeWorkload:
         expected = self.WORKLOAD.batch / (latencies["FP16"].milliseconds * 1e-3)
         assert throughput["FP16"] == pytest.approx(expected)
         assert throughput["INT8 (per-tensor)"] > throughput["Tender SW"]
+
+
+class TestContinuousBatchWorkload:
+    def make(self, **overrides):
+        from repro.gpu import ContinuousBatchWorkload
+
+        defaults = dict(
+            max_batch=8,
+            mean_new_tokens=32.0,
+            context=256,
+            d_model=4096,
+            d_ff=16384,
+            num_heads=32,
+            num_layers=32,
+            vocab=50272,
+        )
+        defaults.update(overrides)
+        return ContinuousBatchWorkload(**defaults)
+
+    def test_saturated_speedup_is_the_harmonic_number(self):
+        workload = self.make()
+        expected = sum(1.0 / i for i in range(1, 9))
+        assert workload.speedup_over_static() == pytest.approx(expected)
+        # The gain grows with batch size but only logarithmically.
+        assert self.make(max_batch=32).speedup_over_static() > expected
+        assert self.make(max_batch=1).speedup_over_static() == pytest.approx(1.0)
+
+    def test_light_load_collapses_the_gap(self):
+        light = self.make(offered_load=0.05)
+        assert light.speedup_over_static() == pytest.approx(1.0)
+        assert light.continuous_occupancy() == pytest.approx(8 * 0.05)
+
+    def test_throughput_table_covers_every_scheme(self):
+        from repro.gpu import continuous_batch_throughput
+
+        table = continuous_batch_throughput(self.make(), "a100")
+        assert set(table) == {
+            "FP16",
+            "INT8 (per-tensor)",
+            "INT8 (per-row)",
+            "INT8 (per-channel)",
+            "Tender SW",
+        }
+        for scheme, row in table.items():
+            assert row["continuous_tokens_per_s"] > row["static_tokens_per_s"] > 0.0
+            assert row["speedup"] == pytest.approx(table["FP16"]["speedup"])
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            self.make(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            self.make(mean_new_tokens=0.5)
+        with pytest.raises(ConfigurationError):
+            self.make(offered_load=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(d_model=100, num_heads=3)  # indivisible heads

@@ -166,6 +166,81 @@ class TestQuantizedAttentionIsolation:
         assert np.isfinite(result.step_logits).all()
 
 
+class TestContinuousSchedulerParity:
+    """Per-request outputs under the continuous scheduler match solo runs.
+
+    The acceptance bar for continuous batching: a request's output must be
+    *bit-identical* to running it alone through ``generate()``, no matter
+    how it was batched, staggered, evicted around, or which recycled slot it
+    landed in.  Token sequences are bit-identical for every scheme.  Step
+    logits are bit-identical for Tender's integer pipeline; the FP
+    baseline's logits carry ~1e-15 BLAS row-blocking noise (batched decode
+    stacks the active slots into one ``(batch, d_model)`` projection
+    operand, and dgemm picks different micro-kernels for different row
+    counts), which never flips a sampled token.
+    """
+
+    BUDGETS = [3, 7, 5, 6, 4, 8]
+    ARRIVALS = [0.0, 0.0, 1.0, 3.0, 5.0, 8.0]
+
+    def _trace_prompts(self, corpus_splits):
+        train_tokens, _ = corpus_splits
+        return [train_tokens[i * 12 : i * 12 + 4 + (i % 4) * 3] for i in range(6)]
+
+    def _run_trace(self, runner, prompts, config):
+        from repro.serve import Scheduler
+
+        scheduler = Scheduler(runner, config, max_batch_size=2, block_size=8)
+        for prompt, budget, arrival in zip(prompts, self.BUDGETS, self.ARRIVALS):
+            scheduler.submit(prompt, max_new_tokens=budget, arrival_time=arrival)
+        outputs = {output.request_id: output for output in scheduler.run()}
+        assert scheduler.stats.peak_active <= 2  # slots really were reused
+        return outputs
+
+    @pytest.mark.parametrize("name", ["float", "tender-implicit", "tender-explicit"])
+    def test_scheduled_outputs_match_solo_generate(self, name, runners, corpus_splits):
+        runner = runners[name]
+        prompts = self._trace_prompts(corpus_splits)
+        outputs = self._run_trace(runner, prompts, GenerationConfig())
+        engine = GenerationEngine(runner)
+        for request_id, (prompt, budget) in enumerate(zip(prompts, self.BUDGETS)):
+            alone = engine.generate([prompt], GenerationConfig(max_new_tokens=budget))
+            np.testing.assert_array_equal(outputs[request_id].generated, alone.generated[0])
+            np.testing.assert_array_equal(outputs[request_id].sequence, alone.sequences[0])
+            if name.startswith("tender"):
+                # Integer pipeline: logits are bit-identical under batching.
+                np.testing.assert_array_equal(outputs[request_id].step_logits, alone.step_logits[0])
+            else:
+                np.testing.assert_allclose(
+                    outputs[request_id].step_logits, alone.step_logits[0], rtol=0.0, atol=1e-12
+                )
+
+    def test_tender_all_bit_identical_under_scheduler(self, outlier_weights, calibration, corpus_splits):
+        """Even dynamic attention quantization is batching-invariant."""
+        config = TenderConfig(bits=8, num_groups=8, row_chunk_size=8, quantize_attention=True)
+        runner = TenderQuantizer(config).quantize(outlier_weights, calibration)
+        prompts = self._trace_prompts(corpus_splits)
+        outputs = self._run_trace(runner, prompts, GenerationConfig())
+        engine = GenerationEngine(runner)
+        for request_id, (prompt, budget) in enumerate(zip(prompts, self.BUDGETS)):
+            alone = engine.generate([prompt], GenerationConfig(max_new_tokens=budget))
+            np.testing.assert_array_equal(outputs[request_id].generated, alone.generated[0])
+            np.testing.assert_array_equal(outputs[request_id].step_logits, alone.step_logits[0])
+
+    def test_top_k_sampling_is_batching_invariant(self, runners, corpus_splits):
+        """Per-request seeded generators make sampling scheduling-independent."""
+        runner = runners["tender-implicit"]
+        prompts = self._trace_prompts(corpus_splits)
+        config = GenerationConfig(top_k=8, temperature=1.3, seed=11)
+        outputs = self._run_trace(runner, prompts, config)
+        engine = GenerationEngine(runner)
+        for request_id, (prompt, budget) in enumerate(zip(prompts, self.BUDGETS)):
+            alone = engine.generate(
+                [prompt], GenerationConfig(max_new_tokens=budget, top_k=8, temperature=1.3, seed=11)
+            )
+            np.testing.assert_array_equal(outputs[request_id].generated, alone.generated[0])
+
+
 class TestTenderChunkConsistency:
     def test_decoded_token_uses_position_chunk(self, outlier_weights, calibration, corpus_splits):
         """A decoded token's quantization chunk comes from its position.

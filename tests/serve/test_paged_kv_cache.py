@@ -1,0 +1,164 @@
+"""Tests of the block-allocated paged KV cache and its dense slot views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.nn import TransformerConfig
+from repro.serve import KVCache, PagedKVCache
+
+
+def make_pool(layers=2, heads=2, d_head=4, block_size=4, num_blocks=8) -> PagedKVCache:
+    return PagedKVCache(
+        num_layers=layers, num_heads=heads, d_head=d_head, block_size=block_size, num_blocks=num_blocks
+    )
+
+
+class TestAllocation:
+    def test_for_model_covers_max_active_at_max_seq_len(self):
+        config = TransformerConfig(d_model=32, num_heads=2, num_layers=3, max_seq_len=20)
+        pool = PagedKVCache.for_model(config, max_active=3, block_size=8)
+        assert pool.num_layers == 3
+        assert pool.num_blocks == 3 * 3  # ceil(20 / 8) == 3 blocks per request
+        # Three requests at max_seq_len fit simultaneously.
+        slots = [pool.reserve(20) for _ in range(3)]
+        assert pool.free_block_count == 0
+        for slot in slots:
+            pool.free(slot)
+        assert pool.free_block_count == pool.num_blocks
+
+    def test_rejects_degenerate_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            PagedKVCache(num_layers=0, num_heads=1, d_head=1, block_size=1, num_blocks=1)
+
+    def test_reserve_accounting_and_exhaustion(self):
+        pool = make_pool(block_size=4, num_blocks=4)
+        first = pool.reserve(9)  # 3 blocks
+        assert pool.blocks_needed(9) == 3
+        assert pool.free_block_count == 1
+        assert pool.capacity_of(first) == 12
+        with pytest.raises(ResourceExhaustedError):
+            pool.reserve(5)  # needs 2, only 1 free
+        second = pool.reserve(3)
+        assert pool.free_block_count == 0
+        pool.free(first)
+        assert pool.free_block_count == 3
+        assert pool.active_slots == [second]
+
+    def test_freed_blocks_are_reused(self):
+        pool = make_pool(num_blocks=2, block_size=4)
+        slot = pool.reserve(8)
+        pool.free(slot)
+        again = pool.reserve(8)  # would exhaust the pool if blocks leaked
+        assert pool.capacity_of(again) == 8
+
+    def test_memory_is_allocated_once_up_front(self):
+        pool = make_pool(layers=2, heads=2, d_head=4, block_size=4, num_blocks=8)
+        expected = 2 * 2 * (8 * 2 * 4 * 4) * 8  # layers * (k+v) * pool shape * float64
+        assert pool.memory_bytes == expected
+        slot = pool.reserve(16)
+        assert pool.memory_bytes == expected  # reservation moves no memory
+        pool.free(slot)
+
+
+class TestDataMovement:
+    def test_write_gather_roundtrip_across_block_boundaries(self, rng):
+        pool = make_pool(block_size=4)
+        slot_a = pool.reserve(10)
+        slot_b = pool.reserve(6)
+        keys = rng.normal(size=(2, 2, 6, 4))
+        values = rng.normal(size=(2, 2, 6, 4))
+        positions = np.broadcast_to(np.arange(6), (2, 6))
+        pool.write(0, [slot_a, slot_b], keys, values, positions)
+        got_keys, got_values = pool.gather(0, [slot_a, slot_b], 6)
+        np.testing.assert_array_equal(got_keys, keys)
+        np.testing.assert_array_equal(got_values, values)
+        # Other layers untouched.
+        assert not pool.key_blocks[1].any()
+
+    def test_ragged_rows_write_different_positions(self, rng):
+        pool = make_pool(block_size=4)
+        slots = [pool.reserve(12), pool.reserve(12)]
+        keys = rng.normal(size=(2, 2, 1, 4))
+        pool.write(1, slots, keys, keys, np.array([[2], [9]]))
+        got_keys, _ = pool.gather(1, slots, 12)
+        np.testing.assert_array_equal(got_keys[0, :, 2], keys[0, :, 0])
+        np.testing.assert_array_equal(got_keys[1, :, 9], keys[1, :, 0])
+        assert not got_keys[0, :, 9].any() and not got_keys[1, :, 2].any()
+
+    def test_gather_zero_fills_past_reservation(self, rng):
+        pool = make_pool(block_size=4)
+        short = pool.reserve(4)
+        payload = rng.normal(size=(1, 2, 4, 4))
+        pool.write(0, [short], payload, payload, np.arange(4)[None, :])
+        keys, values = pool.gather(0, [short], 10)  # a longer batch-mate's view
+        assert keys.shape == (1, 2, 10, 4)
+        np.testing.assert_array_equal(keys[:, :, :4], payload)
+        assert not keys[:, :, 4:].any() and not values[:, :, 4:].any()
+
+    def test_write_past_reservation_rejected(self, rng):
+        pool = make_pool(block_size=4)
+        slot = pool.reserve(4)
+        payload = rng.normal(size=(1, 2, 1, 4))
+        with pytest.raises(ConfigurationError):
+            pool.write(0, [slot], payload, payload, np.array([[4]]))
+
+    def test_negative_position_rejected_not_wrapped(self, rng):
+        """A negative position must raise, not wrap into the last block."""
+        pool = make_pool(block_size=4)
+        slot = pool.reserve(8)
+        payload = rng.normal(size=(1, 2, 1, 4))
+        with pytest.raises(ConfigurationError):
+            pool.write(0, [slot], payload, payload, np.array([[-1]]))
+        assert not pool.key_blocks[0].any()
+
+    def test_set_length_validated_against_reservation(self):
+        pool = make_pool(block_size=4)
+        slot = pool.reserve(6)  # 2 blocks -> capacity 8
+        pool.set_length(slot, 8)
+        assert pool.length_of(slot) == 8
+        with pytest.raises(ConfigurationError):
+            pool.set_length(slot, 9)
+
+
+class TestSlotBatchView:
+    def test_view_mirrors_dense_cache_interface(self, rng):
+        pool = make_pool(block_size=4)
+        dense = KVCache(num_layers=2, batch_size=2, num_heads=2, d_head=4, capacity=12)
+        slots = [pool.reserve(12), pool.reserve(12)]
+        view = pool.view(slots)
+        keys = rng.normal(size=(2, 2, 3, 4))
+        values = rng.normal(size=(2, 2, 3, 4))
+        positions = np.broadcast_to(np.arange(3), (2, 3))
+        for target in (dense, view):
+            target.write(0, keys, values, positions)
+        dense_view = dense.view(0, 3)
+        paged_view = view.view(0, 3)
+        np.testing.assert_array_equal(paged_view[0], dense_view[0])
+        np.testing.assert_array_equal(paged_view[1], dense_view[1])
+        assert view.num_layers == dense.num_layers
+        assert view.batch_size == 2
+
+    def test_lengths_commit_back_to_pool(self):
+        pool = make_pool(block_size=4)
+        slot = pool.reserve(8)
+        pool.set_length(slot, 3)
+        view = pool.view([slot])
+        np.testing.assert_array_equal(view.lengths, [3])
+        view.lengths += 2  # what decode_step does in place
+        assert pool.length_of(slot) == 3  # not yet published
+        view.commit()
+        assert pool.length_of(slot) == 5
+
+    def test_ensure_capacity_rejects_impossible_positions(self):
+        pool = make_pool(block_size=4, num_blocks=4)  # 16 addressable positions
+        view = pool.view([pool.reserve(4)])
+        view.ensure_capacity(16)  # fine: the pool could address it
+        with pytest.raises(ConfigurationError):
+            view.ensure_capacity(17)
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_pool().view([])

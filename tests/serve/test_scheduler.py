@@ -1,0 +1,308 @@
+"""Tests of the continuous-batching scheduler: admission, eviction, fairness.
+
+The correctness anchor for everything here is per-request isolation: whatever
+the scheduler does with slots — evict mid-flight, backfill with a new
+request, reuse dirty KV blocks — each request's output must equal running it
+alone through ``GenerationEngine.generate`` (bit-identical parity itself is
+pinned in ``test_decode_parity.py``; these tests focus on the scheduling
+behaviors that could break it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.models import TransformerRunner
+from repro.serve import GenerationConfig, GenerationEngine, Request, Scheduler
+
+
+@pytest.fixture()
+def runner(tiny_weights):
+    return TransformerRunner(tiny_weights)
+
+
+@pytest.fixture(scope="module")
+def prompt_pool(corpus_splits):
+    train_tokens, _ = corpus_splits
+    return [train_tokens[i * 10 : i * 10 + 4 + (i % 5)] for i in range(12)]
+
+
+def outputs_by_id(outputs):
+    return {output.request_id: output for output in outputs}
+
+
+class TestContinuousServing:
+    def test_backfill_reuses_slots_without_leaking_state(self, runner, prompt_pool):
+        """More requests than slots: every continuation equals its solo run."""
+        config = GenerationConfig(max_new_tokens=5)
+        scheduler = Scheduler(runner, config, max_batch_size=3)
+        for prompt in prompt_pool:
+            scheduler.submit(prompt)
+        outputs = outputs_by_id(scheduler.run())
+        assert len(outputs) == len(prompt_pool)
+        assert scheduler.stats.peak_active <= 3
+        engine = GenerationEngine(runner)
+        for request_id, prompt in enumerate(prompt_pool):
+            alone = engine.generate([prompt], config)
+            np.testing.assert_array_equal(outputs[request_id].generated, alone.generated[0])
+            np.testing.assert_array_equal(outputs[request_id].sequence, alone.sequences[0])
+
+    def test_eviction_reclaims_blocks_mid_flight(self, runner, prompt_pool):
+        """A finished request's blocks return to the pool before the run ends.
+
+        The pool holds exactly two requests' blocks, so the third request can
+        only be admitted if the short first request's blocks are reclaimed
+        the moment it finishes — while the long request is still decoding.
+        """
+        scheduler = Scheduler(
+            runner, GenerationConfig(max_new_tokens=12), max_batch_size=2,
+            block_size=16, num_blocks=2,
+        )
+        scheduler.submit(prompt_pool[0], max_new_tokens=2)   # finishes quickly
+        scheduler.submit(prompt_pool[1], max_new_tokens=12)  # keeps decoding
+        scheduler.submit(prompt_pool[2], max_new_tokens=2)   # needs the freed block
+        outputs = outputs_by_id(scheduler.run())
+        assert len(outputs) == 3
+        assert outputs[2].admitted_at < outputs[1].finished_at
+        assert scheduler.cache.free_block_count == scheduler.cache.num_blocks
+        assert scheduler.cache.active_slots == []
+
+    def test_per_request_budgets_and_finish_reasons(self, runner, prompt_pool):
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=6), max_batch_size=4)
+        scheduler.submit(prompt_pool[0], max_new_tokens=2)
+        scheduler.submit(prompt_pool[1])
+        outputs = outputs_by_id(scheduler.run())
+        assert outputs[0].num_steps == 2 and len(outputs[0].generated) == 2
+        assert outputs[1].num_steps == 6
+        assert outputs[0].finish_reason == "length"
+        assert outputs[0].step_logits.shape == (2, runner.config.vocab_size)
+
+    def test_eos_finishes_request_early(self, runner, prompt_pool):
+        probe = GenerationEngine(runner).generate([prompt_pool[0]], GenerationConfig(max_new_tokens=4))
+        eos = int(probe.generated[0][1])
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=8, eos_token=eos), max_batch_size=2)
+        scheduler.submit(prompt_pool[0])
+        output = scheduler.run()[0]
+        assert output.finish_reason == "eos"
+        assert output.generated[-1] == eos
+        assert len(output.generated) == 2
+
+    def test_step_loop_advances_past_idle_gaps(self, runner, prompt_pool):
+        """A bare step() loop must not livelock on future-only arrivals."""
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=2), max_batch_size=2)
+        scheduler.submit(prompt_pool[0], arrival_time=25.0)
+        finished = []
+        steps = 0
+        while scheduler.has_pending:
+            finished.extend(scheduler.step())
+            steps += 1
+            assert steps < 50, "step() loop is not making progress"
+        assert len(finished) == 1
+        assert scheduler.stats.idle_time == 25.0
+        assert finished[0].admitted_at == 25.0
+
+    def test_record_logits_can_be_disabled(self, runner, prompt_pool):
+        scheduler = Scheduler(
+            runner, GenerationConfig(max_new_tokens=3), max_batch_size=2, record_logits=False
+        )
+        scheduler.submit(prompt_pool[0])
+        output = scheduler.run()[0]
+        assert output.step_logits.shape == (0, runner.config.vocab_size)
+        np.testing.assert_array_equal(
+            output.generated,
+            GenerationEngine(runner).generate([prompt_pool[0]], GenerationConfig(max_new_tokens=3)).generated[0],
+        )
+
+
+class TestDirtyBlockReuse:
+    def test_dynamic_attention_stats_survive_dirty_block_reuse(
+        self, outlier_weights, calibration, corpus_splits
+    ):
+        """Reused KV blocks must not perturb dynamic quantization statistics.
+
+        Tender with ``quantize_attention=True, subtract_bias=False`` derives
+        per-column attention-operand scales over the whole attended window,
+        so a recycled slot exposing a *previous* request's stale K/V beyond
+        the new request's length would silently coarsen its quantization
+        (the outputs stayed masked — only the scales leaked).  Reservation
+        scrubs blocks to restore the dense cache's zero-init invariant; this
+        pins it with heavy slot reuse and tiny blocks.
+        """
+        from repro.core import TenderConfig, TenderQuantizer
+
+        config = TenderConfig(
+            bits=8, num_groups=8, row_chunk_size=8, quantize_attention=True, subtract_bias=False
+        )
+        runner = TenderQuantizer(config).quantize(outlier_weights, calibration)
+        train_tokens, _ = corpus_splits
+        prompts = [train_tokens[i * 11 : i * 11 + 4 + (i % 5)] for i in range(10)]
+        generation = GenerationConfig(max_new_tokens=6)
+        scheduler = Scheduler(runner, generation, max_batch_size=2, block_size=4)
+        for prompt in prompts:
+            scheduler.submit(prompt)
+        outputs = outputs_by_id(scheduler.run())
+        engine = GenerationEngine(runner)
+        for request_id, prompt in enumerate(prompts):
+            alone = engine.generate([prompt], generation)
+            np.testing.assert_array_equal(outputs[request_id].step_logits, alone.step_logits[0])
+            np.testing.assert_array_equal(outputs[request_id].generated, alone.generated[0])
+
+
+class TestFairness:
+    def test_admission_is_fifo_by_arrival_time(self, runner, prompt_pool):
+        """Later arrivals never overtake earlier ones, whatever their length."""
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=3), max_batch_size=2)
+        ids = [
+            scheduler.submit(prompt_pool[i], arrival_time=float(arrival))
+            for i, arrival in enumerate([9.0, 0.0, 4.0, 30.0, 12.0])
+        ]
+        outputs = outputs_by_id(scheduler.run())
+        arrival = {ids[i]: t for i, t in enumerate([9.0, 0.0, 4.0, 30.0, 12.0])}
+        admissions = sorted(outputs.values(), key=lambda o: o.admitted_at)
+        admitted_order = [arrival[o.request_id] for o in admissions]
+        assert admitted_order == sorted(admitted_order)
+
+    def test_short_request_stream_cannot_starve_a_long_request(self, runner, prompt_pool):
+        """A long request queued behind a flood of shorts still completes FIFO."""
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=2), max_batch_size=2)
+        early_ids = [
+            scheduler.submit(prompt_pool[i % 6], max_new_tokens=2, arrival_time=float(i))
+            for i in range(4)
+        ]
+        long_id = scheduler.submit(prompt_pool[6], max_new_tokens=24, arrival_time=4.5)
+        late_ids = [
+            scheduler.submit(prompt_pool[i % 6], max_new_tokens=2, arrival_time=5.0 + i)
+            for i in range(14)
+        ]
+        outputs = outputs_by_id(scheduler.run())
+        assert len(outputs) == 19
+        long_output = outputs[long_id]
+        assert long_output.finish_reason == "length"
+        assert long_output.num_steps == 24
+        # FIFO: the long request is admitted before every request that
+        # arrived after it, despite being 12x more expensive.
+        for late in late_ids:
+            assert long_output.admitted_at < outputs[late].admitted_at
+        # And it was admitted after the earlier shorts (no queue jumping).
+        for early in early_ids:
+            assert outputs[early].admitted_at < long_output.admitted_at
+
+    def test_long_request_keeps_decoding_while_shorts_cycle(self, runner, prompt_pool):
+        """No preemption: once admitted, a long request finishes its budget."""
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=2), max_batch_size=2)
+        long_id = scheduler.submit(prompt_pool[0], max_new_tokens=20)
+        for i in range(8):
+            scheduler.submit(prompt_pool[1 + i % 5], max_new_tokens=2, arrival_time=float(i))
+        outputs = outputs_by_id(scheduler.run())
+        long_output = outputs[long_id]
+        assert long_output.num_steps == 20
+        # The shorts all completed while the long one held its slot.
+        short_finishes = [o.finished_at for o in outputs.values() if o.request_id != long_id]
+        assert min(short_finishes) < long_output.finished_at
+
+
+class TestPolicies:
+    def test_gang_policy_only_admits_into_a_drained_batch(self, runner, prompt_pool):
+        scheduler = Scheduler(
+            runner, GenerationConfig(max_new_tokens=4), max_batch_size=2, policy="gang"
+        )
+        for i in range(4):
+            scheduler.submit(prompt_pool[i], max_new_tokens=2 + 2 * (i % 2))
+        outputs = sorted(scheduler.run(), key=lambda o: o.admitted_at)
+        # Gang 2 starts only after gang 1 fully drained.
+        first_gang_end = max(o.finished_at for o in outputs[:2])
+        assert outputs[2].admitted_at >= first_gang_end
+        assert outputs[3].admitted_at >= first_gang_end
+
+    def test_continuous_beats_gang_on_iteration_count(self, runner, prompt_pool):
+        """Mid-flight backfill finishes the same work in fewer forward passes."""
+        budgets = [2, 14, 2, 2, 14, 2, 2, 2]
+        results = {}
+        for policy in ("continuous", "gang"):
+            scheduler = Scheduler(
+                runner, GenerationConfig(max_new_tokens=14), max_batch_size=2, policy=policy
+            )
+            for i, budget in enumerate(budgets):
+                scheduler.submit(prompt_pool[i], max_new_tokens=budget)
+            outputs = scheduler.run()
+            assert len(outputs) == len(budgets)
+            results[policy] = scheduler.stats
+        assert results["continuous"].generated_tokens == results["gang"].generated_tokens
+        assert results["continuous"].total_iterations < results["gang"].total_iterations
+        assert (
+            results["continuous"].tokens_per_iteration()
+            > results["gang"].tokens_per_iteration()
+        )
+
+    def test_unknown_policy_rejected(self, runner):
+        with pytest.raises(ConfigurationError):
+            Scheduler(runner, policy="priority")
+
+
+class TestValidation:
+    def test_submit_validates_prompts(self, runner):
+        scheduler = Scheduler(runner)
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(np.array([], dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(np.array([runner.config.vocab_size + 1]))
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(np.arange(runner.config.max_seq_len) % runner.config.vocab_size)
+
+    def test_submit_rejects_overrides_alongside_a_request_object(self, runner, prompt_pool):
+        """Keyword overrides cannot be silently dropped for full Requests."""
+        from repro.serve import Request
+
+        scheduler = Scheduler(runner)
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(Request(prompt=prompt_pool[0]), max_new_tokens=4)
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(Request(prompt=prompt_pool[0]), arrival_time=9.5)
+        scheduler.submit(Request(prompt=prompt_pool[0], max_new_tokens=4, arrival_time=9.5))
+        assert scheduler.num_waiting == 1
+
+    def test_submit_never_mutates_the_caller_request(self, runner, prompt_pool):
+        """One Request object can be submitted to several schedulers safely."""
+        from repro.serve import Request
+
+        request = Request(prompt=prompt_pool[0], max_new_tokens=2)
+        config = GenerationConfig(max_new_tokens=8)
+        first = Scheduler(runner, config)
+        second = Scheduler(runner, config)
+        first.submit(prompt_pool[1])  # shift ids so the schedulers disagree
+        id_first = first.submit(request)
+        id_second = second.submit(request)
+        assert request.request_id is None  # caller's object untouched
+        assert id_first != id_second
+        outputs_first = {o.request_id: o for o in first.run()}
+        outputs_second = {o.request_id: o for o in second.run()}
+        np.testing.assert_array_equal(
+            outputs_first[id_first].generated, outputs_second[id_second].generated
+        )
+
+    def test_submit_rejects_request_larger_than_pool(self, runner, prompt_pool):
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=32), num_blocks=1, block_size=4)
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(prompt_pool[2])  # needs > 1 block even alone
+
+    def test_pool_smaller_than_batch_still_serves_sequentially(self, runner, prompt_pool):
+        """Blocks, not slots, are the scarce resource: admission waits for them."""
+        config = GenerationConfig(max_new_tokens=4)
+        scheduler = Scheduler(
+            runner, config, max_batch_size=3, block_size=16, num_blocks=1
+        )
+        for prompt in prompt_pool[:3]:
+            scheduler.submit(prompt)
+        outputs = outputs_by_id(scheduler.run())
+        assert len(outputs) == 3
+        assert scheduler.stats.peak_active == 1  # only ever one slot's blocks
+        engine = GenerationEngine(runner)
+        for request_id, prompt in enumerate(prompt_pool[:3]):
+            np.testing.assert_array_equal(
+                outputs[request_id].generated, engine.generate([prompt], config).generated[0]
+            )
+
+    def test_resource_exhausted_error_type_exists(self):
+        assert issubclass(ResourceExhaustedError, Exception)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Docs link checker: keep docs/*.md and README cross-references from rotting.
+
+Run from the repository root (tier-1 runs it via ``tests/docs``):
+
+    python tools/check_doc_links.py
+
+Checks, in order:
+
+1. every relative markdown link in ``README.md`` and ``docs/*.md`` resolves
+   to an existing file or directory (anchors are stripped; ``http(s)://``
+   and ``mailto:`` targets are skipped — this repo's docs should not depend
+   on the network);
+2. ``docs/reproducing.md`` mentions every experiment module
+   (``src/repro/experiments/table*.py`` / ``figure*.py``) — a new paper
+   artifact cannot land without its row in the reproducing table;
+3. ``docs/reproducing.md`` mentions every benchmark entry
+   (``benchmarks/bench_*.py``) for the same reason.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_links(root: Path) -> list:
+    errors = []
+    for markdown in iter_markdown_files(root):
+        if not markdown.exists():
+            errors.append(f"{markdown.relative_to(root)}: file missing")
+            continue
+        for line_number, line in enumerate(markdown.read_text().splitlines(), 1):
+            for target in LINK_PATTERN.findall(line):
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                resolved = (markdown.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{markdown.relative_to(root)}:{line_number}: broken link -> {target}"
+                    )
+    return errors
+
+
+def check_reproducing_coverage(root: Path) -> list:
+    reproducing = root / "docs" / "reproducing.md"
+    if not reproducing.exists():
+        return ["docs/reproducing.md: file missing"]
+    text = reproducing.read_text()
+    errors = []
+    experiment_modules = sorted(
+        path
+        for pattern in ("table*.py", "figure*.py")
+        for path in (root / "src" / "repro" / "experiments").glob(pattern)
+    )
+    for module in experiment_modules:
+        if module.name not in text:
+            errors.append(f"docs/reproducing.md: experiment module {module.name} not mentioned")
+    for bench in sorted((root / "benchmarks").glob("bench_*.py")):
+        if bench.name not in text:
+            errors.append(f"docs/reproducing.md: benchmark {bench.name} not mentioned")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors = check_links(root) + check_reproducing_coverage(root)
+    for error in errors:
+        print(error)
+    if not errors:
+        print(f"doc links ok ({sum(1 for _ in iter_markdown_files(root))} files checked)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
