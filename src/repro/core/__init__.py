@@ -9,12 +9,15 @@ from repro.core.decomposition import (
     validate_decomposition,
 )
 from repro.core.requantization import (
+    explicit_overflow_bound,
     explicit_requantized_matmul,
+    implicit_overflow_bound,
     implicit_requantized_matmul,
     requantized_matmul,
     rescale_operation_count,
 )
 from repro.core.calibration import ChunkParams, TenderSiteParams, calibrate_tender
+from repro.core.kernels import PackedSiteParams, pack_site_params
 from repro.core.executor import TenderExecutor, TenderQuantizer
 
 __all__ = [
@@ -24,10 +27,14 @@ __all__ = [
     "decompose_channels",
     "quantize_decomposed",
     "validate_decomposition",
+    "explicit_overflow_bound",
     "explicit_requantized_matmul",
+    "implicit_overflow_bound",
     "implicit_requantized_matmul",
     "requantized_matmul",
     "rescale_operation_count",
+    "PackedSiteParams",
+    "pack_site_params",
     "TenderSiteParams",
     "ChunkParams",
     "calibrate_tender",

@@ -39,12 +39,35 @@ class TenderSiteParams:
 
     name: str
     chunks: List[ChunkParams] = field(default_factory=list)
+    #: Lazily built dense tables for the fast kernels (see :meth:`packed`).
+    _packed: Optional[object] = field(default=None, init=False, repr=False, compare=False)
 
     def chunk(self, index: int) -> ChunkParams:
         """Parameters for chunk ``index``; rows beyond calibration reuse the last chunk."""
         if not self.chunks:
             raise CalibrationError(f"site {self.name!r} has no calibrated chunks")
         return self.chunks[min(index, len(self.chunks) - 1)]
+
+    def packed(self):
+        """Dense chunk-indexed calibration tables for the fast kernel path.
+
+        Stacks every chunk's bias, per-channel scales, Index-Buffer channel
+        order, group boundaries, implicit rescale weights, and analytic
+        overflow bounds into ``(num_chunks, ...)`` arrays
+        (:class:`repro.core.kernels.PackedSiteParams`), so the executor's
+        ``project`` can serve batched decode rows at arbitrary positions
+        with one gather indexed by ``positions // chunk_size`` instead of a
+        Python loop over chunks.  Built on first use and cached; all
+        metadata (bit width, alpha, group count) comes from the chunks' own
+        decompositions, the same source the reference per-chunk loop reads.
+        """
+        if self._packed is None:
+            from repro.core.kernels import pack_site_params
+
+            if not self.chunks:
+                raise CalibrationError(f"site {self.name!r} has no calibrated chunks")
+            self._packed = pack_site_params(self.chunks)
+        return self._packed
 
 
 class _ChunkedStatistics:

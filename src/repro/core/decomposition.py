@@ -112,9 +112,10 @@ def decompose_channels(
     if tensor_absmax == 0.0:
         # Degenerate all-zero tensor: a single group with a tiny scale.
         group_of_channel = np.full(channel_absmax.shape, num_groups - 1, dtype=np.int64)
-        group_scales = np.full(num_groups, 1e-12)
-        for g in range(num_groups):
-            group_scales[g] = 1e-12 / (alpha**g) if alpha > 0 else 1e-12
+        if alpha > 0:
+            group_scales = 1e-12 / np.power(alpha, np.arange(num_groups), dtype=np.float64)
+        else:
+            group_scales = np.full(num_groups, 1e-12)
         channel_order = np.arange(channel_absmax.size, dtype=np.int64)
         group_sizes = np.bincount(group_of_channel, minlength=num_groups)
         return ChannelDecomposition(
@@ -138,9 +139,9 @@ def decompose_channels(
     # integer; floor keeps it in group g (correct since the interval is
     # half-open on the left and closed on the right).
 
-    group_scales = np.array(
-        [tensor_absmax / (alpha**g * qmax) for g in range(num_groups)], dtype=np.float64
-    )
+    # alpha^g * qmax is an exact small integer in float64, so this vectorized
+    # division is bit-identical to the per-group Python construction.
+    group_scales = tensor_absmax / (np.power(alpha, np.arange(num_groups), dtype=np.float64) * qmax)
     channel_order = np.argsort(group_index, kind="stable").astype(np.int64)
     group_sizes = np.bincount(group_index, minlength=num_groups)
     return ChannelDecomposition(

@@ -14,6 +14,15 @@ Activation-activation matmuls (``X_Q X_K^T`` and ``X_S X_V``) are quantized
 only when the configuration enables them ("Tender (all)" in Tables II/III and
 all BERT results in Table IV); they use dynamic per-head decomposition since
 their operands are produced at runtime.
+
+Two implementations back every matmul site.  The *reference* paths follow the
+equations literally (per-chunk Python loop, per-group gathered or masked
+products, full-array accumulator overflow scans); the *fast* paths
+(:mod:`repro.core.kernels`, on by default via ``fast_kernels=True``) mirror
+the accelerator's Index-Buffer dataflow — packed per-chunk calibration
+tables, group-contiguous or fused integer matmuls, analytic overflow bounds —
+and are bit-identical to the reference, which stays selectable for
+regression tests and benchmarking.
 """
 
 from __future__ import annotations
@@ -29,6 +38,14 @@ from repro.core.decomposition import (
     compute_channel_bias,
     decompose_channels,
     quantize_decomposed,
+)
+from repro.core.kernels import (
+    fused_implicit_matmul,
+    ordered_explicit_matmul,
+    ordered_implicit_matmul,
+    stacked_explicit_matmul,
+    stacked_implicit_bound,
+    stacked_implicit_matmul,
 )
 from repro.core.requantization import requantized_matmul
 from repro.errors import CalibrationError, QuantizationError
@@ -56,6 +73,7 @@ class TenderExecutor:
         config: Optional[TenderConfig] = None,
         implicit: bool = True,
         vectorized_attention: bool = True,
+        fast_kernels: bool = True,
     ) -> None:
         self.site_params = site_params
         self.config = config or TenderConfig()
@@ -65,8 +83,16 @@ class TenderExecutor:
         #: kernel or the reference per-batch/per-head loop.  Both produce
         #: bit-identical results; the loop is kept for regression tests.
         self.vectorized_attention = vectorized_attention
+        #: Whether the Index-Buffer-ordered fast kernels (repro.core.kernels)
+        #: serve the hot path.  They are bit-identical to the reference
+        #: implementations (pinned by tests/core/test_fast_kernels.py), which
+        #: stay selectable for regression testing and benchmarking.
+        self.fast_kernels = fast_kernels
         self._weight_cache: Dict[str, tuple] = {}
+        self._weight64_cache: Dict[str, np.ndarray] = {}
+        self._permuted_weight_cache: Dict[tuple, np.ndarray] = {}
         self._bias_projection_cache: Dict[str, List[np.ndarray]] = {}
+        self._bias_projection_stack_cache: Dict[str, np.ndarray] = {}
         #: Simple counters useful for tests and the GPU latency model.
         self.stats = {"projections": 0, "attention_matmuls": 0, "rescales": 0}
 
@@ -88,6 +114,43 @@ class TenderExecutor:
             self._bias_projection_cache[name] = [chunk.bias @ weight for chunk in params.chunks]
         return self._bias_projection_cache[name]
 
+    def _bias_projection_stack(self, name: str, weight: np.ndarray) -> np.ndarray:
+        """The per-chunk ``bias @ W`` compensations as one (chunks, out) table.
+
+        Stacks the exact per-chunk products of :meth:`_bias_projection` (same
+        1-D BLAS calls, hence bit-identical values) so the fast path can
+        gather each row's compensation by chunk index.
+        """
+        if name not in self._bias_projection_stack_cache:
+            self._bias_projection_stack_cache[name] = np.stack(self._bias_projection(name, weight))
+        return self._bias_projection_stack_cache[name]
+
+    def _weight_f64(self, name: str, quantized_weight: np.ndarray) -> np.ndarray:
+        """The quantized weight as integer-valued float64, cached per site.
+
+        The fast kernels carry exact integers in float64 so their matmuls
+        dispatch to BLAS (see the dtype note in :mod:`repro.core.kernels`).
+        """
+        cached = self._weight64_cache.get(name)
+        if cached is None:
+            cached = self._weight64_cache[name] = quantized_weight.astype(np.float64)
+        return cached
+
+    def _permuted_weight(self, name: str, chunk_index: int, quantized_weight, packed) -> np.ndarray:
+        """Weight rows in a chunk's Index-Buffer order, cached per (site, chunk).
+
+        The reference path re-gathers ``G`` row subsets of the weight on
+        every call; the hardware instead streams the weight through the
+        systolic array already sorted by the Index Buffer.  Caching the
+        permuted weight makes every group a contiguous row slice.
+        """
+        key = (name, chunk_index)
+        cached = self._permuted_weight_cache.get(key)
+        if cached is None:
+            order = packed.channel_order[chunk_index]
+            cached = self._permuted_weight_cache[key] = self._weight_f64(name, quantized_weight)[order]
+        return cached
+
     # ------------------------------------------------------------------
     # Projection path (activation x weight)
     # ------------------------------------------------------------------
@@ -100,13 +163,18 @@ class TenderExecutor:
         are unaffected (row index == position); the incremental decode path
         relies on this so a token's quantization parameters do not depend on
         how its request was batched.
+
+        With ``fast_kernels`` (the default) the packed Index-Buffer path
+        serves the call — one gather of the per-chunk calibration tables
+        indexed by ``positions // chunk_size``, one vectorized quantize, and
+        a fused or group-contiguous integer matmul; the reference per-chunk
+        loop is kept selectable and both produce bit-identical outputs.
         """
         if name not in self.site_params:
             raise CalibrationError(f"no Tender calibration for matmul site {name!r}")
         self.stats["projections"] += 1
         params = self.site_params[name]
         q_weight, w_scale = self._quantized_weight(name, weight)
-        bias_projections = self._bias_projection(name, weight)
 
         rows = x.shape[0]
         chunk_size = self.config.row_chunk_size
@@ -118,10 +186,36 @@ class TenderExecutor:
                 raise CalibrationError(
                     f"positions has {row_chunk.shape[0]} entries for {rows} activation rows"
                 )
-        output = np.empty((rows, weight.shape[1]), dtype=np.float64)
-        for chunk_index in np.unique(row_chunk):
-            row_indices = np.nonzero(row_chunk == chunk_index)[0]
-            chunk_params = params.chunk(int(chunk_index))
+        if self.fast_kernels:
+            output = self._project_fast(name, params, x, row_chunk, q_weight, w_scale, weight)
+        else:
+            output = self._project_reference(name, params, x, row_chunk, q_weight, w_scale, weight)
+        self.stats["rescales"] += (self.config.num_groups - 1) * int(np.unique(row_chunk).size)
+        if bias is not None:
+            output = output + bias
+        return output
+
+    @staticmethod
+    def _iter_chunk_rows(row_chunk: np.ndarray):
+        """Yield ``(chunk_index, row_indices)`` from one stable argsort pass.
+
+        Replaces the former O(chunks x rows) pattern of rescanning every row
+        with ``np.nonzero(row_chunk == chunk)`` per chunk; the stable sort
+        keeps each chunk's row indices ascending, exactly as ``nonzero``
+        produced them.
+        """
+        order = np.argsort(row_chunk, kind="stable")
+        unique_chunks, first = np.unique(row_chunk[order], return_index=True)
+        boundaries = np.append(first, row_chunk.size)
+        for position, chunk_index in enumerate(unique_chunks):
+            yield int(chunk_index), order[boundaries[position] : boundaries[position + 1]]
+
+    def _project_reference(self, name, params, x, row_chunk, q_weight, w_scale, weight):
+        """Reference projection: per-chunk loop of gathered-group matmuls."""
+        bias_projections = self._bias_projection(name, weight)
+        output = np.empty((x.shape[0], weight.shape[1]), dtype=np.float64)
+        for chunk_index, row_indices in self._iter_chunk_rows(row_chunk):
+            chunk_params = params.chunk(chunk_index)
             chunk_x = x[row_indices]
             if self.config.subtract_bias:
                 chunk_x = chunk_x - chunk_params.bias
@@ -134,13 +228,71 @@ class TenderExecutor:
                 implicit=self.implicit,
             )
             if self.config.subtract_bias:
-                compensation_index = min(int(chunk_index), len(bias_projections) - 1)
+                compensation_index = min(chunk_index, len(bias_projections) - 1)
                 result = result + bias_projections[compensation_index]
             output[row_indices] = result
-            self.stats["rescales"] += chunk_params.decomposition.num_groups - 1
-        if bias is not None:
-            output = output + bias
         return output
+
+    def _project_fast(self, name, params, x, row_chunk, q_weight, w_scale, weight):
+        """Packed fast projection: gather, quantize, fused/grouped matmul.
+
+        Every row's calibration metadata (bias, per-channel scales, rescale
+        weights) is gathered from the packed tables by chunk index in one
+        shot, and quantization runs over the whole batch at once.  The
+        implicit path then needs no Python loop at all: when the analytic
+        overflow bound fits the 32-bit accumulator (the common case), the
+        alpha-weighted fused matmul produces the final accumulator directly.
+        Otherwise — and for the explicit path, whose per-group FP accumulate
+        is inherently ordered — rows are grouped by chunk with a single
+        argsort pass and each chunk runs the group-contiguous ordered kernel
+        against its cached Index-Buffer-permuted weight.
+        """
+        packed = params.packed()
+        chunk_idx = np.minimum(row_chunk, packed.num_chunks - 1)
+        if self.config.subtract_bias:
+            shifted = x - packed.bias[chunk_idx]
+        else:
+            shifted = x
+        # Integer-valued float64 (exact — see the dtype note in kernels.py),
+        # so every downstream multiply runs on BLAS.
+        quantized = np.clip(
+            np.round(shifted / packed.channel_scales[chunk_idx]), -packed.qmax, packed.qmax
+        )
+        if self.implicit and packed.implicit_bounds[chunk_idx].max(initial=0.0) <= _ACC_MAX:
+            result = fused_implicit_matmul(
+                quantized,
+                packed.alpha_weights[chunk_idx],
+                packed.final_scales[chunk_idx],
+                self._weight_f64(name, q_weight),
+                w_scale,
+            )
+        else:
+            result = np.empty((x.shape[0], weight.shape[1]), dtype=np.float64)
+            for chunk_index, row_indices in self._iter_chunk_rows(chunk_idx):
+                ordered = quantized[np.ix_(row_indices, packed.channel_order[chunk_index])]
+                ordered_weight = self._permuted_weight(name, chunk_index, q_weight, packed)
+                if self.implicit:
+                    result[row_indices] = ordered_implicit_matmul(
+                        ordered,
+                        ordered_weight,
+                        packed.group_sizes[chunk_index],
+                        packed.final_scales[chunk_index],
+                        w_scale,
+                        packed.alpha,
+                        scan_overflow=bool(packed.implicit_bounds[chunk_index] > _ACC_MAX),
+                    )
+                else:
+                    result[row_indices] = ordered_explicit_matmul(
+                        ordered,
+                        ordered_weight,
+                        packed.group_sizes[chunk_index],
+                        packed.group_scales[chunk_index],
+                        w_scale,
+                        scan_groups=packed.explicit_bounds[chunk_index] > _ACC_MAX,
+                    )
+        if self.config.subtract_bias:
+            result = result + self._bias_projection_stack(name, weight)[chunk_idx]
+        return result
 
     # ------------------------------------------------------------------
     # Activation-activation path (X_Q X_K^T and X_S X_V)
@@ -149,6 +301,8 @@ class TenderExecutor:
         if not self.config.quantize_attention:
             return a @ b
         self.stats["attention_matmuls"] += 1
+        if self.fast_kernels:
+            return self._attention_matmul_fast(a, b)
         if self.vectorized_attention:
             return self._attention_matmul_vectorized(a, b)
         return self._attention_matmul_loop(a, b)
@@ -164,21 +318,26 @@ class TenderExecutor:
                 output[batch_index, head_index] = self._dynamic_tender_matmul(left, right)
         return output
 
-    def _attention_matmul_vectorized(self, a, b):
-        """Batched dynamic Tender matmul over all (batch, head) pairs at once.
+    def _quantize_attention_operands(self, a, b):
+        """Stacked dynamic Tender quantization of both attention operands.
 
-        Produces bit-identical results to :meth:`_attention_matmul_loop`: every
-        floating-point operation is elementwise (hence order-independent) and
-        the integer group partial sums are exact, so collapsing the Python
-        loops into stacked einsum/matmul calls changes performance only.
-        Per-group channel gathers are replaced by masked full-width integer
-        matmuls, which keeps a single kernel shape across heads even though
-        each head has its own channel-to-group assignment.
+        The shared preamble of the vectorized reference kernel and the fast
+        Index-Buffer kernels: per-(batch, head) bias subtraction,
+        power-of-alpha channel classification (the same rule as
+        ``repro.core.decomposition.decompose_channels``, vectorized over
+        heads), activation quantization, and per-column quantization of the
+        right operand.  Returns ``(quantized, group_index, group_scales,
+        right_q, right_scale, bias)``; every operation is elementwise, so
+        the values are bit-identical to the per-head reference loop.
+
+        ``quantized`` and ``right_q`` are integer-valued float64 (exact
+        integers — see the dtype note in :mod:`repro.core.kernels`): the
+        fast kernels consume them directly on BLAS, and the reference
+        grouped kernels widen them to int64 at entry.
         """
         config = self.config
         qmax = integer_range(config.bits)
         num_groups, alpha = config.num_groups, config.alpha
-        lead = a.shape[:-2]
 
         channel_max = a.max(axis=-2)
         channel_min = a.min(axis=-2)
@@ -191,27 +350,46 @@ class TenderExecutor:
             shifted = a
             absmax = np.maximum(np.abs(channel_max), np.abs(channel_min))
 
-        # Power-of-alpha classification per (batch, head) — the same rule as
-        # repro.core.decomposition.decompose_channels, vectorized over heads.
         tensor_absmax = absmax.max(axis=-1)
         with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
             ratios = np.where(absmax > 0.0, tensor_absmax[..., None] / absmax, np.inf)
             group_index = np.clip(
                 np.floor(np.log(ratios) / np.log(alpha)), 0, num_groups - 1
             ).astype(np.int64)
+        # alpha^g * qmax stays an exact small integer in float64, so these
+        # vectorized scale constructions match the former per-group Python
+        # list comprehensions bit for bit.
+        alpha_powers = np.power(alpha, np.arange(num_groups), dtype=np.float64)
         group_scales = np.where(
             tensor_absmax[..., None] > 0.0,
-            np.stack([tensor_absmax / (alpha**g * qmax) for g in range(num_groups)], axis=-1),
-            np.array([1e-12 / (alpha**g) for g in range(num_groups)]),
+            tensor_absmax[..., None] / (alpha_powers * qmax),
+            1e-12 / alpha_powers,
         )
         channel_scales = np.take_along_axis(group_scales, group_index, axis=-1)
-        quantized = np.clip(
-            np.round(shifted / channel_scales[..., None, :]), -qmax, qmax
-        ).astype(np.int64)
+        quantized = np.clip(np.round(shifted / channel_scales[..., None, :]), -qmax, qmax)
 
         # Per-column (per output feature) quantization of the right operand.
         right_scale = np.maximum(np.abs(b).max(axis=-2, keepdims=True) / qmax, 1e-12)
-        right_q = np.clip(np.round(b / right_scale), -qmax, qmax).astype(np.int64)
+        right_q = np.clip(np.round(b / right_scale), -qmax, qmax)
+        return quantized, group_index, group_scales, right_q, right_scale, bias
+
+    def _attention_matmul_vectorized(self, a, b):
+        """Batched dynamic Tender matmul over all (batch, head) pairs at once.
+
+        Produces bit-identical results to :meth:`_attention_matmul_loop`: every
+        floating-point operation is elementwise (hence order-independent) and
+        the integer group partial sums are exact, so collapsing the Python
+        loops into stacked einsum/matmul calls changes performance only.
+        Per-group channel gathers are replaced by masked full-width integer
+        matmuls, which keeps a single kernel shape across heads even though
+        each head has its own channel-to-group assignment (the fast kernels
+        remove that redundancy; this path is the pinned reference).
+        """
+        num_groups = self.config.num_groups
+        lead = a.shape[:-2]
+        quantized, group_index, group_scales, right_q, right_scale, bias = (
+            self._quantize_attention_operands(a, b)
+        )
 
         if self.implicit:
             result = self._implicit_grouped_matmul(
@@ -231,8 +409,51 @@ class TenderExecutor:
         self.stats["rescales"] += int(np.prod(lead, dtype=np.int64)) * (num_groups - 1)
         return result
 
+    def _attention_matmul_fast(self, a, b):
+        """Index-Buffer-ordered fast attention path over stacked heads.
+
+        Shares the exact quantization preamble with the reference kernels,
+        then multiplies without masked full-width products: the implicit
+        path fuses all groups into one alpha-weighted integer matmul
+        (falling back to the scanning reference kernel only when the
+        analytic bound says the 32-bit accumulator could overflow), and the
+        explicit path multiplies per-head group-contiguous segments.
+        Bit-identical to both reference paths.
+        """
+        config = self.config
+        num_groups, alpha = config.num_groups, config.alpha
+        qmax = integer_range(config.bits)
+        lead = a.shape[:-2]
+        quantized, group_index, group_scales, right_q, right_scale, bias = (
+            self._quantize_attention_operands(a, b)
+        )
+
+        if self.implicit:
+            if stacked_implicit_bound(group_index, alpha, num_groups, qmax) <= _ACC_MAX:
+                result = stacked_implicit_matmul(
+                    quantized, group_index, group_scales, right_q, right_scale, alpha, num_groups
+                )
+            else:
+                # The analytic bound says the accumulator could leave the
+                # 32-bit range: run the scanning reference kernel, which
+                # raises exactly when the hardware would saturate.
+                result = self._implicit_grouped_matmul(
+                    quantized, group_index, group_scales, right_q, right_scale
+                )
+        else:
+            result = stacked_explicit_matmul(
+                quantized, group_index, group_scales, right_q, right_scale, num_groups, qmax
+            )
+
+        if bias is not None:
+            result = result + bias[..., None, :] @ b
+        self.stats["rescales"] += int(np.prod(lead, dtype=np.int64)) * (num_groups - 1)
+        return result
+
     def _implicit_grouped_matmul(self, quantized, group_index, group_scales, right_q, right_scale):
         """Equation 2 over stacked heads: integer accumulate, rescale by alpha."""
+        quantized = quantized.astype(np.int64, copy=False)
+        right_q = right_q.astype(np.int64, copy=False)
         alpha = self.config.alpha
         lead_mn = quantized.shape[:-1] + (right_q.shape[-1],)
         accumulator = np.zeros(lead_mn, dtype=np.int64)
@@ -252,6 +473,8 @@ class TenderExecutor:
 
     def _explicit_grouped_matmul(self, quantized, group_index, group_scales, right_q, right_scale):
         """Equation 1 over stacked heads: dequantize and accumulate each group."""
+        quantized = quantized.astype(np.int64, copy=False)
+        right_q = right_q.astype(np.int64, copy=False)
         lead_mn = quantized.shape[:-1] + (right_q.shape[-1],)
         result = np.zeros(lead_mn, dtype=np.float64)
         for group in range(self.config.num_groups):
@@ -311,9 +534,15 @@ class TenderQuantizer:
     >>> log_probs = runner.log_probs(tokens)
     """
 
-    def __init__(self, config: Optional[TenderConfig] = None, implicit: bool = True) -> None:
+    def __init__(
+        self,
+        config: Optional[TenderConfig] = None,
+        implicit: bool = True,
+        fast_kernels: bool = True,
+    ) -> None:
         self.config = config or TenderConfig()
         self.implicit = implicit
+        self.fast_kernels = fast_kernels
         self.site_params: Optional[Dict[str, TenderSiteParams]] = None
 
     def calibrate(
@@ -327,7 +556,9 @@ class TenderQuantizer:
         """Build an executor from previously computed calibration parameters."""
         if self.site_params is None:
             raise CalibrationError("call calibrate() before build_executor()")
-        return TenderExecutor(self.site_params, self.config, implicit=self.implicit)
+        return TenderExecutor(
+            self.site_params, self.config, implicit=self.implicit, fast_kernels=self.fast_kernels
+        )
 
     def quantize(
         self, weights: ModelWeights, samples: List[np.ndarray], classify: bool = False

@@ -1,0 +1,66 @@
+"""Shared perf workload for the kernel benchmark and the tier-1 perf gate.
+
+``benchmarks/bench_executor_kernels.py`` (the perf-trajectory benchmark) and
+``tools/check_perf_smoke.py`` (the tier-1 regression gate) must measure the
+*same* decode workload, or a change to one silently decouples the gate from
+the numbers it is supposed to protect.  Both build their fixture and timing
+loop from here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.calibration import TenderSiteParams, _ChunkedStatistics
+from repro.core.config import TenderConfig
+
+#: The canonical decode-projection workload shape: batched decode rows at
+#: positions scattered across several calibrated row chunks — the shape the
+#: continuous-batching scheduler feeds ``TenderExecutor.project`` every step.
+PROJECTION_CHANNELS = 96
+PROJECTION_OUT = 128
+PROJECTION_BATCH = 16
+CALIBRATED_ROWS = 256
+
+
+def synthetic_projection_site(config: TenderConfig, seed: int = 11) -> Dict[str, TenderSiteParams]:
+    """One calibrated matmul site from synthetic outlier-bearing statistics.
+
+    No model training or checkpoint cache involved: channel 5 carries a 40x
+    outlier and channel 17 a 12x outlier, giving the multi-group
+    decomposition the fast kernels are built around.
+    """
+    rng = np.random.default_rng(seed)
+    calibration = rng.normal(size=(CALIBRATED_ROWS, PROJECTION_CHANNELS))
+    calibration[:, 5] *= 40.0
+    calibration[:, 17] *= 12.0
+    statistics = _ChunkedStatistics(config.row_chunk_size)
+    statistics.update(calibration)
+    return {"site": statistics.finalize("site", config)}
+
+
+def decode_projection_operands(seed: int = 29) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(x, positions, weight)`` for one scattered-position decode batch."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(PROJECTION_CHANNELS, PROJECTION_OUT))
+    x = rng.normal(size=(PROJECTION_BATCH, PROJECTION_CHANNELS))
+    positions = rng.integers(0, CALIBRATED_ROWS, size=PROJECTION_BATCH)
+    return x, positions, weight
+
+
+def best_of(function: Callable[[], object], repeats: int) -> float:
+    """Best wall time of ``function()`` over ``repeats`` runs (seconds).
+
+    One warm-up call runs first so lazy caches (packed tables, permuted
+    weights) are excluded from the measurement.
+    """
+    function()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -27,10 +27,54 @@ import numpy as np
 from repro.core.decomposition import ChannelDecomposition
 from repro.errors import QuantizationError
 from repro.quant.gemm import int_matmul
+from repro.quant.granularity import integer_range
 
 #: Hardware accumulator width (Section IV-B).
 _ACC_MAX = 2**31 - 1
 _ACC_MIN = -(2**31)
+
+#: Shared overflow diagnostics — the fast kernels (:mod:`repro.core.kernels`)
+#: must raise byte-for-byte the same errors as the reference paths here.
+IMPLICIT_OVERFLOW_MESSAGE = (
+    "implicit requantization overflowed the 32-bit accumulator; "
+    "reduce the number of groups or the reduction length"
+)
+EXPLICIT_OVERFLOW_MESSAGE = (
+    "integer matmul overflowed the 32-bit accumulator; reduce the reduction "
+    "length or the operand bit widths"
+)
+
+
+def implicit_overflow_bound(decomposition: ChannelDecomposition) -> float:
+    """Analytic worst-case magnitude of the implicit accumulator.
+
+    Channel ``c`` contributes at most ``qmax^2`` per multiply and is rescaled
+    by ``alpha`` once per remaining group boundary, so every accumulator
+    state — intermediate or final — is bounded by
+    ``qmax^2 * sum_c alpha^(G-1-g_c)`` (a channel's rescale weight only grows
+    with later groups).  When this bound fits the 32-bit accumulator, no
+    overflow is possible and the per-group full-array scans can be skipped
+    entirely; the bound depends only on calibration metadata, never on the
+    activation values.
+    """
+    qmax = integer_range(decomposition.bits)
+    group_weights = np.power(
+        float(decomposition.alpha),
+        np.arange(decomposition.num_groups - 1, -1, -1, dtype=np.float64),
+    )
+    weighted_channels = float((decomposition.group_sizes * group_weights).sum())
+    return float(qmax) ** 2 * weighted_channels
+
+
+def explicit_overflow_bound(decomposition: ChannelDecomposition) -> float:
+    """Analytic worst-case magnitude of one group's integer partial product.
+
+    Each group reduces at most ``max_g size_g`` channels of ``qmax``-bounded
+    operands, so no per-group product can exceed ``qmax^2 * max_g size_g``.
+    """
+    qmax = integer_range(decomposition.bits)
+    largest_group = int(decomposition.group_sizes.max(initial=0))
+    return float(qmax) ** 2 * largest_group
 
 
 def _group_slices(decomposition: ChannelDecomposition):
@@ -56,11 +100,19 @@ def explicit_requantized_matmul(
     """
     rows = quantized_activation.shape[0]
     out_features = quantized_weight.shape[1]
+    # Scan a group's partial product only when its analytic bound shows the
+    # 32-bit accumulator could actually overflow (results are unaffected —
+    # the scan exists purely to raise).
+    scan_overflow = explicit_overflow_bound(decomposition) > _ACC_MAX
     result = np.zeros((rows, out_features), dtype=np.float64)
     for group, channels in _group_slices(decomposition):
         if channels.size == 0:
             continue
-        partial = int_matmul(quantized_activation[:, channels], quantized_weight[channels, :])
+        partial = int_matmul(
+            quantized_activation[:, channels],
+            quantized_weight[channels, :],
+            check_overflow=scan_overflow,
+        )
         result += partial.astype(np.float64) * decomposition.group_scales[group] * weight_scale
     return result
 
@@ -83,6 +135,11 @@ def implicit_requantized_matmul(
     out_features = quantized_weight.shape[1]
     accumulator = np.zeros((rows, out_features), dtype=np.int64)
     alpha = decomposition.alpha
+    # The per-group scans only exist to raise on overflow; skip them all when
+    # the analytic bound proves no accumulator state can leave the 32-bit
+    # range (the common case for LLM-shaped reductions).
+    if check_overflow and implicit_overflow_bound(decomposition) <= _ACC_MAX:
+        check_overflow = False
     for group, channels in _group_slices(decomposition):
         if group > 0:
             accumulator = accumulator * alpha
@@ -93,10 +150,7 @@ def implicit_requantized_matmul(
         if check_overflow and (
             accumulator.max(initial=0) > _ACC_MAX or accumulator.min(initial=0) < _ACC_MIN
         ):
-            raise QuantizationError(
-                "implicit requantization overflowed the 32-bit accumulator; "
-                "reduce the number of groups or the reduction length"
-            )
+            raise QuantizationError(IMPLICIT_OVERFLOW_MESSAGE)
     final_scale = decomposition.group_scales[-1]
     return accumulator.astype(np.float64) * final_scale * weight_scale
 

@@ -372,7 +372,12 @@ class TransformerRunner:
         looked up by *position* (Tender's row chunks, see ``_project``), a
         row's logits do not depend on which physical slot or batch row it
         currently occupies — the property that makes the continuous
-        scheduler's slot reuse safe.  Returns logits of shape (batch, vocab).
+        scheduler's slot reuse safe.  This scattered-position batch is the
+        hot path of Tender's fast kernels: ``TenderExecutor`` serves every
+        projection here from packed calibration tables indexed by
+        ``positions // chunk_size`` (one gather, no per-chunk Python loop —
+        see :mod:`repro.core.kernels`).  Returns logits of shape
+        (batch, vocab).
         """
         if self.weights.lm_head is None:
             raise ConfigurationError("model has no LM head; generation requires one")

@@ -10,7 +10,11 @@ the batch as a set of *slots* over a shared :class:`~repro.serve.paged_kv_cache.
 * each **decode iteration** runs one batched
   :meth:`~repro.models.inference.TransformerRunner.decode_step` over exactly
   the currently active slots (ragged positions are fine — every slot sits at
-  its own sequence position), and
+  its own sequence position; for Tender runners this scattered-position
+  batch is exactly the shape the fast Index-Buffer kernels of
+  :mod:`repro.core.kernels` are built for, so the decode loop pays one
+  packed-table gather per projection instead of a Python loop over row
+  chunks), and
 * finished requests are **evicted mid-flight**, their blocks are reclaimed
   immediately, and the freed slot is backfilled by the next waiting request
   on the following iteration.

@@ -1,0 +1,35 @@
+"""Tier-1 perf gate: the fast kernels must stay ahead of the reference path.
+
+``tools/check_perf_smoke.py`` lives in ``tools/`` so it can also run
+standalone (and in any external CI); this test makes it part of the tier-1
+pytest run so a future PR cannot silently route the decode hot path back
+through the slow reference kernels.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestPerfSmoke:
+    def test_fast_decode_path_not_slower_than_reference(self):
+        environment = dict(os.environ)
+        source_path = str(REPO_ROOT / "src")
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = (
+            source_path if not existing else os.pathsep.join([source_path, existing])
+        )
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_perf_smoke.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=environment,
+        )
+        assert result.returncode == 0, f"perf smoke failed:\n{result.stdout}{result.stderr}"
+        assert "perf smoke ok" in result.stdout

@@ -12,8 +12,9 @@ the handful of ``D`` rules the serving API is held to, over the AST:
 * D400  the summary line ends with a period
 * D419  docstring is non-empty
 
-Scope defaults to the public serving API (``src/repro/serve``) plus the GPU
-latency models (``src/repro/gpu``); pass paths to override:
+Scope defaults to the public serving API (``src/repro/serve``), the GPU
+latency models (``src/repro/gpu``), and the fast kernel layer
+(``src/repro/core/kernels.py``); pass paths to override:
 
     python tools/check_docstrings.py [path ...]
 
@@ -27,7 +28,7 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_SCOPE = ("src/repro/serve", "src/repro/gpu")
+DEFAULT_SCOPE = ("src/repro/serve", "src/repro/gpu", "src/repro/core/kernels.py")
 
 
 def is_public(name: str) -> bool:

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Perf smoke gate: the fast decode path must not regress below the reference.
+
+Run from the repository root (tier-1 runs it via ``tests/tools``):
+
+    PYTHONPATH=src python tools/check_perf_smoke.py
+
+The check builds the shared synthetic decode workload from
+``repro.core.perf`` (no model training, no checkpoint cache — the same
+fixture ``benchmarks/bench_executor_kernels.py`` measures), verifies that
+the fast Index-Buffer projection path is bit-identical to the reference
+per-chunk loop, then times both.  The fast path has to beat the reference
+by ``REQUIRED_SPEEDUP`` — a deliberately loose fraction of the ~10-20x the
+kernels deliver on this workload (see ``BENCH_kernels.json``), so a future
+PR that accidentally routes the hot path back through per-group gathers or
+full-array overflow scans fails tier-1 instead of silently shipping the
+regression, while machine noise alone cannot flake the gate.
+
+Exit status 0 when clean; 1 with a one-line diagnosis otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import TenderConfig, TenderExecutor
+from repro.core.perf import best_of, decode_projection_operands, synthetic_projection_site
+
+#: The fast path must be at least this many times faster than the reference.
+REQUIRED_SPEEDUP = 2.0
+REPEATS = 25
+ATTEMPTS = 4
+
+
+def main() -> int:
+    config = TenderConfig(bits=8, num_groups=8, row_chunk_size=32)
+    params = synthetic_projection_site(config)
+    fast = TenderExecutor(params, config, implicit=True, fast_kernels=True)
+    reference = TenderExecutor(params, config, implicit=True, fast_kernels=False)
+    x, positions, weight = decode_projection_operands()
+
+    fast_out = fast.project("site", x, weight, None, positions=positions)
+    reference_out = reference.project("site", x, weight, None, positions=positions)
+    if not np.array_equal(fast_out, reference_out):
+        print("perf smoke FAILED: fast projection is not bit-identical to the reference")
+        return 1
+
+    speedup = 0.0
+    for _ in range(ATTEMPTS):
+        reference_s = best_of(
+            lambda: reference.project("site", x, weight, None, positions=positions), REPEATS
+        )
+        fast_s = best_of(
+            lambda: fast.project("site", x, weight, None, positions=positions), REPEATS
+        )
+        speedup = max(speedup, reference_s / fast_s)
+        if speedup >= 2 * REQUIRED_SPEEDUP:
+            break
+    if speedup < REQUIRED_SPEEDUP:
+        print(
+            f"perf smoke FAILED: fast decode path only {speedup:.2f}x the reference "
+            f"(required >= {REQUIRED_SPEEDUP:.1f}x) — the fast kernels regressed"
+        )
+        return 1
+    print(f"perf smoke ok (fast decode path {speedup:.1f}x over reference)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
