@@ -2,8 +2,10 @@
 
 ``figure12_latencies`` reproduces the paper's Figure 12;
 :class:`DecodeWorkload` extends the same roofline to one KV-cached decode
-step, and :class:`ContinuousBatchWorkload` to a whole serving trace
-(continuous vs static batching under Poisson arrivals).
+step, :class:`ContinuousBatchWorkload` to a whole serving trace
+(continuous vs static batching under Poisson arrivals), and
+:class:`PrefixCacheWorkload` to shared-prompt serving (prefix-cache hit
+rate → request throughput).
 """
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
@@ -11,6 +13,7 @@ from repro.gpu.latency import (
     ContinuousBatchWorkload,
     DecodeWorkload,
     GemmLatency,
+    PrefixCacheWorkload,
     continuous_batch_throughput,
     decode_step_latencies,
     decode_throughput_tokens_per_s,
@@ -18,6 +21,7 @@ from repro.gpu.latency import (
     fp16_latency_ms,
     int8_latency_ms,
     per_channel_latency_ms,
+    prefix_cache_throughput,
     tender_software_latency_ms,
 )
 
@@ -28,7 +32,9 @@ __all__ = [
     "GemmLatency",
     "DecodeWorkload",
     "ContinuousBatchWorkload",
+    "PrefixCacheWorkload",
     "continuous_batch_throughput",
+    "prefix_cache_throughput",
     "fp16_latency_ms",
     "int8_latency_ms",
     "per_channel_latency_ms",

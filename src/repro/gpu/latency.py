@@ -1,6 +1,6 @@
 """Analytical GPU GEMM latency model: Figure 12, decode steps, and serving.
 
-Three layers of modelling share one roofline:
+Four layers of modelling share one roofline:
 
 * :func:`figure12_latencies` — the paper's Figure 12 (one prefill-shaped
   query-projection GEMM per scheme);
@@ -8,7 +8,11 @@ Three layers of modelling share one roofline:
   KV-cached decode step (the skinny-GEMM serving regime);
 * :class:`ContinuousBatchWorkload` / :func:`continuous_batch_throughput` —
   token throughput of a decode *service* under Poisson arrivals, comparing
-  continuous batching against static (gang) batching.
+  continuous batching against static (gang) batching;
+* :class:`PrefixCacheWorkload` / :func:`prefix_cache_throughput` — request
+  throughput as a function of the *prefix-cache hit rate*: cached prompt
+  blocks skip their prefill GEMMs entirely, so the serving speedup is the
+  ratio of cold to suffix-only request latency.
 
 Figure 12 measures, for one query-projection GEMM, the latency of:
 
@@ -34,7 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.gpu.devices import GPUSpec, get_gpu
@@ -364,6 +368,157 @@ class ContinuousBatchWorkload:
     def speedup_over_static(self) -> float:
         """Continuous-over-static token-throughput ratio (``H(B)`` saturated)."""
         return self.continuous_occupancy() / self.static_occupancy()
+
+
+# ----------------------------------------------------------------------
+# Prefix-cached serving workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrefixCacheWorkload:
+    """A decode service where prompts share cached KV prefixes.
+
+    Models the serving behavior of ``repro.serve.Scheduler`` with
+    ``prefix_cache=True``: a fraction ``hit_rate`` of each request's prompt
+    tokens is served straight from previously published KV blocks, so only
+    the remaining suffix pays prefill GEMMs.  Decode work is unchanged —
+    every generated token still runs its skinny per-step GEMMs — which is
+    why the speedup saturates at ``(prefill + decode) / decode`` as the hit
+    rate approaches 1, and why prefix caching compounds with (rather than
+    replaces) continuous batching.
+
+    Parameters
+    ----------
+    prompt_tokens : int
+        Prompt length of a representative request.
+    mean_new_tokens : float
+        Mean generated tokens per request.
+    hit_rate : float
+        Fraction of prompt tokens whose KV comes from the cache (``0`` =
+        cold, disjoint prompts; ``0.8`` = the benchmark's shared-template
+        trace).
+    d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    batch : int
+        Decode batch size sharing each decode step's cost.
+    """
+
+    prompt_tokens: int
+    mean_new_tokens: float
+    hit_rate: float
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 2:
+            raise ConfigurationError("prompt_tokens must be >= 2 (the final token is always computed)")
+        if self.mean_new_tokens < 1.0:
+            raise ConfigurationError("mean_new_tokens must be >= 1")
+        if not 0.0 <= self.hit_rate <= 1.0:
+            raise ConfigurationError("hit_rate must lie in [0, 1]")
+        if self.batch < 1:
+            raise ConfigurationError("batch must be >= 1")
+        self.decode_workload()
+
+    def suffix_tokens(self, hit_rate: Optional[float] = None) -> int:
+        """Prompt tokens actually prefilled (at least the final one).
+
+        Parameters
+        ----------
+        hit_rate : float, optional
+            Override of the workload's configured hit rate (used to price
+            the cold baseline).
+        """
+        rate = self.hit_rate if hit_rate is None else hit_rate
+        return max(1, int(round(self.prompt_tokens * (1.0 - rate))))
+
+    def prefill_workload(self, rows: int) -> DecodeWorkload:
+        """The GEMMs of prefilling ``rows`` prompt tokens in one forward.
+
+        Reuses :class:`DecodeWorkload` with the row count as the batch
+        dimension: projections become ``(rows, d, d)`` GEMMs and the
+        attention products attend the full prompt context.
+        """
+        return DecodeWorkload(
+            batch=max(1, rows),
+            context=self.prompt_tokens,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def decode_workload(self) -> DecodeWorkload:
+        """The per-step GEMM workload of the decode batch."""
+        return DecodeWorkload(
+            batch=self.batch,
+            context=self.prompt_tokens + int(self.mean_new_tokens),
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def request_latency_ms(self, device_name: str, hit_rate: float, num_groups: int = 8) -> Dict[str, float]:
+        """Per-scheme latency of one request at a given hit rate.
+
+        One request pays the prefill of its uncached suffix plus its share
+        (``1 / batch``) of ``mean_new_tokens`` batched decode steps.
+        """
+        prefill = decode_step_latencies(
+            self.prefill_workload(self.suffix_tokens(hit_rate)), device_name, num_groups
+        )
+        decode = decode_step_latencies(self.decode_workload(), device_name, num_groups)
+        return {
+            scheme: prefill[scheme].milliseconds
+            + self.mean_new_tokens * decode[scheme].milliseconds / self.batch
+            for scheme in prefill
+        }
+
+    def speedup_over_cold(self, device_name: str, num_groups: int = 8) -> Dict[str, float]:
+        """Per-scheme request-throughput gain of the configured hit rate vs cold."""
+        cold = self.request_latency_ms(device_name, 0.0, num_groups)
+        warm = self.request_latency_ms(device_name, self.hit_rate, num_groups)
+        return {scheme: cold[scheme] / warm[scheme] for scheme in cold}
+
+
+def prefix_cache_throughput(
+    workload: PrefixCacheWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Serving throughput per scheme with and without prefix caching.
+
+    Parameters
+    ----------
+    workload : PrefixCacheWorkload
+        The serving scenario (prompt length, hit rate, decode batch).
+    device_name : str
+        A key of :data:`repro.gpu.devices.GPU_SPECS`.
+    num_groups : int
+        Tender channel groups (forwarded to the per-scheme GEMM model).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"cold_tokens_per_s", "cached_tokens_per_s",
+        "speedup"}}`` — generated tokens per second per request stream.
+    """
+    cold = workload.request_latency_ms(device_name, 0.0, num_groups)
+    warm = workload.request_latency_ms(device_name, workload.hit_rate, num_groups)
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme in cold:
+        results[scheme] = {
+            "cold_tokens_per_s": workload.mean_new_tokens / (cold[scheme] * 1e-3),
+            "cached_tokens_per_s": workload.mean_new_tokens / (warm[scheme] * 1e-3),
+            "speedup": cold[scheme] / warm[scheme],
+        }
+    return results
 
 
 def continuous_batch_throughput(

@@ -337,15 +337,33 @@ class TransformerRunner:
             x = x + self._feed_forward(index, ffn_input, positions)
         return self._layer_norm(x, self.weights.ln_final.gain, self.weights.ln_final.bias)
 
-    def prefill(self, tokens: np.ndarray, lengths: np.ndarray, cache: KVCacheLike) -> np.ndarray:
+    def prefill(
+        self,
+        tokens: np.ndarray,
+        lengths: np.ndarray,
+        cache: KVCacheLike,
+        start_positions: Optional[np.ndarray] = None,
+        return_logits: bool = True,
+    ) -> Optional[np.ndarray]:
         """Populate ``cache`` from right-padded prompts; return next-token logits.
 
         ``tokens`` is (batch, max_prompt_len) with each row holding a prompt of
         ``lengths[i]`` tokens followed by padding.  Padded rows do write
         (garbage) cache slots, but those slots are never visible to a valid
         query and are overwritten as soon as decoding reaches them.  Returns
-        the LM logits at each sequence's final prompt position, shape
+        the LM logits at each row's final provided position, shape
         (batch, vocab).
+
+        ``start_positions`` makes this a *partial-prompt* prefill: row ``b``'s
+        tokens are a chunk starting at absolute position ``start_positions[b]``
+        and the cache is expected to already hold that row's earlier KV (the
+        prefix-caching scheduler's prefix hits and chunked prefill both rely
+        on this).  Each chunk row attends over the full cached history plus
+        the chunk's own causal window, exactly as a whole-prompt prefill
+        would, and ``cache.lengths`` advances to ``start + lengths`` per row.
+        ``return_logits=False`` skips the LM-head projection and returns
+        ``None`` — only a prompt's final chunk needs logits, so intermediate
+        chunks of a chunked prefill save that per-chunk matmul.
         """
         if self.weights.lm_head is None:
             raise ConfigurationError("model has no LM head; generation requires one")
@@ -354,12 +372,22 @@ class TransformerRunner:
         batch, max_len = tokens.shape
         if np.any(lengths < 1) or np.any(lengths > max_len):
             raise ConfigurationError("prompt lengths must be in [1, max_prompt_len]")
-        positions = np.broadcast_to(np.arange(max_len, dtype=np.int64), (batch, max_len))
-        valid = positions < lengths[:, None]
+        if start_positions is None:
+            start = np.zeros(batch, dtype=np.int64)
+        else:
+            start = np.asarray(start_positions, dtype=np.int64).reshape(-1)
+            if start.shape[0] != batch:
+                raise ConfigurationError("start_positions must provide one position per row")
+            if np.any(start < 0):
+                raise ConfigurationError("start_positions must be >= 0")
+        positions = start[:, None] + np.arange(max_len, dtype=np.int64)[None, :]
+        valid = np.arange(max_len, dtype=np.int64)[None, :] < lengths[:, None]
         hidden = self._incremental_backbone(tokens, cache, positions, valid)
-        cache.lengths[:] = lengths
+        cache.lengths[:] = start + lengths
+        if not return_logits:
+            return None
         last = hidden[np.arange(batch), lengths - 1]
-        return self._project("lm_head", last, self.weights.lm_head, None, lengths - 1)
+        return self._project("lm_head", last, self.weights.lm_head, None, start + lengths - 1)
 
     def decode_step(self, tokens: np.ndarray, cache: KVCacheLike) -> np.ndarray:
         """Append one token per sequence and return next-token logits.

@@ -9,9 +9,12 @@ served and measured in the decode regime.
 Three layers, bottom up:
 
 * :class:`KVCache` / :class:`PagedKVCache` — dense per-batch-lane and
-  block-allocated per-slot key/value storage;
+  block-allocated per-slot key/value storage (the paged pool is
+  reference-counted, with prefix-block identity, copy-on-write, and an LRU
+  free-list for cross-request KV reuse);
 * :class:`Scheduler` — the continuous-batching serving loop (FIFO
-  admission, interleaved prefill/decode, mid-flight eviction);
+  admission, chunked prefill interleaved with decode, shared-prompt prefix
+  caching, mid-flight eviction);
 * :class:`GenerationEngine` / :func:`generate` — the fixed-batch policy
   over the scheduler, returning a rectangular :class:`GenerationResult`.
 """

@@ -84,6 +84,14 @@ class GenerationEngine:
     ----------
     runner : TransformerRunner
         The executor-backed model to decode with (any quantization scheme).
+    prefix_cache : bool
+        Reuse KV blocks across requests sharing a prompt prefix (see
+        :class:`~repro.serve.scheduler.Scheduler`); the pool is then sized
+        with shared prefix blocks counted once.  For Tender's integer
+        pipeline the generated tokens are bit-identical either way.
+    prefill_chunk : int, optional
+        Per-iteration prompt-token budget for chunked prefill (``None``
+        prefills each prompt in one forward, as before).
 
     Examples
     --------
@@ -93,8 +101,15 @@ class GenerationEngine:
     array([...])
     """
 
-    def __init__(self, runner: TransformerRunner) -> None:
+    def __init__(
+        self,
+        runner: TransformerRunner,
+        prefix_cache: bool = False,
+        prefill_chunk: Optional[int] = None,
+    ) -> None:
         self.runner = runner
+        self.prefix_cache = bool(prefix_cache)
+        self.prefill_chunk = prefill_chunk
 
     def generate(
         self,
@@ -136,8 +151,10 @@ class GenerationEngine:
             max_batch_size=len(prompts),
             block_size=block_size,
             num_blocks=Scheduler.blocks_for_requests(
-                self.runner.config, [len(p) for p in prompts], config, block_size
+                self.runner.config, prompts, config, block_size, prefix_cache=self.prefix_cache
             ),
+            prefix_cache=self.prefix_cache,
+            prefill_chunk=self.prefill_chunk,
         )
         for prompt in prompts:
             scheduler.submit(Request(prompt=prompt))

@@ -32,9 +32,12 @@ class KVCache:
     never reclaimed) until the whole batch drains.  The continuous-batching
     scheduler uses the block-allocated
     :class:`~repro.serve.paged_kv_cache.PagedKVCache` instead, which frees a
-    request's memory the moment it finishes; both expose the same
+    request's memory the moment it finishes and can share prefix blocks
+    across requests; both expose the same
     ``write``/``view``/``ensure_capacity``/``lengths`` interface consumed by
-    :class:`~repro.models.inference.TransformerRunner`.
+    :class:`~repro.models.inference.TransformerRunner` — including the
+    partial-prompt ``prefill(..., start_positions=...)`` contract, which
+    simply appends a later chunk at the positions it names.
 
     Parameters
     ----------

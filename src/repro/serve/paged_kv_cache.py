@@ -1,4 +1,4 @@
-"""Block-allocated, slot-granular key/value cache for continuous batching.
+"""Block-allocated, slot-granular key/value cache with cross-request reuse.
 
 The dense :class:`~repro.serve.kv_cache.KVCache` ties one batch *lane* to one
 request for the lifetime of the whole batch: a lane's memory is only
@@ -10,6 +10,36 @@ design popularised by vLLM: physical storage is a pool of fixed-size
 *blocks*, and each live request (a *slot*) owns a block table mapping its
 token positions onto blocks in the pool.
 
+Since the prefix-caching PR, blocks additionally carry *identity*:
+
+* every block has a **reference count** — several slots may map the same
+  physical block when their prompts share a prefix;
+* a block whose contents cover one full block of committed prompt tokens can
+  be **published** into a radix index keyed by ``(parent block, token run)``
+  — the chain of keys is exactly a content hash of the token prefix, so
+  :meth:`match_prefix` finds the longest cached prefix of a new prompt in
+  one walk;
+* writes into a block shared with another slot trigger **copy-on-write**:
+  the writer gets a private copy and the original keeps serving the other
+  holders (and future prefix matches);
+* freed blocks go to an **LRU free-list** instead of being scrubbed:
+  published blocks keep their index entry (and stay matchable) until memory
+  pressure actually reclaims them, at which point the block — and every
+  radix descendant, whose chained identity it anchored — is de-indexed.
+
+Blocks are scrubbed *lazily*: a per-block dirty bit marks blocks that have
+ever been written, and only dirty blocks are zeroed when (re)allocated for
+fresh use — a prefix-hit reservation overwrites nothing and therefore pays
+no memset.  Output isolation alone would already follow from the attention
+visibility rule (a sequence only ever attends to slots at positions it has
+itself written), but executors that quantize attention operands
+*dynamically* (Tender ``quantize_attention=True``) take per-column
+statistics over the whole attended window — stale values there would
+perturb quantization scales even though they never reach an output, so the
+zeros-never-widen-an-absmax invariant of the dense cache is preserved for
+every freshly allocated block.  ``tests/serve/test_scheduler.py`` and
+``tests/serve/test_prefix_cache.py`` pin these properties down.
+
 Two pieces cooperate:
 
 * :class:`PagedKVCache` — the physical pool plus per-slot block tables
@@ -18,27 +48,51 @@ Two pieces cooperate:
   compatible facade over an arbitrary *subset* of slots, which is what lets
   :meth:`repro.models.inference.TransformerRunner.decode_step` run one
   batched iteration over whichever requests the scheduler has active without
-  knowing anything about paging.
-
-Freed blocks return to the pool dirty and are zeroed when next *reserved*.
-Output isolation alone would already follow from the attention visibility
-rule (a sequence only ever attends to slots at positions it has itself
-written), but executors that quantize attention operands *dynamically*
-(Tender ``quantize_attention=True``) take per-column statistics over the
-whole attended window — stale values there would perturb quantization
-scales even though they never reach an output, so reservation restores the
-dense cache's zeros-never-widen-an-absmax invariant.
-``tests/serve/test_scheduler.py`` pins both properties down with
-dirty-block reuse tests.
+  knowing anything about paging.  The view precomputes a dense
+  ``(row, block index) -> physical block`` table so ``gather`` is one fancy
+  index per layer and ``write`` one scatter — refreshed only when the pool's
+  block topology actually changes (reserve/free/copy-on-write), never per
+  decode iteration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ResourceExhaustedError
+
+#: Radix-index parent of a prompt's first block (no preceding prefix).
+_ROOT = -1
+
+
+class _BlockIndex:
+    """Precomputed physical-block lookup table over a fixed set of slots.
+
+    ``tables[row, i]`` is the physical block backing block index ``i`` of
+    ``slot_ids[row]`` (``-1`` padding past a shorter slot's reservation).
+    Rebuilt from the pool only when the pool's ``table_version`` moves —
+    i.e. on reserve/free/copy-on-write, not per decode iteration.
+    """
+
+    __slots__ = ("slot_ids", "version", "tables", "blocks_per_row")
+
+    def __init__(self, paged: "PagedKVCache", slot_ids: Sequence[int]) -> None:
+        self.slot_ids = [int(s) for s in slot_ids]
+        self.refresh(paged)
+
+    def refresh(self, paged: "PagedKVCache") -> None:
+        """Re-read the slots' block tables from the pool."""
+        tables = [paged._tables[slot] for slot in self.slot_ids]
+        width = max(len(table) for table in tables)
+        dense = np.full((len(tables), width), _ROOT, dtype=np.int64)
+        for row, table in enumerate(tables):
+            dense[row, : len(table)] = table
+        self.tables = dense
+        self.blocks_per_row = np.array([len(table) for table in tables], dtype=np.int64)
+        self.version = paged._table_version
 
 
 class PagedKVCache:
@@ -48,7 +102,11 @@ class PagedKVCache:
     and one value array per layer.  A *slot* (one live request) owns a list
     of block ids covering positions ``[0, capacity)``; :meth:`reserve`
     allocates the whole table up front so a request admitted by the
-    scheduler can never run out of cache mid-decode.
+    scheduler can never run out of cache mid-decode.  Blocks are reference
+    counted: a reservation may *share* published prefix blocks with other
+    slots (see :meth:`match_prefix` / :meth:`publish_prefix`), writes into a
+    shared block fork a private copy, and freed blocks linger on an LRU
+    free-list so their contents stay matchable until reclaimed.
 
     Parameters
     ----------
@@ -84,10 +142,18 @@ class PagedKVCache:
         self.block_size = int(block_size)
         self.key_blocks: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
         self.value_blocks: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
-        self._free_blocks: List[int] = list(range(num_blocks - 1, -1, -1))
+        self._refcounts = np.zeros(num_blocks, dtype=np.int64)
+        self._dirty = np.zeros(num_blocks, dtype=bool)
+        #: Refcount-0 blocks in reclaim order (front reclaimed first).
+        self._free_lru: "OrderedDict[int, None]" = OrderedDict((b, None) for b in range(num_blocks))
         self._tables: Dict[int, List[int]] = {}
         self._lengths: Dict[int, int] = {}
         self._next_slot = 0
+        #: Radix index: (parent block or _ROOT, token-run bytes) -> block id.
+        self._prefix_index: Dict[Tuple[int, bytes], int] = {}
+        self._block_key: Dict[int, Tuple[int, bytes]] = {}
+        self._children: Dict[int, Set[int]] = {}
+        self._table_version = 0
 
     @classmethod
     def for_model(cls, config, max_active: int, block_size: int = 16) -> "PagedKVCache":
@@ -130,8 +196,18 @@ class PagedKVCache:
 
     @property
     def free_block_count(self) -> int:
-        """Blocks currently available for :meth:`reserve`."""
-        return len(self._free_blocks)
+        """Blocks currently available for :meth:`reserve` (the LRU free-list)."""
+        return len(self._free_lru)
+
+    @property
+    def cached_block_count(self) -> int:
+        """Blocks currently published in the prefix radix index."""
+        return len(self._prefix_index)
+
+    @property
+    def table_version(self) -> int:
+        """Counter bumped on every block-topology change (reserve/free/COW)."""
+        return self._table_version
 
     @property
     def active_slots(self) -> List[int]:
@@ -155,25 +231,137 @@ class PagedKVCache:
         """Reserved token positions of ``slot``."""
         return len(self._tables[slot]) * self.block_size
 
+    def ref_count(self, block: int) -> int:
+        """Number of slot tables currently mapping ``block``."""
+        return int(self._refcounts[block])
+
+    def block_table(self, slot: int) -> List[int]:
+        """Physical block ids of ``slot``, in position order (a copy)."""
+        return list(self._tables[slot])
+
+    # ------------------------------------------------------------------
+    # Prefix identity (radix of chained block hashes)
+    # ------------------------------------------------------------------
+    def match_prefix(self, tokens: np.ndarray) -> List[int]:
+        """Longest chain of published blocks covering a prefix of ``tokens``.
+
+        Walks the radix index block by block: a block matches when its
+        parent matched (chained identity, so two different prompts sharing a
+        token run mid-sequence can never alias) and its token run equals the
+        prompt's next ``block_size`` tokens.  Pure lookup — reference counts
+        are only taken when the chain is passed to :meth:`reserve`.
+
+        Parameters
+        ----------
+        tokens : ndarray
+            Prompt token ids, shape ``(prompt_len,)``.
+
+        Returns
+        -------
+        list of int
+            Matched physical block ids, in position order (possibly empty).
+        """
+        tokens = np.ascontiguousarray(np.asarray(tokens, dtype=np.int64).reshape(-1))
+        matched: List[int] = []
+        parent = _ROOT
+        full_blocks = len(tokens) // self.block_size
+        for index in range(full_blocks):
+            run = tokens[index * self.block_size : (index + 1) * self.block_size]
+            block = self._prefix_index.get((parent, run.tobytes()))
+            if block is None:
+                break
+            matched.append(block)
+            parent = block
+        return matched
+
+    def publish_prefix(self, slot: int, tokens: np.ndarray) -> int:
+        """Register ``slot``'s fully-covered prompt blocks in the radix index.
+
+        Only blocks whose *entire* token run lies within ``tokens`` are
+        published — their contents are a pure function of the token prefix
+        and will never be written again by the owner (decode writes land at
+        positions ``>= len(tokens)``).  A key that already maps to another
+        block is left untouched (the first publisher wins; the duplicate
+        block simply stays private).
+
+        Parameters
+        ----------
+        slot : int
+            The slot whose prefill just committed ``tokens``.
+        tokens : ndarray
+            The full prompt, shape ``(prompt_len,)``.
+
+        Returns
+        -------
+        int
+            Number of newly published blocks.
+        """
+        tokens = np.ascontiguousarray(np.asarray(tokens, dtype=np.int64).reshape(-1))
+        table = self._tables[slot]
+        parent = _ROOT
+        published = 0
+        for index in range(len(tokens) // self.block_size):
+            run = tokens[index * self.block_size : (index + 1) * self.block_size]
+            key = (parent, run.tobytes())
+            existing = self._prefix_index.get(key)
+            if existing is not None:
+                parent = existing
+                continue
+            block = table[index]
+            if block in self._block_key:  # already anchors a different chain
+                parent = block
+                continue
+            self._prefix_index[key] = block
+            self._block_key[block] = key
+            self._children.setdefault(parent, set()).add(block)
+            parent = block
+            published += 1
+        return published
+
+    def _deindex(self, block: int) -> None:
+        """Drop ``block`` and its radix descendants from the prefix index.
+
+        Descendants necessarily have refcount 0 (any slot holding a block
+        also holds its whole prefix chain), so they simply lose matchability
+        and remain ordinary free blocks.
+        """
+        key = self._block_key.pop(block, None)
+        if key is None:
+            return
+        if self._prefix_index.get(key) == block:
+            del self._prefix_index[key]
+        parent_children = self._children.get(key[0])
+        if parent_children is not None:
+            parent_children.discard(block)
+        for child in list(self._children.get(block, ())):
+            self._deindex(child)
+        self._children.pop(block, None)
+
     # ------------------------------------------------------------------
     # Slot lifecycle
     # ------------------------------------------------------------------
-    def reserve(self, capacity: int) -> int:
+    def reserve(self, capacity: int, shared: Sequence[int] = (), private_tail: bool = False) -> int:
         """Reserve a fresh slot able to hold ``capacity`` token positions.
 
         The full block table is allocated here, so admission control happens
         exactly once per request: once reserved, every write within
-        ``capacity`` is guaranteed to succeed.  Each granted block is zeroed
-        before use: the attention mask already keeps stale positions out of
-        every *output*, but dynamically quantized attention operands (Tender
-        ``quantize_attention=True``) derive per-column statistics over the
-        whole attended window, and only zeros are guaranteed never to widen
-        an absmax (see ``TransformerRunner._attention_cached``).
+        ``capacity`` is guaranteed to succeed — including the one
+        copy-on-write fork a ``private_tail`` reservation may need.
 
         Parameters
         ----------
         capacity : int
             Maximum token positions the request will ever occupy.
+        shared : sequence of int, optional
+            A matched prefix chain from :meth:`match_prefix`; these blocks
+            become the head of the new table with their reference counts
+            incremented (revived from the free-list if unreferenced) instead
+            of being recomputed.
+        private_tail : bool
+            Fork the last shared block eagerly when other slots still
+            reference it.  The scheduler sets this when the prompt's final
+            token lies inside the last matched block (it is always
+            recomputed, so that block will be written).
 
         Returns
         -------
@@ -184,27 +372,96 @@ class PagedKVCache:
         ------
         ResourceExhaustedError
             If the pool does not currently hold enough free blocks.
+        ConfigurationError
+            If ``shared`` holds more blocks than ``capacity`` needs.
         """
         needed = self.blocks_needed(capacity)
-        if needed > len(self._free_blocks):
-            raise ResourceExhaustedError(
-                f"need {needed} KV blocks for {capacity} positions but only "
-                f"{len(self._free_blocks)} of {self.num_blocks} are free"
+        shared = [int(b) for b in shared]
+        if len(shared) > needed:
+            raise ConfigurationError(
+                f"{len(shared)} shared prefix blocks exceed the {needed} needed "
+                f"for {capacity} positions"
             )
+        fork_needed = bool(private_tail and shared and self._refcounts[shared[-1]] >= 1)
+        revivals = sum(1 for block in shared if self._refcounts[block] == 0)
+        fresh_needed = needed - len(shared) + (1 if fork_needed else 0)
+        if fresh_needed > len(self._free_lru) - revivals:
+            raise ResourceExhaustedError(
+                f"need {fresh_needed} free KV blocks for {capacity} positions "
+                f"({len(shared)} reused) but only {len(self._free_lru) - revivals} "
+                f"of {self.num_blocks} are free"
+            )
+        for block in shared:
+            if self._refcounts[block] == 0:
+                del self._free_lru[block]
+            self._refcounts[block] += 1
+        blocks = shared + [self._allocate_fresh() for _ in range(needed - len(shared))]
         slot = self._next_slot
         self._next_slot += 1
-        blocks = [self._free_blocks.pop() for _ in range(needed)]
-        for layer in range(self.num_layers):
-            self.key_blocks[layer][blocks] = 0.0
-            self.value_blocks[layer][blocks] = 0.0
         self._tables[slot] = blocks
         self._lengths[slot] = 0
+        self._table_version += 1
+        if fork_needed:
+            self._copy_on_write(slot, len(shared) - 1)
+        elif private_tail and shared:
+            # Sole owner of the revived tail block: writing in place is safe
+            # *now*, but the block must stop being matchable or a later
+            # reservation could share it and force a copy-on-write fork no
+            # admission ever budgeted a free block for.  De-indexing keeps
+            # the write-within-capacity guarantee; the block is re-published
+            # when this slot's prefill completes.
+            self._deindex(shared[-1])
         return slot
 
+    def _allocate_fresh(self, scrub: bool = True) -> int:
+        """Claim the head of the LRU free-list for exclusive use.
+
+        Reclaiming a published block removes it (and its now-unanchored
+        radix descendants) from the prefix index; dirty blocks are zeroed
+        here — and only here — so prefix-hit reservations never pay the
+        memset (see the module docstring for why zeros matter).
+        """
+        if not self._free_lru:
+            raise ResourceExhaustedError(
+                f"all {self.num_blocks} KV blocks are referenced; none can be "
+                f"reclaimed for a fresh allocation"
+            )
+        block = next(iter(self._free_lru))
+        del self._free_lru[block]
+        self._deindex(block)
+        if scrub and self._dirty[block]:
+            for layer in range(self.num_layers):
+                self.key_blocks[layer][block] = 0.0
+                self.value_blocks[layer][block] = 0.0
+            self._dirty[block] = False
+        self._refcounts[block] = 1
+        return block
+
+    def _release(self, block: int) -> None:
+        """Put an unreferenced block on the LRU free-list.
+
+        Published blocks keep their contents and index entry and are
+        appended at the *back* (reclaimed last, least-recently-freed first
+        among themselves); unpublished blocks carry nothing reusable and go
+        to the front.
+        """
+        self._free_lru[block] = None
+        self._free_lru.move_to_end(block, last=block in self._block_key)
+
     def free(self, slot: int) -> None:
-        """Return ``slot``'s blocks to the pool (scrubbed at next reserve)."""
-        self._free_blocks.extend(reversed(self._tables.pop(slot)))
+        """Drop ``slot``'s references; unreferenced blocks join the free-list.
+
+        Released in reverse position order so a published prefix chain lands
+        on the LRU leaf-first: memory pressure then shrinks the cached
+        prefix one tail block at a time instead of reclaiming the chain's
+        radix root (which would de-index every descendant at once).
+        """
+        for block in reversed(self._tables.pop(slot)):
+            self._refcounts[block] -= 1
+            if self._refcounts[block] == 0:
+                self._release(block)
         del self._lengths[slot]
+        self._table_version += 1
 
     def set_length(self, slot: int, length: int) -> None:
         """Record that ``slot`` now holds ``length`` committed tokens."""
@@ -216,18 +473,46 @@ class PagedKVCache:
         self._lengths[slot] = int(length)
 
     # ------------------------------------------------------------------
+    # Copy-on-write
+    # ------------------------------------------------------------------
+    def _copy_on_write(self, slot: int, block_index: int) -> int:
+        """Give ``slot`` a private copy of its ``block_index``-th block."""
+        source = self._tables[slot][block_index]
+        copy = self._allocate_fresh(scrub=False)
+        for layer in range(self.num_layers):
+            self.key_blocks[layer][copy] = self.key_blocks[layer][source]
+            self.value_blocks[layer][copy] = self.value_blocks[layer][source]
+        self._dirty[copy] = True
+        self._tables[slot][block_index] = copy
+        self._refcounts[source] -= 1
+        if self._refcounts[source] == 0:
+            self._release(source)
+        self._table_version += 1
+        return copy
+
+    def _fork_shared_targets(self, index: _BlockIndex, block_rows: np.ndarray, shared: np.ndarray) -> None:
+        """Copy-on-write every (row, block) write target shared with another slot."""
+        seen = set()
+        for row, column in zip(*np.nonzero(shared)):
+            pair = (int(row), int(block_rows[row, column]))
+            if pair in seen:
+                continue
+            seen.add(pair)
+            slot = index.slot_ids[pair[0]]
+            if self._refcounts[self._tables[slot][pair[1]]] > 1:
+                self._copy_on_write(slot, pair[1])
+        index.refresh(self)
+
+    # ------------------------------------------------------------------
     # Data movement
     # ------------------------------------------------------------------
-    def _locate(self, slot: int, position: int) -> Tuple[int, int]:
-        """Map a (slot, token position) to its (block id, in-block offset)."""
-        table = self._tables[slot]
-        block_index, offset = divmod(int(position), self.block_size)
-        if position < 0 or block_index >= len(table):
-            raise ConfigurationError(
-                f"position {position} outside slot {slot}'s reserved capacity "
-                f"{self.capacity_of(slot)}"
-            )
-        return table[block_index], offset
+    def _fresh_index(self, slot_ids: Sequence[int], index: Optional[_BlockIndex]) -> _BlockIndex:
+        """Return an up-to-date block index for ``slot_ids``."""
+        if index is None:
+            return _BlockIndex(self, slot_ids)
+        if index.version != self._table_version:
+            index.refresh(self)
+        return index
 
     def write(
         self,
@@ -236,8 +521,16 @@ class PagedKVCache:
         keys: np.ndarray,
         values: np.ndarray,
         positions: np.ndarray,
+        index: Optional[_BlockIndex] = None,
     ) -> None:
         """Scatter new head tensors into the blocks of the given slots.
+
+        One vectorized scatter per call: positions are mapped through the
+        precomputed block table to ``(physical block, in-block offset)``
+        pairs, validated, and assigned in a single fancy-index.  Targets
+        shared with another slot (reference count > 1) are forked first
+        (copy-on-write), so a write can never leak into a prefix another
+        request is still attending.
 
         Parameters
         ----------
@@ -249,6 +542,8 @@ class PagedKVCache:
             ``(len(slot_ids), num_heads, new_len, d_head)`` payloads.
         positions : ndarray
             ``(len(slot_ids), new_len)`` absolute token positions per row.
+        index : _BlockIndex, optional
+            A view's cached block table (rebuilt here only if stale).
 
         Raises
         ------
@@ -256,33 +551,41 @@ class PagedKVCache:
             If any position lies beyond its slot's reserved capacity.
         """
         positions = np.asarray(positions, dtype=np.int64)
-        new_len = positions.shape[1]
-        for row, slot in enumerate(slot_ids):
-            # Positions are written in contiguous runs per block (the serving
-            # paths always write consecutive positions), so each run is one
-            # slice assignment instead of a per-token Python loop.
-            column = 0
-            while column < new_len:
-                block, offset = self._locate(slot, positions[row, column])
-                run = int(min(new_len - column, self.block_size - offset))
-                expected = positions[row, column] + np.arange(run)
-                if not np.array_equal(positions[row, column : column + run], expected):
-                    run = 1  # non-contiguous caller: fall back to one position
-                self.key_blocks[layer][block, :, offset : offset + run] = keys[
-                    row, :, column : column + run
-                ]
-                self.value_blocks[layer][block, :, offset : offset + run] = values[
-                    row, :, column : column + run
-                ]
-                column += run
+        index = self._fresh_index(slot_ids, index)
+        block_rows = positions // self.block_size
+        if (positions < 0).any() or (block_rows >= index.blocks_per_row[:, None]).any():
+            bad = positions[(positions < 0) | (block_rows >= index.blocks_per_row[:, None])]
+            raise ConfigurationError(
+                f"position {int(bad[0])} outside the writing slot's reserved capacity"
+            )
+        rows = np.arange(len(index.slot_ids))[:, None]
+        targets = index.tables[rows, block_rows]
+        shared = self._refcounts[targets] > 1
+        if shared.any():
+            self._fork_shared_targets(index, block_rows, shared)
+            targets = index.tables[rows, block_rows]
+        offsets = positions - block_rows * self.block_size
+        self._dirty[targets] = True
+        # Advanced indices on axes 0 and 2 with a slice between: the head
+        # axis moves last in the indexed view, so payloads are transposed.
+        self.key_blocks[layer][targets, :, offsets] = keys.transpose(0, 2, 1, 3)
+        self.value_blocks[layer][targets, :, offsets] = values.transpose(0, 2, 1, 3)
 
-    def gather(self, layer: int, slot_ids: Sequence[int], length: int) -> Tuple[np.ndarray, np.ndarray]:
+    def gather(
+        self,
+        layer: int,
+        slot_ids: Sequence[int],
+        length: int,
+        index: Optional[_BlockIndex] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Assemble dense ``(len(slot_ids), num_heads, length, d_head)`` K/V.
 
-        Positions beyond a slot's reserved capacity are zero-filled — they
-        are only requested when a *longer* batch-mate pushes the dense view
-        past a short slot's reservation, and the attention mask hides them
-        from every query of that slot.
+        One fancy-index per layer over the precomputed block table — no
+        per-row or per-block Python loop.  Positions beyond a slot's
+        reserved capacity are zero-filled: they are only requested when a
+        *longer* batch-mate pushes the dense view past a short slot's
+        reservation, and the attention mask hides them from every query of
+        that slot.
 
         Parameters
         ----------
@@ -292,26 +595,35 @@ class PagedKVCache:
             Slots forming the dense batch, in row order.
         length : int
             Token positions to materialise per row.
+        index : _BlockIndex, optional
+            A view's cached block table (rebuilt here only if stale).
 
         Returns
         -------
         tuple of ndarray
             ``(keys, values)`` dense arrays.
         """
+        index = self._fresh_index(slot_ids, index)
+        rows = len(index.slot_ids)
         heads = self.key_blocks[layer].shape[1]
         d_head = self.key_blocks[layer].shape[3]
-        keys = np.zeros((len(slot_ids), heads, length, d_head), dtype=np.float64)
-        values = np.zeros_like(keys)
-        for row, slot in enumerate(slot_ids):
-            table = self._tables[slot]
-            copied = min(length, len(table) * self.block_size)
-            for block_index in range(self.blocks_needed(copied) if copied else 0):
-                start = block_index * self.block_size
-                stop = min(start + self.block_size, copied)
-                block = table[block_index]
-                keys[row, :, start:stop] = self.key_blocks[layer][block, :, : stop - start]
-                values[row, :, start:stop] = self.value_blocks[layer][block, :, : stop - start]
-        return keys, values
+        num_blocks = self.blocks_needed(length) if length else 0
+        width = index.tables.shape[1]
+        if num_blocks <= width:
+            blocks = index.tables[:, :num_blocks]
+        else:
+            blocks = np.full((rows, num_blocks), _ROOT, dtype=np.int64)
+            blocks[:, :width] = index.tables
+        missing = blocks < 0
+        gathered_keys = self.key_blocks[layer][np.where(missing, 0, blocks)]
+        gathered_values = self.value_blocks[layer][np.where(missing, 0, blocks)]
+        if missing.any():
+            gathered_keys[missing] = 0.0
+            gathered_values[missing] = 0.0
+        shape = (rows, heads, num_blocks * self.block_size, d_head)
+        keys = gathered_keys.transpose(0, 2, 1, 3, 4).reshape(shape)[:, :, :length]
+        values = gathered_values.transpose(0, 2, 1, 3, 4).reshape(shape)[:, :, :length]
+        return np.ascontiguousarray(keys), np.ascontiguousarray(values)
 
     def view(self, slot_ids: Sequence[int]) -> "SlotBatchView":
         """Build a dense cache facade over ``slot_ids`` (see :class:`SlotBatchView`)."""
@@ -329,6 +641,12 @@ class SlotBatchView:
     stay local to the view until :meth:`commit` copies them back to the pool
     (the scheduler commits after every successful forward).
 
+    The view owns a cached block-index table (see ``_BlockIndex``): the
+    scheduler keeps one view alive across decode iterations while its slot
+    set is unchanged, so neither ``lengths`` nor the index is rebuilt per
+    step — the index refreshes itself only when the pool's block topology
+    changes underneath it (copy-on-write, unrelated reserve/free).
+
     Attributes
     ----------
     slot_ids : list of int
@@ -343,6 +661,7 @@ class SlotBatchView:
         if not self.slot_ids:
             raise ConfigurationError("a SlotBatchView needs at least one slot")
         self.lengths = np.array([paged.length_of(s) for s in self.slot_ids], dtype=np.int64)
+        self._index = _BlockIndex(paged, self.slot_ids)
 
     @property
     def num_layers(self) -> int:
@@ -374,11 +693,11 @@ class SlotBatchView:
 
     def write(self, layer: int, keys: np.ndarray, values: np.ndarray, slots: np.ndarray) -> None:
         """Scatter per-row payloads through to the backing pool."""
-        self._paged.write(layer, self.slot_ids, keys, values, slots)
+        self._paged.write(layer, self.slot_ids, keys, values, slots, index=self._index)
 
     def view(self, layer: int, length: int) -> Tuple[np.ndarray, np.ndarray]:
         """Dense (keys, values) over the first ``length`` positions of each slot."""
-        return self._paged.gather(layer, self.slot_ids, length)
+        return self._paged.gather(layer, self.slot_ids, length, index=self._index)
 
     def commit(self) -> None:
         """Publish the view's per-row lengths back to the pool's slot table."""

@@ -6,7 +6,7 @@ stalled every already-finished slot.  The :class:`Scheduler` instead treats
 the batch as a set of *slots* over a shared :class:`~repro.serve.paged_kv_cache.PagedKVCache`:
 
 * requests are **admitted** from a FIFO queue the moment a slot and enough
-  KV blocks are free (their prompt is prefilled right away),
+  KV blocks are free,
 * each **decode iteration** runs one batched
   :meth:`~repro.models.inference.TransformerRunner.decode_step` over exactly
   the currently active slots (ragged positions are fine — every slot sits at
@@ -19,6 +19,23 @@ the batch as a set of *slots* over a shared :class:`~repro.serve.paged_kv_cache.
   immediately, and the freed slot is backfilled by the next waiting request
   on the following iteration.
 
+Two serving-cost levers ride on top of that loop:
+
+* ``prefix_cache=True`` — **shared-prompt KV reuse**.  At admission the
+  prompt is matched against the pool's radix of published block identities
+  (:meth:`PagedKVCache.match_prefix`); every fully matched block is mapped
+  into the new slot by reference instead of being recomputed, and only the
+  prompt *suffix* (always at least the final token, whose logits seed
+  sampling) is prefilled.  Completed prefills publish their blocks back
+  into the radix, freed requests leave them matchable on the LRU free-list,
+  and writes into still-shared blocks fork a private copy (copy-on-write).
+* ``prefill_chunk=N`` — **chunked prefill**.  Instead of running a newly
+  admitted prompt's whole prefill in one forward (stalling every active
+  decode behind it), each :meth:`step` spends at most ``N`` prompt tokens
+  on the head-of-line prefilling request and then runs its decode iteration
+  as usual — active requests advance every step while long prompts trickle
+  in.
+
 Two scheduling policies share this loop (`policy=`):
 
 * ``"continuous"`` — admit whenever capacity frees up (the default), and
@@ -28,25 +45,33 @@ Two scheduling policies share this loop (`policy=`):
 
 Determinism and parity are load-bearing: each request samples from its *own*
 ``numpy`` generator seeded with :attr:`GenerationConfig.seed`, and each
-prefill runs as its own batch-of-one forward, so a request's output is
+prefill chunk runs as its own batch-of-one forward, so a request's output is
 independent of what it happens to share the batch with.  For Tender's
 integer pipeline the per-request outputs are bit-identical to running the
-request alone; the FP baseline's logits differ only by BLAS row-blocking
-noise (~1e-15) while its sampled tokens stay identical
-(``tests/serve/test_decode_parity.py``).
+request alone — *including* with ``prefix_cache=True``: cached KV blocks
+hold exactly the values a cold prefill would recompute (integer kernels are
+exact and row-independent), so hits, copy-on-write forks, and
+evicted-then-recomputed prefixes all leave the token stream unchanged
+(``tests/serve/test_prefix_cache.py``).  The FP baseline's logits differ
+only by BLAS row-blocking noise (~1e-15) while its sampled tokens stay
+identical; Tender ``quantize_attention=True`` derives *dynamic* attention
+statistics whose operands legitimately depend on the prefill partitioning,
+so under prefix hits or chunking it follows a (deliberately) different
+per-chunk quantization schedule — the same scoped exception
+``tests/serve/test_decode_parity.py`` documents for decode vs full forward.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ResourceExhaustedError
 from repro.models.inference import TransformerRunner
-from repro.serve.paged_kv_cache import PagedKVCache
+from repro.serve.paged_kv_cache import PagedKVCache, SlotBatchView
 
 
 @dataclass(frozen=True)
@@ -143,17 +168,23 @@ class RequestOutput:
     num_steps: int
     #: ``"eos"`` or ``"length"``.
     finish_reason: str
-    #: Scheduler-clock ticks at admission (prefill) and completion.
+    #: Scheduler-clock ticks at admission (prefill start) and completion.
     admitted_at: float = 0.0
     finished_at: float = 0.0
+    #: Prompt tokens whose KV came from the prefix cache (0 when disabled).
+    prefix_hit_tokens: int = 0
 
 
 @dataclass
 class SchedulerStats:
     """Iteration accounting of one scheduler run (deterministic, not wall time)."""
 
-    #: Prefill forward passes executed (one per admitted request).
+    #: Prefill forward passes executed (one per prefill chunk).
     prefill_iterations: int = 0
+    #: Prompt tokens actually computed by prefill forwards.
+    prefill_tokens: int = 0
+    #: Prompt tokens served from the prefix cache instead of being computed.
+    prefix_hit_tokens: int = 0
     #: Batched decode forward passes executed.
     decode_iterations: int = 0
     #: Sum over decode iterations of the number of active slots.
@@ -162,7 +193,7 @@ class SchedulerStats:
     generated_tokens: int = 0
     #: Requests completed.
     completed_requests: int = 0
-    #: Largest number of concurrently active slots observed.
+    #: Largest number of concurrently admitted requests (prefilling + decoding).
     peak_active: int = 0
     #: Clock ticks spent with an empty batch waiting for the next arrival.
     idle_time: float = 0.0
@@ -176,11 +207,28 @@ class SchedulerStats:
         """Generated tokens per forward pass — the batching-efficiency metric."""
         return self.generated_tokens / max(1, self.total_iterations)
 
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from the prefix cache."""
+        looked_up = self.prefill_tokens + self.prefix_hit_tokens
+        return self.prefix_hit_tokens / max(1, looked_up)
+
 
 class _ActiveRequest:
     """Book-keeping for one admitted, not-yet-finished request."""
 
-    __slots__ = ("request", "slot", "budget", "rng", "generated", "logits", "next_token", "admitted_at")
+    __slots__ = (
+        "request",
+        "slot",
+        "budget",
+        "rng",
+        "generated",
+        "logits",
+        "next_token",
+        "admitted_at",
+        "prefill_pos",
+        "prefix_hit_tokens",
+        "prefill_view",
+    )
 
     def __init__(self, request: Request, slot: int, budget: int, seed: int, admitted_at: float) -> None:
         self.request = request
@@ -191,6 +239,10 @@ class _ActiveRequest:
         self.logits: List[np.ndarray] = []
         self.next_token = -1
         self.admitted_at = admitted_at
+        self.prefill_pos = 0
+        self.prefix_hit_tokens = 0
+        #: Batch-of-one view reused across this request's prefill chunks.
+        self.prefill_view: Optional["SlotBatchView"] = None
 
 
 def _token_budget(prompt_len: int, max_new_tokens: int, max_seq_len: int) -> int:
@@ -227,7 +279,7 @@ class Scheduler:
         Decoding parameters shared by all requests (default: greedy, 32
         tokens).
     max_batch_size : int
-        Maximum concurrently active requests (slots).
+        Maximum concurrently admitted requests (prefilling + decoding).
     block_size : int
         Token positions per KV block (see :class:`PagedKVCache`).
     num_blocks : int, optional
@@ -239,6 +291,15 @@ class Scheduler:
     record_logits : bool
         Keep per-step logits in each :class:`RequestOutput` (disable for
         long benchmark traces to save memory).
+    prefix_cache : bool
+        Reuse published KV blocks across requests that share a prompt
+        prefix (see the module docstring).  Off by default; for Tender's
+        integer pipeline outputs are bit-identical either way.
+    prefill_chunk : int, optional
+        Prompt-token budget each :meth:`step` may spend on prefilling
+        before running its decode iteration.  ``None`` (default) prefills a
+        whole admitted prompt in one forward, as before; a small value
+        keeps active decodes advancing while long prompts trickle in.
 
     Raises
     ------
@@ -264,16 +325,22 @@ class Scheduler:
         num_blocks: Optional[int] = None,
         policy: str = "continuous",
         record_logits: bool = True,
+        prefix_cache: bool = False,
+        prefill_chunk: Optional[int] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
         if policy not in ("continuous", "gang"):
             raise ConfigurationError(f"unknown scheduling policy {policy!r}")
+        if prefill_chunk is not None and prefill_chunk < 1:
+            raise ConfigurationError("prefill_chunk must be >= 1 (or None to disable)")
         self.runner = runner
         self.config = config or GenerationConfig()
         self.max_batch_size = int(max_batch_size)
         self.policy = policy
         self.record_logits = record_logits
+        self.prefix_cache = bool(prefix_cache)
+        self.prefill_chunk = None if prefill_chunk is None else int(prefill_chunk)
         model_config = runner.config
         if num_blocks is None:
             self.cache = PagedKVCache.for_model(model_config, max_batch_size, block_size)
@@ -290,7 +357,12 @@ class Scheduler:
         #: Min-heap of (arrival_time, request_id, request): FIFO by arrival,
         #: submission order breaking ties, with O(log n) admission peeks.
         self._waiting: List[Tuple[float, int, Request]] = []
+        #: Admitted requests whose prompts are not fully prefilled yet, FIFO.
+        self._prefilling: List[_ActiveRequest] = []
         self._active: Dict[int, _ActiveRequest] = {}
+        #: Decode-batch view reused across iterations while the active slot
+        #: set is unchanged (its lengths and block index persist in place).
+        self._decode_view: Optional[SlotBatchView] = None
         self._next_request_id = 0
 
     # ------------------------------------------------------------------
@@ -364,13 +436,13 @@ class Scheduler:
 
     @property
     def has_pending(self) -> bool:
-        """True while any request is waiting or active."""
-        return bool(self._waiting or self._active)
+        """True while any request is waiting, prefilling, or decoding."""
+        return bool(self._waiting or self._prefilling or self._active)
 
     @property
     def num_active(self) -> int:
-        """Requests currently holding a slot."""
-        return len(self._active)
+        """Requests currently holding a slot (prefilling or decoding)."""
+        return len(self._active) + len(self._prefilling)
 
     @property
     def num_waiting(self) -> int:
@@ -381,7 +453,7 @@ class Scheduler:
     # Serving loop
     # ------------------------------------------------------------------
     def step(self) -> List[RequestOutput]:
-        """Run one scheduler iteration: admit + prefill, then one decode.
+        """Run one scheduler iteration: admit, prefill, then one decode.
 
         With an empty batch and every waiting arrival still in the future,
         the clock jumps to the next arrival (recorded as ``stats.idle_time``)
@@ -393,13 +465,15 @@ class Scheduler:
         list of RequestOutput
             Requests that finished during this iteration (possibly empty).
         """
-        if not self._active and self._waiting:
+        if not self._active and not self._prefilling and self._waiting:
             next_arrival = self._waiting[0][0]
             if next_arrival > self.now:
                 self.stats.idle_time += next_arrival - self.now
                 self.now = next_arrival
         finished: List[RequestOutput] = []
         self._admit(finished)
+        if self.prefill_chunk is not None:
+            self._prefill_iteration(finished)
         if self._active:
             self._decode_iteration(finished)
         return finished
@@ -419,9 +493,21 @@ class Scheduler:
         """
         outputs: List[RequestOutput] = []
         while self.has_pending:
-            before = (self.now, self.stats.total_iterations, len(self._waiting), len(self._active))
+            before = (
+                self.now,
+                self.stats.total_iterations,
+                len(self._waiting),
+                len(self._prefilling),
+                len(self._active),
+            )
             outputs.extend(self.step())
-            after = (self.now, self.stats.total_iterations, len(self._waiting), len(self._active))
+            after = (
+                self.now,
+                self.stats.total_iterations,
+                len(self._waiting),
+                len(self._prefilling),
+                len(self._active),
+            )
             if before == after:  # pragma: no cover - defensive livelock guard
                 raise ResourceExhaustedError(
                     "scheduler made no progress; the KV pool is too small for "
@@ -436,34 +522,61 @@ class Scheduler:
     def blocks_for_requests(
         cls,
         model_config,
-        prompt_lengths,
+        prompts,
         config: GenerationConfig,
         block_size: int = 16,
+        prefix_cache: bool = False,
     ) -> int:
         """KV blocks an exactly-sized pool needs to hold all requests at once.
 
         Uses the same budget/reservation formulas as admission, so a pool of
         this size can never be under-provisioned for the given prompts.
+        With ``prefix_cache=True`` (and actual token arrays in ``prompts``)
+        blocks holding a shared, fully-covered prompt prefix are counted
+        once — matching the sharing the scheduler achieves when requests are
+        admitted in submission order — instead of being over-reserved per
+        request.
 
         Parameters
         ----------
         model_config : TransformerConfig
             Supplies ``max_seq_len``.
-        prompt_lengths : iterable of int
-            One entry per request.
+        prompts : iterable of (int or ndarray)
+            One prompt length — or, for prefix-cache sizing, the prompt
+            token array itself — per request.
         config : GenerationConfig
             Supplies the shared ``max_new_tokens`` budget.
         block_size : int
             Token positions per block.
+        prefix_cache : bool
+            Deduplicate shared prompt-prefix blocks across requests.
 
         Returns
         -------
         int
         """
         total = 0
-        for prompt_len in prompt_lengths:
+        seen: set = set()
+        for prompt in prompts:
+            tokens: Optional[np.ndarray] = None
+            if np.ndim(prompt) == 0:
+                prompt_len = int(prompt)
+            else:
+                tokens = np.ascontiguousarray(np.asarray(prompt, dtype=np.int64).reshape(-1))
+                prompt_len = len(tokens)
             budget = _token_budget(prompt_len, config.max_new_tokens, model_config.max_seq_len)
-            total += -(-_reserved_positions(prompt_len, budget) // block_size)
+            needed = -(-_reserved_positions(prompt_len, budget) // block_size)
+            if prefix_cache and tokens is not None:
+                # Blocks fully covered by the prompt *and* not holding its
+                # final token (which is always recomputed, forcing a private
+                # copy) are shared with any earlier identical prefix.
+                for full in range(1, (prompt_len - 1) // block_size + 1):
+                    key = tokens[: full * block_size].tobytes()
+                    if key in seen:
+                        needed -= 1
+                    else:
+                        seen.add(key)
+            total += needed
         return max(total, 1)
 
     def _budget(self, request: Request) -> int:
@@ -476,47 +589,109 @@ class Scheduler:
         return _reserved_positions(len(request.prompt), self._budget(request))
 
     def _admit(self, finished: List[RequestOutput]) -> None:
-        """FIFO admission: prefill waiting requests into free slots.
+        """FIFO admission: reserve (and start prefilling) waiting requests.
 
         Admission is strictly in (arrival_time, request_id) order and stops
         at the first request that cannot start — a head-of-line request
         waiting for blocks is never overtaken by a cheaper later one, which
-        is what makes starvation impossible.
+        is what makes starvation impossible.  With ``prefix_cache`` the
+        prompt is matched against the radix of published block identities
+        first, so a request may need far fewer fresh blocks than its
+        reservation suggests.
         """
-        if self.policy == "gang" and self._active:
+        if self.policy == "gang" and (self._active or self._prefilling):
             return
-        while self._waiting and len(self._active) < self.max_batch_size:
+        block_size = self.cache.block_size
+        while self._waiting and self.num_active < self.max_batch_size:
             arrival, _, head = self._waiting[0]
             if arrival > self.now:
                 break
-            needed = self.cache.blocks_needed(self._reserved_capacity(head))
-            if needed > self.cache.free_block_count:
+            prompt = head.prompt
+            matched = self.cache.match_prefix(prompt) if self.prefix_cache else []
+            # The final prompt token is always recomputed — its logits seed
+            # sampling — so a hit is capped at len(prompt) - 1 tokens and a
+            # fully-matched final block must become a private (COW) copy.
+            start = min(len(matched) * block_size, len(prompt) - 1)
+            try:
+                slot = self.cache.reserve(
+                    self._reserved_capacity(head),
+                    shared=matched,
+                    private_tail=start < len(matched) * block_size,
+                )
+            except ResourceExhaustedError:
                 break
             heapq.heappop(self._waiting)
-            self._prefill(head, finished)
+            self.cache.set_length(slot, start)
+            state = _ActiveRequest(
+                head, slot, self._budget(head), self.config.seed, admitted_at=self.now
+            )
+            state.prefill_pos = start
+            state.prefix_hit_tokens = start
+            self.stats.prefix_hit_tokens += start
+            self._prefilling.append(state)
+            self.stats.peak_active = max(self.stats.peak_active, self.num_active)
+            if self.prefill_chunk is None:
+                # Unchunked serving: the whole remaining prompt is prefilled
+                # in one forward at admission, exactly as before this PR.
+                self._advance_prefill(state, len(prompt) - start, finished)
 
-    def _prefill(self, request: Request, finished: List[RequestOutput]) -> None:
-        """Reserve a slot, prefill the prompt, and sample the first token."""
-        slot = self.cache.reserve(self._reserved_capacity(request))
-        state = _ActiveRequest(
-            request, slot, self._budget(request), self.config.seed, admitted_at=self.now
+    def _advance_prefill(self, state: _ActiveRequest, budget: int, finished: List[RequestOutput]) -> int:
+        """Prefill up to ``budget`` prompt tokens of one request (one forward).
+
+        When the chunk reaches the end of the prompt the request's prefix
+        blocks are published for future sharing, its first token is sampled
+        from the chunk's final logits, and it joins the decode batch.
+
+        Returns
+        -------
+        int
+            Prompt tokens computed by this chunk.
+        """
+        prompt = state.request.prompt
+        begin = state.prefill_pos
+        end = min(len(prompt), begin + budget)
+        chunk = prompt[begin:end]
+        if state.prefill_view is None:
+            state.prefill_view = self.cache.view([state.slot])
+        view = state.prefill_view
+        logits = self.runner.prefill(
+            chunk[None, :],
+            np.array([len(chunk)]),
+            view,
+            start_positions=np.array([begin]),
+            # Only the prompt's final chunk needs logits (they seed sampling);
+            # intermediate chunks skip the LM-head projection entirely.
+            return_logits=end == len(prompt),
         )
-        prompt = request.prompt
-        view = self.cache.view([slot])
-        logits = self.runner.prefill(prompt[None, :], np.array([len(prompt)]), view)
         view.commit()
+        state.prefill_pos = end
         self.stats.prefill_iterations += 1
+        self.stats.prefill_tokens += len(chunk)
         self.now += 1.0
-        self._active[state.slot] = state
-        self.stats.peak_active = max(self.stats.peak_active, len(self._active))
-        self._consume_logits(state, logits[0], finished)
+        if end == len(prompt):
+            self._prefilling.remove(state)
+            state.prefill_view = None
+            if self.prefix_cache:
+                self.cache.publish_prefix(state.slot, prompt)
+            self._active[state.slot] = state
+            self._consume_logits(state, logits[0], finished)
+        return len(chunk)
+
+    def _prefill_iteration(self, finished: List[RequestOutput]) -> None:
+        """Spend this step's ``prefill_chunk`` token budget, FIFO."""
+        budget = self.prefill_chunk
+        while budget > 0 and self._prefilling:
+            budget -= self._advance_prefill(self._prefilling[0], budget, finished)
 
     def _decode_iteration(self, finished: List[RequestOutput]) -> None:
         """One batched decode step over every active slot."""
         slots = list(self._active)
+        view = self._decode_view
+        if view is None or view.slot_ids != slots:
+            view = self.cache.view(slots)
+            self._decode_view = view
         states = [self._active[slot] for slot in slots]
         tokens = np.array([state.next_token for state in states], dtype=np.int64)
-        view = self.cache.view(slots)
         logits = self.runner.decode_step(tokens, view)
         view.commit()
         self.stats.decode_iterations += 1
@@ -544,6 +719,7 @@ class Scheduler:
     def _finalize(self, state: _ActiveRequest, reason: str, finished: List[RequestOutput]) -> None:
         """Evict a finished request: free its blocks, emit its output."""
         self._active.pop(state.slot, None)
+        self._decode_view = None
         self.cache.free(state.slot)
         continuation = np.array(state.generated, dtype=np.int64)
         vocab = self.runner.config.vocab_size
@@ -565,5 +741,6 @@ class Scheduler:
                 finish_reason=reason,
                 admitted_at=state.admitted_at,
                 finished_at=self.now,
+                prefix_hit_tokens=state.prefix_hit_tokens,
             )
         )

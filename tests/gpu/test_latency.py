@@ -179,3 +179,74 @@ class TestContinuousBatchWorkload:
             self.make(offered_load=0.0)
         with pytest.raises(ConfigurationError):
             self.make(d_model=100, num_heads=3)  # indivisible heads
+
+
+class TestPrefixCacheWorkload:
+    @staticmethod
+    def make(**overrides):
+        from repro.gpu import PrefixCacheWorkload
+
+        defaults = dict(
+            prompt_tokens=140,
+            mean_new_tokens=8.0,
+            hit_rate=0.8,
+            d_model=4096,
+            d_ff=16384,
+            num_heads=32,
+            num_layers=4,
+            batch=4,
+        )
+        defaults.update(overrides)
+        return PrefixCacheWorkload(**defaults)
+
+    def test_zero_hit_rate_is_the_cold_baseline(self):
+        cold = self.make(hit_rate=0.0)
+        for scheme, speedup in cold.speedup_over_cold("rtx3090").items():
+            assert speedup == pytest.approx(1.0), scheme
+
+    def test_speedup_grows_with_hit_rate_and_is_bounded_by_decode(self):
+        previous = None
+        for hit_rate in (0.0, 0.4, 0.8, 1.0):
+            workload = self.make(hit_rate=hit_rate)
+            speedup = workload.speedup_over_cold("rtx3090")["Tender SW"]
+            if previous is not None:
+                assert speedup > previous
+            previous = speedup
+        # Even a perfect hit still prefills the final token and pays every
+        # decode step, so the speedup stays below prefill+decode over decode.
+        full = self.make(hit_rate=1.0)
+        latency = full.request_latency_ms("rtx3090", 0.0)["Tender SW"]
+        decode_only = (
+            8.0
+            * decode_step_latencies(full.decode_workload(), "rtx3090")["Tender SW"].milliseconds
+            / 4
+        )
+        assert full.speedup_over_cold("rtx3090")["Tender SW"] < latency / decode_only
+
+    def test_suffix_always_recomputes_the_final_token(self):
+        assert self.make(hit_rate=1.0).suffix_tokens() == 1
+
+    def test_throughput_table_covers_every_scheme(self):
+        from repro.gpu import prefix_cache_throughput
+
+        table = prefix_cache_throughput(self.make(), "a100")
+        assert set(table) == {
+            "FP16",
+            "INT8 (per-tensor)",
+            "INT8 (per-row)",
+            "INT8 (per-channel)",
+            "Tender SW",
+        }
+        for row in table.values():
+            assert row["cached_tokens_per_s"] > row["cold_tokens_per_s"] > 0.0
+            assert row["speedup"] > 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.make(hit_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            self.make(prompt_tokens=1)
+        with pytest.raises(ConfigurationError):
+            self.make(mean_new_tokens=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(batch=0)

@@ -306,3 +306,22 @@ class TestValidation:
 
     def test_resource_exhausted_error_type_exists(self):
         assert issubclass(ResourceExhaustedError, Exception)
+
+
+class TestDecodeViewReuse:
+    def test_view_and_lengths_persist_while_membership_is_stable(self, runner, prompt_pool):
+        """The decode batch view (and its lengths) is not rebuilt per step."""
+        scheduler = Scheduler(runner, GenerationConfig(max_new_tokens=6), max_batch_size=2)
+        scheduler.submit(prompt_pool[0])
+        scheduler.submit(prompt_pool[1])
+        scheduler.step()
+        view = scheduler._decode_view
+        assert view is not None
+        lengths = view.lengths
+        scheduler.step()
+        scheduler.step()
+        assert scheduler._decode_view is view  # same object across iterations
+        assert scheduler._decode_view.lengths is lengths
+        # Membership change (a request finishing) invalidates the cache.
+        scheduler.run()
+        assert scheduler._decode_view is None

@@ -1,9 +1,10 @@
-"""Tier-1 perf gate: the fast kernels must stay ahead of the reference path.
+"""Tier-1 perf gate: the serving hot paths must stay ahead of reference.
 
 ``tools/check_perf_smoke.py`` lives in ``tools/`` so it can also run
 standalone (and in any external CI); this test makes it part of the tier-1
 pytest run so a future PR cannot silently route the decode hot path back
-through the slow reference kernels.
+through the slow reference kernels — or break prefix-cache matching, whose
+failure mode is a silent throughput regression (zero hits), not an error.
 """
 
 from __future__ import annotations
@@ -32,4 +33,5 @@ class TestPerfSmoke:
             env=environment,
         )
         assert result.returncode == 0, f"perf smoke failed:\n{result.stdout}{result.stderr}"
-        assert "perf smoke ok" in result.stdout
+        assert "perf smoke ok (fast decode path" in result.stdout
+        assert "perf smoke ok (prefix cache served" in result.stdout

@@ -1,20 +1,30 @@
 #!/usr/bin/env python
-"""Perf smoke gate: the fast decode path must not regress below the reference.
+"""Perf smoke gate: the serving hot paths must not regress below reference.
 
 Run from the repository root (tier-1 runs it via ``tests/tools``):
 
     PYTHONPATH=src python tools/check_perf_smoke.py
 
-The check builds the shared synthetic decode workload from
-``repro.core.perf`` (no model training, no checkpoint cache — the same
-fixture ``benchmarks/bench_executor_kernels.py`` measures), verifies that
-the fast Index-Buffer projection path is bit-identical to the reference
-per-chunk loop, then times both.  The fast path has to beat the reference
-by ``REQUIRED_SPEEDUP`` — a deliberately loose fraction of the ~10-20x the
-kernels deliver on this workload (see ``BENCH_kernels.json``), so a future
-PR that accidentally routes the hot path back through per-group gathers or
-full-array overflow scans fails tier-1 instead of silently shipping the
-regression, while machine noise alone cannot flake the gate.
+Two checks run back to back:
+
+1. **Fast kernels** — builds the shared synthetic decode workload from
+   ``repro.core.perf`` (no model training, no checkpoint cache — the same
+   fixture ``benchmarks/bench_executor_kernels.py`` measures), verifies
+   that the fast Index-Buffer projection path is bit-identical to the
+   reference per-chunk loop, then times both.  The fast path has to beat
+   the reference by ``REQUIRED_SPEEDUP`` — a deliberately loose fraction of
+   the ~10-20x the kernels deliver on this workload (see
+   ``BENCH_kernels.json``), so a future PR that accidentally routes the hot
+   path back through per-group gathers or full-array overflow scans fails
+   tier-1 instead of silently shipping the regression, while machine noise
+   alone cannot flake the gate.
+2. **Prefix-cached scheduler** — serves a shared-template trace through
+   ``repro.serve.Scheduler`` (random-weight model, no training) with the
+   prefix cache on and off, and gates on the *deterministic* accounting:
+   generated tokens must be identical, the cache must serve well over half
+   of the prompt tokens (a broken radix match silently degrades to zero
+   hits — exactly the regression this catches), and chunked prefill must
+   keep active decodes advancing every iteration.
 
 Exit status 0 when clean; 1 with a one-line diagnosis otherwise.
 """
@@ -32,9 +42,128 @@ from repro.core.perf import best_of, decode_projection_operands, synthetic_proje
 REQUIRED_SPEEDUP = 2.0
 REPEATS = 25
 ATTEMPTS = 4
+#: The prefix cache must serve at least this fraction of the shared trace's
+#: prompt tokens (the trace is built with ~78% overlap).
+REQUIRED_HIT_RATE = 0.5
 
 
-def main() -> int:
+def _tiny_serving_runner():
+    """A random-weight TransformerRunner (no training, no checkpoint cache)."""
+    from repro.models.inference import TransformerRunner
+    from repro.models.weights import (
+        AttentionWeights,
+        BlockWeights,
+        FeedForwardWeights,
+        LayerNormWeights,
+        ModelWeights,
+    )
+    from repro.nn import TransformerConfig
+
+    config = TransformerConfig(
+        vocab_size=64, d_model=32, num_heads=2, num_layers=2, d_ff=64, max_seq_len=128, seed=0
+    )
+    rng = np.random.default_rng(7)
+
+    def dense(shape):
+        return rng.normal(scale=0.25, size=shape)
+
+    def norm():
+        return LayerNormWeights(gain=np.ones(config.d_model), bias=np.zeros(config.d_model))
+
+    blocks = [
+        BlockWeights(
+            ln_attn=norm(),
+            attn=AttentionWeights(
+                wq=dense((config.d_model, config.d_model)), bq=np.zeros(config.d_model),
+                wk=dense((config.d_model, config.d_model)), bk=np.zeros(config.d_model),
+                wv=dense((config.d_model, config.d_model)), bv=np.zeros(config.d_model),
+                wo=dense((config.d_model, config.d_model)), bo=np.zeros(config.d_model),
+            ),
+            ln_ffn=norm(),
+            ffn=FeedForwardWeights(
+                w1=dense((config.d_model, config.d_ff)), b1=np.zeros(config.d_ff),
+                w2=dense((config.d_ff, config.d_model)), b2=np.zeros(config.d_model),
+            ),
+        )
+        for _ in range(config.num_layers)
+    ]
+    weights = ModelWeights(
+        config=config,
+        token_embedding=dense((config.vocab_size, config.d_model)),
+        position_embedding=dense((config.max_seq_len, config.d_model)),
+        blocks=blocks,
+        ln_final=norm(),
+        lm_head=dense((config.d_model, config.vocab_size)),
+    )
+    return TransformerRunner(weights)
+
+
+def _serve(runner, prompts, prefix_cache, prefill_chunk=None):
+    """One scheduler run over ``prompts``; returns (outputs by id, stats)."""
+    from repro.serve import GenerationConfig, Scheduler
+
+    scheduler = Scheduler(
+        runner,
+        GenerationConfig(max_new_tokens=3),
+        max_batch_size=3,
+        block_size=8,
+        prefix_cache=prefix_cache,
+        prefill_chunk=prefill_chunk,
+        record_logits=False,
+    )
+    for prompt in prompts:
+        scheduler.submit(prompt)
+    outputs = {output.request_id: output for output in scheduler.run()}
+    return outputs, scheduler.stats
+
+
+def check_serving_smoke() -> int:
+    """Deterministic prefix-cache and chunked-prefill regression gate."""
+    runner = _tiny_serving_runner()
+    rng = np.random.default_rng(3)
+    template = rng.integers(0, 64, size=36)
+    prompts = [
+        np.concatenate([template, rng.integers(0, 64, size=10)]) for _ in range(8)
+    ]
+    outputs_off, stats_off = _serve(runner, prompts, prefix_cache=False)
+    outputs_on, stats_on = _serve(runner, prompts, prefix_cache=True)
+    for request_id, output in outputs_off.items():
+        if not np.array_equal(output.generated, outputs_on[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"with the prefix cache enabled"
+            )
+            return 1
+    hit_rate = stats_on.prefix_hit_rate()
+    if hit_rate < REQUIRED_HIT_RATE:
+        print(
+            f"perf smoke FAILED: prefix cache served only {hit_rate:.0%} of prompt "
+            f"tokens (required >= {REQUIRED_HIT_RATE:.0%}) — prefix matching regressed"
+        )
+        return 1
+    if stats_on.prefill_tokens >= stats_off.prefill_tokens:
+        print(
+            "perf smoke FAILED: the prefix cache did not reduce prefilled prompt "
+            f"tokens ({stats_on.prefill_tokens} vs {stats_off.prefill_tokens})"
+        )
+        return 1
+    outputs_chunked, _ = _serve(runner, prompts, prefix_cache=True, prefill_chunk=8)
+    for request_id, output in outputs_off.items():
+        if not np.array_equal(output.generated, outputs_chunked[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"under chunked prefill"
+            )
+            return 1
+    print(
+        f"perf smoke ok (prefix cache served {hit_rate:.0%} of prompt tokens, "
+        f"{stats_off.prefill_tokens} -> {stats_on.prefill_tokens} prefilled)"
+    )
+    return 0
+
+
+def check_fast_kernels() -> int:
+    """Fast Index-Buffer projection vs the reference per-chunk loop."""
     config = TenderConfig(bits=8, num_groups=8, row_chunk_size=32)
     params = synthetic_projection_site(config)
     fast = TenderExecutor(params, config, implicit=True, fast_kernels=True)
@@ -66,6 +195,11 @@ def main() -> int:
         return 1
     print(f"perf smoke ok (fast decode path {speedup:.1f}x over reference)")
     return 0
+
+
+def main() -> int:
+    """Run every smoke gate; first failure wins."""
+    return check_fast_kernels() or check_serving_smoke()
 
 
 if __name__ == "__main__":
