@@ -3,9 +3,10 @@
 ``figure12_latencies`` reproduces the paper's Figure 12;
 :class:`DecodeWorkload` extends the same roofline to one KV-cached decode
 step, :class:`ContinuousBatchWorkload` to a whole serving trace
-(continuous vs static batching under Poisson arrivals), and
+(continuous vs static batching under Poisson arrivals),
 :class:`PrefixCacheWorkload` to shared-prompt serving (prefix-cache hit
-rate → request throughput).
+rate → request throughput), and :class:`SpeculativeWorkload` to
+draft-and-verify decoding (accept rate → decode throughput).
 """
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
@@ -14,6 +15,7 @@ from repro.gpu.latency import (
     DecodeWorkload,
     GemmLatency,
     PrefixCacheWorkload,
+    SpeculativeWorkload,
     continuous_batch_throughput,
     decode_step_latencies,
     decode_throughput_tokens_per_s,
@@ -22,6 +24,7 @@ from repro.gpu.latency import (
     int8_latency_ms,
     per_channel_latency_ms,
     prefix_cache_throughput,
+    speculative_throughput,
     tender_software_latency_ms,
 )
 
@@ -33,8 +36,10 @@ __all__ = [
     "DecodeWorkload",
     "ContinuousBatchWorkload",
     "PrefixCacheWorkload",
+    "SpeculativeWorkload",
     "continuous_batch_throughput",
     "prefix_cache_throughput",
+    "speculative_throughput",
     "fp16_latency_ms",
     "int8_latency_ms",
     "per_channel_latency_ms",

@@ -12,7 +12,12 @@ Four layers of modelling share one roofline:
 * :class:`PrefixCacheWorkload` / :func:`prefix_cache_throughput` — request
   throughput as a function of the *prefix-cache hit rate*: cached prompt
   blocks skip their prefill GEMMs entirely, so the serving speedup is the
-  ratio of cold to suffix-only request latency.
+  ratio of cold to suffix-only request latency;
+* :class:`SpeculativeWorkload` / :func:`speculative_throughput` — decode
+  throughput as a function of the *draft accept rate*: one multi-token
+  verification forward replaces an expected run of sequential decode
+  steps, so the speedup is the expected committed tokens discounted by the
+  wider verify GEMMs and the drafting cost.
 
 Figure 12 measures, for one query-projection GEMM, the latency of:
 
@@ -517,6 +522,171 @@ def prefix_cache_throughput(
             "cold_tokens_per_s": workload.mean_new_tokens / (cold[scheme] * 1e-3),
             "cached_tokens_per_s": workload.mean_new_tokens / (warm[scheme] * 1e-3),
             "speedup": cold[scheme] / warm[scheme],
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Speculative-decoding serving workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpeculativeWorkload:
+    """A decode service running draft-and-verify speculative decoding.
+
+    Models the serving behavior of ``repro.serve.Scheduler`` with
+    ``speculation=SpecConfig(...)``: each iteration verifies
+    ``draft_tokens`` speculated continuations per sequence in one
+    multi-token forward instead of running one forward per token.  With a
+    per-position draft acceptance probability ``accept_rate`` (treated as
+    i.i.d.), the expected committed tokens per verify step are
+
+    ``E[m] = (1 - p^(k+1)) / (1 - p)``  (``k + 1`` at ``p = 1``),
+
+    the accepted run plus the bonus token.  The verify forward prices the
+    same per-layer GEMMs as a decode step with ``batch x (k + 1)`` rows —
+    exactly how :meth:`repro.models.inference.TransformerRunner.verify`
+    executes — so the speedup is ``E[m]`` discounted by how much wider the
+    verify GEMMs are and by the drafting cost itself.  Zero-cost drafting
+    (``draft_cost_ratio = 0``) matches ``PromptLookupDraft``; a model
+    drafter pays ``draft_cost_ratio`` of a baseline decode step per
+    proposed token (e.g. ``0.25`` for a quarter-depth truncated copy).
+
+    Parameters
+    ----------
+    draft_tokens : int
+        Draft run length ``k`` verified per iteration.
+    accept_rate : float
+        Per-position probability a draft token is accepted.
+    context : int
+        Representative attended context length of a decode step.
+    d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    batch : int
+        Sequences sharing each (verify) forward.
+    draft_cost_ratio : float
+        Cost of proposing one draft token, as a fraction of one baseline
+        decode step of the target model (``0`` = free drafting).
+    """
+
+    draft_tokens: int
+    accept_rate: float
+    context: int
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+    batch: int = 1
+    draft_cost_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.draft_tokens < 1:
+            raise ConfigurationError("draft_tokens must be >= 1")
+        if not 0.0 <= self.accept_rate <= 1.0:
+            raise ConfigurationError("accept_rate must lie in [0, 1]")
+        if self.draft_cost_ratio < 0.0:
+            raise ConfigurationError("draft_cost_ratio must be >= 0")
+        self.decode_workload()
+
+    def expected_tokens_per_step(self) -> float:
+        """Expected committed tokens per verify forward (accepted run + bonus)."""
+        p = self.accept_rate
+        k = self.draft_tokens
+        if p >= 1.0:
+            return float(k + 1)
+        return (1.0 - p ** (k + 1)) / (1.0 - p)
+
+    def decode_workload(self) -> DecodeWorkload:
+        """The baseline one-token decode step this workload replaces."""
+        return DecodeWorkload(
+            batch=self.batch,
+            context=self.context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def verify_workload(self) -> DecodeWorkload:
+        """The multi-token verify forward: ``batch x (k + 1)`` GEMM rows."""
+        return DecodeWorkload(
+            batch=self.batch * (self.draft_tokens + 1),
+            context=self.context + self.draft_tokens,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def speedup(self, device_name: str, num_groups: int = 8) -> Dict[str, float]:
+        """Per-scheme decode-throughput gain of speculation over plain decode.
+
+        Parameters
+        ----------
+        device_name : str
+            A key of :data:`repro.gpu.devices.GPU_SPECS`.
+        num_groups : int
+            Tender channel groups (forwarded to the per-scheme GEMM model).
+
+        Returns
+        -------
+        dict
+            ``{scheme: expected speedup}`` — above 1 when the expected
+            committed run outweighs the wider verify forward plus drafting.
+        """
+        decode = decode_step_latencies(self.decode_workload(), device_name, num_groups)
+        verify = decode_step_latencies(self.verify_workload(), device_name, num_groups)
+        expected = self.expected_tokens_per_step()
+        return {
+            scheme: expected
+            * decode[scheme].milliseconds
+            / (
+                verify[scheme].milliseconds
+                + self.draft_tokens * self.draft_cost_ratio * decode[scheme].milliseconds
+            )
+            for scheme in decode
+        }
+
+
+def speculative_throughput(
+    workload: SpeculativeWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Decode throughput per scheme with and without speculative decoding.
+
+    Parameters
+    ----------
+    workload : SpeculativeWorkload
+        The speculation scenario (draft length, accept rate, model shape).
+    device_name : str
+        A key of :data:`repro.gpu.devices.GPU_SPECS`.
+    num_groups : int
+        Tender channel groups (forwarded to the per-scheme GEMM model).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"baseline_tokens_per_s", "speculative_tokens_per_s",
+        "speedup", "expected_tokens_per_step"}}``.
+    """
+    decode = decode_step_latencies(workload.decode_workload(), device_name, num_groups)
+    verify = decode_step_latencies(workload.verify_workload(), device_name, num_groups)
+    expected = workload.expected_tokens_per_step()
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme in decode:
+        decode_s = decode[scheme].milliseconds * 1e-3
+        step_s = (
+            verify[scheme].milliseconds * 1e-3
+            + workload.draft_tokens * workload.draft_cost_ratio * decode_s
+        )
+        results[scheme] = {
+            "baseline_tokens_per_s": workload.batch / decode_s,
+            "speculative_tokens_per_s": workload.batch * expected / step_s,
+            "speedup": expected * decode_s / step_s,
+            "expected_tokens_per_step": expected,
         }
     return results
 

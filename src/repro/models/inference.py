@@ -389,6 +389,60 @@ class TransformerRunner:
         last = hidden[np.arange(batch), lengths - 1]
         return self._project("lm_head", last, self.weights.lm_head, None, start + lengths - 1)
 
+    def verify(
+        self,
+        tokens: np.ndarray,
+        cache: KVCacheLike,
+        start_positions: np.ndarray,
+    ) -> np.ndarray:
+        """Score a run of draft tokens per sequence in one forward pass.
+
+        The multi-token half of speculative decoding (``repro.serve.spec``):
+        row ``b`` of ``tokens`` is ``[pending, draft_1, ..., draft_k]`` — the
+        sequence's already-sampled next token followed by ``k`` speculated
+        continuations — and ``start_positions[b]`` is the row's committed
+        cache length (the position the pending token will occupy).  One
+        incremental forward, the same partial-prompt machinery chunked
+        prefill uses, scores every position: the returned logits have shape
+        ``(batch, new_len, vocab)`` and ``logits[b, j]`` predicts the token
+        at absolute position ``start_positions[b] + j + 1`` — rows ``0..k-1``
+        verify the drafts and row ``k`` is the *bonus* distribution after a
+        fully accepted run.  With ``new_len == 1`` this degenerates exactly
+        to :meth:`decode_step`.
+
+        Every provided token's KV is written to the cache (positions
+        ``start .. start + new_len - 1``) and ``cache.lengths`` advances to
+        ``start + new_len``; the caller rolls rejected positions back (e.g.
+        :meth:`repro.serve.paged_kv_cache.PagedKVCache.truncate`) after
+        deciding how many drafts survived.  Because quantization parameters
+        are looked up by *position* (see :meth:`decode_step`), the logits at
+        every position are bit-identical to the sequential decode steps they
+        replace for executors with statically-determined parameters —
+        greedy speculative decoding is therefore token-exact.
+
+        The batch must be rectangular: all rows carry ``new_len`` real
+        tokens.  Rows with fewer drafts belong in a separate (shorter) call
+        — padding a ragged verify would write garbage KV beyond a short
+        row's reservation.
+        """
+        if self.weights.lm_head is None:
+            raise ConfigurationError("model has no LM head; generation requires one")
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ConfigurationError("verify() expects (batch, new_len) token rows")
+        batch, new_len = tokens.shape
+        if new_len < 1:
+            raise ConfigurationError("verify() needs at least the pending token per row")
+        start = np.asarray(start_positions, dtype=np.int64).reshape(-1)
+        if start.shape[0] != batch:
+            raise ConfigurationError("start_positions must provide one position per row")
+        if np.any(start < 0):
+            raise ConfigurationError("start_positions must be >= 0")
+        positions = start[:, None] + np.arange(new_len, dtype=np.int64)[None, :]
+        hidden = self._incremental_backbone(tokens, cache, positions)
+        cache.lengths[:] = start + new_len
+        return self._project("lm_head", hidden, self.weights.lm_head, None, positions)
+
     def decode_step(self, tokens: np.ndarray, cache: KVCacheLike) -> np.ndarray:
         """Append one token per sequence and return next-token logits.
 

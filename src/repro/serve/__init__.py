@@ -14,9 +14,16 @@ Three layers, bottom up:
   free-list for cross-request KV reuse);
 * :class:`Scheduler` — the continuous-batching serving loop (FIFO
   admission, chunked prefill interleaved with decode, shared-prompt prefix
-  caching, mid-flight eviction);
+  caching, speculative draft-and-verify decoding, mid-flight eviction);
 * :class:`GenerationEngine` / :func:`generate` — the fixed-batch policy
   over the scheduler, returning a rectangular :class:`GenerationResult`.
+
+Speculative decoding (:mod:`repro.serve.spec`) plugs a
+:class:`DraftProposer` — :class:`PromptLookupDraft` n-gram lookup or a
+:class:`ModelDraft` small-model drafter — into the scheduler via
+``Scheduler(speculation=SpecConfig(...))``; greedy outputs stay
+bit-identical to non-speculative decoding for Tender implicit/explicit
+while k sequential decode forwards collapse into one verification forward.
 """
 
 from repro.serve.engine import GenerationEngine, GenerationResult, generate
@@ -29,17 +36,22 @@ from repro.serve.scheduler import (
     Scheduler,
     SchedulerStats,
 )
+from repro.serve.spec import DraftProposer, ModelDraft, PromptLookupDraft, SpecConfig
 
 __all__ = [
     "KVCache",
     "PagedKVCache",
     "SlotBatchView",
+    "DraftProposer",
     "GenerationConfig",
     "GenerationEngine",
     "GenerationResult",
+    "ModelDraft",
+    "PromptLookupDraft",
     "Request",
     "RequestOutput",
     "Scheduler",
     "SchedulerStats",
+    "SpecConfig",
     "generate",
 ]

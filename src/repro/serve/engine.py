@@ -36,6 +36,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.models.inference import TransformerRunner
 from repro.serve.scheduler import GenerationConfig, Request, Scheduler
+from repro.serve.spec import SpecConfig
 
 __all__ = ["GenerationConfig", "GenerationResult", "GenerationEngine", "generate"]
 
@@ -92,6 +93,12 @@ class GenerationEngine:
     prefill_chunk : int, optional
         Per-iteration prompt-token budget for chunked prefill (``None``
         prefills each prompt in one forward, as before).
+    speculation : SpecConfig, optional
+        Enable speculative decoding (see :mod:`repro.serve.spec`): the
+        scheduler drafts and verifies multi-token runs per decode
+        iteration.  Greedy outputs are bit-identical to non-speculative
+        decoding for Tender implicit/explicit — only the forward count
+        changes.
 
     Examples
     --------
@@ -106,10 +113,12 @@ class GenerationEngine:
         runner: TransformerRunner,
         prefix_cache: bool = False,
         prefill_chunk: Optional[int] = None,
+        speculation: Optional[SpecConfig] = None,
     ) -> None:
         self.runner = runner
         self.prefix_cache = bool(prefix_cache)
         self.prefill_chunk = prefill_chunk
+        self.speculation = speculation
 
     def generate(
         self,
@@ -155,6 +164,7 @@ class GenerationEngine:
             ),
             prefix_cache=self.prefix_cache,
             prefill_chunk=self.prefill_chunk,
+            speculation=self.speculation,
         )
         for prompt in prompts:
             scheduler.submit(Request(prompt=prompt))

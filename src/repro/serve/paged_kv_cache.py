@@ -463,6 +463,85 @@ class PagedKVCache:
         del self._lengths[slot]
         self._table_version += 1
 
+    def truncate(self, slot: int, new_length: int, min_capacity: int = 0) -> int:
+        """Roll ``slot`` back to ``new_length`` committed tokens.
+
+        The rollback primitive of speculative decoding: a verification
+        forward writes KV for every draft token optimistically, and the
+        rejected tail must be withdrawn without disturbing anything the
+        rollback does not cover.  Three cases compose:
+
+        * **Tail blocks** no longer needed to cover ``new_length`` (nor
+          ``min_capacity``) have their reference counts dropped; blocks that
+          reach zero join the LRU free-list exactly as :meth:`free` releases
+          them — published blocks stay matchable there, and ancestors of a
+          released block are never de-indexed.
+        * **Retained blocks** at or beyond the cut will be rewritten by this
+          slot's future decode steps.  A sole-owner (refcount 1) published
+          block there is de-indexed first — the same rule :meth:`reserve`
+          applies to a revived ``private_tail`` — and its rolled-back
+          positions are scrubbed to zero so the zeros-invariant dynamic
+          attention statistics rely on (see the module docstring) survives
+          speculation.  No copy-on-write happens here: a *shared*
+          (refcount > 1) block is left byte-for-byte intact — the rollback
+          only moves this slot's length, and any later write into it forks
+          a private copy through the ordinary COW path.
+
+        Parameters
+        ----------
+        slot : int
+            The slot to roll back.
+        new_length : int
+            Committed tokens to keep; must not exceed the current length.
+        min_capacity : int
+            Keep enough blocks to cover this many positions even when
+            ``new_length`` needs fewer.  The scheduler passes the slot's
+            reserved capacity so a mid-decode rollback never surrenders
+            blocks the admission-time reservation guaranteed.
+
+        Returns
+        -------
+        int
+            Number of block references released.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``new_length`` is negative or exceeds the committed length.
+        """
+        length = self._lengths[slot]
+        new_length = int(new_length)
+        if new_length < 0 or new_length > length:
+            raise ConfigurationError(
+                f"truncate target {new_length} outside slot {slot}'s committed "
+                f"length {length} (truncate only rolls back)"
+            )
+        table = self._tables[slot]
+        keep = min(self.blocks_needed(max(new_length, min_capacity, 1)), len(table))
+        released = len(table) - keep
+        for block in reversed(table[keep:]):
+            self._refcounts[block] -= 1
+            if self._refcounts[block] == 0:
+                self._release(block)
+        if released:
+            del table[keep:]
+            self._table_version += 1
+        first_cut = new_length // self.block_size if new_length < length else keep
+        for index in range(first_cut, keep):
+            block = table[index]
+            if self._refcounts[block] != 1:
+                continue  # shared: copy-on-write protects any later write
+            if block in self._block_key:
+                self._deindex(block)
+            begin = max(new_length - index * self.block_size, 0)
+            end = min(length - index * self.block_size, self.block_size)
+            if begin < end:
+                for layer in range(self.num_layers):
+                    self.key_blocks[layer][block][:, begin:end] = 0.0
+                    self.value_blocks[layer][block][:, begin:end] = 0.0
+        self._lengths[slot] = new_length
+        return released
+
     def set_length(self, slot: int, length: int) -> None:
         """Record that ``slot`` now holds ``length`` committed tokens."""
         if length > self.capacity_of(slot):

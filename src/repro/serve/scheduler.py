@@ -72,6 +72,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ResourceExhaustedError
 from repro.models.inference import TransformerRunner
 from repro.serve.paged_kv_cache import PagedKVCache, SlotBatchView
+from repro.serve.spec import SpecConfig, _SpecState
 
 
 @dataclass(frozen=True)
@@ -173,6 +174,10 @@ class RequestOutput:
     finished_at: float = 0.0
     #: Prompt tokens whose KV came from the prefix cache (0 when disabled).
     prefix_hit_tokens: int = 0
+    #: Draft tokens proposed / accepted for this request (0 when speculation
+    #: is disabled).
+    spec_proposed_tokens: int = 0
+    spec_accepted_tokens: int = 0
 
 
 @dataclass
@@ -189,8 +194,15 @@ class SchedulerStats:
     decode_iterations: int = 0
     #: Sum over decode iterations of the number of active slots.
     decode_slot_steps: int = 0
-    #: Tokens sampled (across prefill and decode logits).
+    #: Tokens sampled (across prefill, decode, and verification logits).
     generated_tokens: int = 0
+    #: Draft tokens proposed by the speculative drafter (0 when disabled).
+    spec_proposed_tokens: int = 0
+    #: Draft tokens the target model's sampling rule accepted.
+    spec_accepted_tokens: int = 0
+    #: Multi-token verification forwards executed (a subset of
+    #: ``decode_iterations``).
+    spec_verify_iterations: int = 0
     #: Requests completed.
     completed_requests: int = 0
     #: Largest number of concurrently admitted requests (prefilling + decoding).
@@ -208,9 +220,21 @@ class SchedulerStats:
         return self.generated_tokens / max(1, self.total_iterations)
 
     def prefix_hit_rate(self) -> float:
-        """Fraction of prompt tokens served from the prefix cache."""
+        """Fraction of prompt tokens served from the prefix cache.
+
+        A scheduler that has not prefilled anything yet (fresh, or idle
+        between traces) reports ``0.0`` rather than dividing by zero.
+        """
         looked_up = self.prefill_tokens + self.prefix_hit_tokens
-        return self.prefix_hit_tokens / max(1, looked_up)
+        if looked_up == 0:
+            return 0.0
+        return self.prefix_hit_tokens / looked_up
+
+    def spec_accept_rate(self) -> float:
+        """Fraction of proposed draft tokens accepted (0.0 before any draft)."""
+        if self.spec_proposed_tokens == 0:
+            return 0.0
+        return self.spec_accepted_tokens / self.spec_proposed_tokens
 
 
 class _ActiveRequest:
@@ -228,6 +252,7 @@ class _ActiveRequest:
         "prefill_pos",
         "prefix_hit_tokens",
         "prefill_view",
+        "spec",
     )
 
     def __init__(self, request: Request, slot: int, budget: int, seed: int, admitted_at: float) -> None:
@@ -243,6 +268,8 @@ class _ActiveRequest:
         self.prefix_hit_tokens = 0
         #: Batch-of-one view reused across this request's prefill chunks.
         self.prefill_view: Optional["SlotBatchView"] = None
+        #: Per-request adaptive speculation state (None when disabled).
+        self.spec: Optional[_SpecState] = None
 
 
 def _token_budget(prompt_len: int, max_new_tokens: int, max_seq_len: int) -> int:
@@ -300,6 +327,18 @@ class Scheduler:
         before running its decode iteration.  ``None`` (default) prefills a
         whole admitted prompt in one forward, as before; a small value
         keeps active decodes advancing while long prompts trickle in.
+    speculation : SpecConfig, optional
+        Enable speculative decoding (see :mod:`repro.serve.spec`): each
+        decode iteration consults the configured drafter per request and
+        verifies whole draft runs in multi-token forwards, committing
+        through the request's ordinary sampling rule so the token stream
+        (and the logits behind every committed token) match non-speculative
+        decoding exactly for Tender implicit/explicit.  Each iteration runs
+        at most one verification forward: every capable request joins it at
+        the depth of the longest proposal, shorter or absent proposals
+        padded with repeated-token guesses; draft lengths adapt per request
+        via an accept-rate EMA.  Chunked prefill interleaves unchanged —
+        speculation only alters the decode half of each :meth:`step`.
 
     Raises
     ------
@@ -327,6 +366,7 @@ class Scheduler:
         record_logits: bool = True,
         prefix_cache: bool = False,
         prefill_chunk: Optional[int] = None,
+        speculation: Optional[SpecConfig] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -334,6 +374,8 @@ class Scheduler:
             raise ConfigurationError(f"unknown scheduling policy {policy!r}")
         if prefill_chunk is not None and prefill_chunk < 1:
             raise ConfigurationError("prefill_chunk must be >= 1 (or None to disable)")
+        if speculation is not None and not isinstance(speculation, SpecConfig):
+            raise ConfigurationError("speculation must be a SpecConfig (or None)")
         self.runner = runner
         self.config = config or GenerationConfig()
         self.max_batch_size = int(max_batch_size)
@@ -341,6 +383,7 @@ class Scheduler:
         self.record_logits = record_logits
         self.prefix_cache = bool(prefix_cache)
         self.prefill_chunk = None if prefill_chunk is None else int(prefill_chunk)
+        self.speculation = speculation
         model_config = runner.config
         if num_blocks is None:
             self.cache = PagedKVCache.for_model(model_config, max_batch_size, block_size)
@@ -625,6 +668,8 @@ class Scheduler:
             state = _ActiveRequest(
                 head, slot, self._budget(head), self.config.seed, admitted_at=self.now
             )
+            if self.speculation is not None:
+                state.spec = _SpecState(draft_len=self.speculation.draft_tokens)
             state.prefill_pos = start
             state.prefix_hit_tokens = start
             self.stats.prefix_hit_tokens += start
@@ -685,20 +730,216 @@ class Scheduler:
 
     def _decode_iteration(self, finished: List[RequestOutput]) -> None:
         """One batched decode step over every active slot."""
-        slots = list(self._active)
-        view = self._decode_view
-        if view is None or view.slot_ids != slots:
-            view = self.cache.view(slots)
-            self._decode_view = view
-        states = [self._active[slot] for slot in slots]
+        if self.speculation is not None:
+            self._speculative_iteration(finished)
+            return
+        self._plain_decode_step(list(self._active.values()), finished)
+
+    def _plain_decode_step(
+        self, states: List[_ActiveRequest], finished: List[RequestOutput], cached: bool = True
+    ) -> None:
+        """One ordinary one-token decode forward over ``states``.
+
+        ``cached=False`` builds a throwaway view instead of touching the
+        reusable decode view (for transient sub-batches like the
+        final-budget-token rows of a speculative iteration).
+        """
+        slots = [state.slot for state in states]
+        view = self._view_for(slots) if cached else self.cache.view(slots)
         tokens = np.array([state.next_token for state in states], dtype=np.int64)
         logits = self.runner.decode_step(tokens, view)
         view.commit()
         self.stats.decode_iterations += 1
-        self.stats.decode_slot_steps += len(slots)
+        self.stats.decode_slot_steps += len(states)
         self.now += 1.0
         for row, state in enumerate(states):
             self._consume_logits(state, logits[row], finished)
+
+    def _view_for(self, slots: List[int]) -> SlotBatchView:
+        """The cached decode-batch view for ``slots`` (rebuilt on change)."""
+        view = self._decode_view
+        if view is None or view.slot_ids != slots:
+            view = self.cache.view(slots)
+            self._decode_view = view
+        return view
+
+    def _speculative_iteration(self, finished: List[RequestOutput]) -> None:
+        """One draft-and-verify iteration over every active slot.
+
+        Each request's drafter proposes up to ``draft_len`` tokens (capped
+        by the remaining token budget — drafting past it could only produce
+        tokens the budget would discard, and would write outside the
+        admission-time block reservation).  The iteration then runs as
+        *one* forward whenever it can:
+
+        * **Nobody drafted** — one ordinary batched decode step over the
+          whole batch, at exactly plain decode's cost.  Speculation never
+          adds forwards on traffic the drafter cannot read.
+        * **Somebody drafted** — one rectangular
+          :meth:`TransformerRunner.verify` forward over every capable row,
+          at the depth of the iteration's *longest* proposal (never deeper
+          than any participating row's remaining budget allows).  Rows with
+          shorter — or no — proposals of their own ride along on padding
+          (their last known token repeated as a guess): a *wrong* pad is
+          rejected exactly where the shorter draft would have stopped (a
+          lucky pad commits like any verified token, it just never counts
+          toward accept statistics), and even a fully-padded row still
+          commits its bonus token — the same one token the decode step it
+          replaced would have committed — so cold rows are never slowed
+          while warm rows sprint.  Splitting
+          the batch into separate verify and decode forwards instead would
+          double the iteration's forward count, and a cold row backfilling
+          a finished warm one makes that mixed state the steady state.
+
+        Only genuinely proposed tokens feed the accept-rate EMA and the
+        ``spec_*`` statistics — padding guesses are a batching artifact.
+        Rows at their very last budgeted token cannot write a draft run and
+        take a rare separate decode step.  Rejected positions are rolled
+        back with :meth:`PagedKVCache.truncate` — blocks are kept
+        (``min_capacity`` = the reservation) so the reserve-once guarantee
+        survives, while the rolled-back positions are scrubbed to zeros.
+        """
+        spec = self.speculation
+        states = list(self._active.values())
+        # remaining - 1 caps the useful draft depth: accepting a drafts
+        # plus the sampled bonus commits a + 1 <= remaining new tokens,
+        # and capacity was reserved for exactly that many cache writes.
+        caps = {
+            state.slot: min(state.spec.draft_len, state.budget - len(state.generated) - 1)
+            for state in states
+        }
+        capable = [state for state in states if caps[state.slot] >= 1]
+        proposals: Dict[int, np.ndarray] = {}
+        for state in capable:
+            sequence = np.concatenate(
+                [state.request.prompt, np.array(state.generated, dtype=np.int64)]
+            )
+            proposals[state.slot] = np.asarray(
+                spec.drafter.propose(
+                    state.request.request_id, sequence, caps[state.slot]
+                ),
+                dtype=np.int64,
+            ).reshape(-1)[: caps[state.slot]]
+        willing = {state.slot for state in capable if len(proposals[state.slot])}
+        if not willing:
+            self._plain_decode_step(states, finished)
+            return
+        final_token = [state for state in states if caps[state.slot] < 1]
+        if final_token:
+            self._plain_decode_step(final_token, finished, cached=False)
+        # The iteration's depth follows its most confident proposer, clipped
+        # only by what every participating row can still *write* (its
+        # remaining budget) — another row's adaptive draft length caps that
+        # row's own proposal, never the batch.
+        depth = min(
+            max(len(proposals[slot]) for slot in willing),
+            min(state.budget - len(state.generated) - 1 for state in capable),
+        )
+        drafts = []
+        for state in capable:
+            draft = proposals[state.slot][:depth]
+            if len(draft) < depth:
+                # Extend to the iteration depth with repeated-token guesses;
+                # a wrong pad is rejected exactly where the shorter draft
+                # would have stopped, so deep rows never wait on short ones.
+                filler = int(draft[-1]) if len(draft) else state.next_token
+                draft = np.concatenate(
+                    [draft, np.full(depth - len(draft), filler, dtype=np.int64)]
+                )
+            drafts.append(draft)
+        slots = [state.slot for state in capable]
+        view = self._view_for(slots)
+        self.stats.decode_iterations += 1
+        self.stats.decode_slot_steps += len(capable)
+        self.stats.spec_verify_iterations += 1
+        self.now += 1.0
+        starts = view.lengths.copy()
+        tokens = np.stack(
+            [
+                np.concatenate([[state.next_token], draft])
+                for state, draft in zip(capable, drafts)
+            ]
+        )
+        logits = self.runner.verify(tokens, view, starts)
+        # The runner advanced every row to start + depth + 1; commit that
+        # high-water mark first so truncate() knows how far the optimistic
+        # writes reached, then roll each row back to what its sampling rule
+        # actually committed.
+        view.commit()
+        outcomes = [
+            self._commit_verified(
+                state,
+                draft,
+                logits[row],
+                proposed=min(len(proposals[state.slot]), depth),
+            )
+            for row, (state, draft) in enumerate(zip(capable, drafts))
+        ]
+        for row, (state, (committed, reason)) in enumerate(zip(capable, outcomes)):
+            if reason is not None:
+                self._finalize(state, reason, finished)
+            else:
+                self.cache.truncate(
+                    state.slot,
+                    int(starts[row]) + committed,
+                    min_capacity=self.cache.capacity_of(state.slot),
+                )
+                view.lengths[row] = int(starts[row]) + committed
+
+    def _commit_verified(
+        self,
+        state: _ActiveRequest,
+        draft: np.ndarray,
+        logits_rows: np.ndarray,
+        proposed: Optional[int] = None,
+    ) -> Tuple[int, Optional[str]]:
+        """Commit verified tokens for one request, left to right.
+
+        Position ``j``'s token is sampled from ``logits_rows[j]`` exactly as
+        a sequential decode step would have sampled it (same logits, same
+        per-request generator state) — so the committed stream is identical
+        to non-speculative decoding, and the run simply stops at the first
+        token the drafter failed to predict.  ``proposed`` is the number of
+        leading draft positions the drafter genuinely proposed (the rest of
+        ``draft`` being batching pads): only those feed the accept-rate EMA
+        and the ``spec_*`` statistics.
+
+        Returns
+        -------
+        tuple of (int, str or None)
+            Committed token count and the finish reason (``None`` while the
+            request stays active).
+        """
+        num_drafts = len(draft)
+        if proposed is None:
+            proposed = num_drafts
+        committed = 0
+        accepted = 0
+        reason: Optional[str] = None
+        eos = self.config.eos_token
+        for position in range(num_drafts + 1):
+            token = _sample_token(logits_rows[position], self.config, state.rng)
+            state.generated.append(token)
+            if self.record_logits:
+                state.logits.append(np.asarray(logits_rows[position], dtype=np.float64).copy())
+            state.next_token = token
+            self.stats.generated_tokens += 1
+            committed += 1
+            matched = position < num_drafts and token == int(draft[position])
+            if matched and position < proposed:
+                accepted += 1
+            if eos is not None and token == eos:
+                reason = "eos"
+                break
+            if len(state.generated) >= state.budget:
+                reason = "length"
+                break
+            if not matched:
+                break
+        self.stats.spec_proposed_tokens += proposed
+        self.stats.spec_accepted_tokens += accepted
+        state.spec.observe(proposed, accepted, self.speculation)
+        return committed, reason
 
     def _consume_logits(
         self, state: _ActiveRequest, logits_row: np.ndarray, finished: List[RequestOutput]
@@ -721,6 +962,8 @@ class Scheduler:
         self._active.pop(state.slot, None)
         self._decode_view = None
         self.cache.free(state.slot)
+        if self.speculation is not None:
+            self.speculation.drafter.release(int(state.request.request_id))
         continuation = np.array(state.generated, dtype=np.int64)
         vocab = self.runner.config.vocab_size
         step_logits = (
@@ -742,5 +985,7 @@ class Scheduler:
                 admitted_at=state.admitted_at,
                 finished_at=self.now,
                 prefix_hit_tokens=state.prefix_hit_tokens,
+                spec_proposed_tokens=state.spec.proposed_tokens if state.spec else 0,
+                spec_accepted_tokens=state.spec.accepted_tokens if state.spec else 0,
             )
         )

@@ -250,3 +250,76 @@ class TestPrefixCacheWorkload:
             self.make(mean_new_tokens=0.0)
         with pytest.raises(ConfigurationError):
             self.make(batch=0)
+
+
+class TestSpeculativeWorkload:
+    @staticmethod
+    def make(**overrides):
+        from repro.gpu import SpeculativeWorkload
+
+        defaults = dict(
+            draft_tokens=4,
+            accept_rate=0.8,
+            context=160,
+            d_model=4096,
+            d_ff=16384,
+            num_heads=32,
+            num_layers=4,
+            batch=4,
+        )
+        defaults.update(overrides)
+        return SpeculativeWorkload(**defaults)
+
+    def test_expected_tokens_per_step(self):
+        # E[m] = (1 - p^(k+1)) / (1 - p): accepted run plus the bonus token.
+        workload = self.make(accept_rate=0.8, draft_tokens=4)
+        assert workload.expected_tokens_per_step() == pytest.approx(
+            (1.0 - 0.8**5) / 0.2
+        )
+        assert self.make(accept_rate=0.0).expected_tokens_per_step() == 1.0
+        assert self.make(accept_rate=1.0, draft_tokens=4).expected_tokens_per_step() == 5.0
+
+    def test_speedup_grows_with_accept_rate(self):
+        previous = None
+        for accept_rate in (0.0, 0.4, 0.8, 1.0):
+            speedup = self.make(accept_rate=accept_rate).speedup("rtx3090")["Tender SW"]
+            if previous is not None:
+                assert speedup > previous
+            previous = speedup
+
+    def test_zero_accept_rate_never_beats_plain_decode(self):
+        # One committed token per verify that is strictly wider than a
+        # decode step: speculation can only lose when nothing is accepted.
+        for scheme, speedup in self.make(accept_rate=0.0).speedup("rtx3090").items():
+            assert speedup < 1.0, scheme
+
+    def test_draft_cost_discounts_the_speedup(self):
+        free = self.make(draft_cost_ratio=0.0).speedup("a100")["Tender SW"]
+        paid = self.make(draft_cost_ratio=0.25).speedup("a100")["Tender SW"]
+        assert paid < free
+
+    def test_throughput_table_covers_every_scheme(self):
+        from repro.gpu import speculative_throughput
+
+        table = speculative_throughput(self.make(), "a100")
+        assert set(table) == {
+            "FP16",
+            "INT8 (per-tensor)",
+            "INT8 (per-row)",
+            "INT8 (per-channel)",
+            "Tender SW",
+        }
+        for row in table.values():
+            assert row["speculative_tokens_per_s"] > row["baseline_tokens_per_s"] > 0.0
+            assert row["speedup"] > 1.0
+            assert row["expected_tokens_per_step"] > 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.make(draft_tokens=0)
+        with pytest.raises(ConfigurationError):
+            self.make(accept_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            self.make(draft_cost_ratio=-0.1)
+        with pytest.raises(ConfigurationError):
+            self.make(batch=0)

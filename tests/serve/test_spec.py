@@ -1,0 +1,615 @@
+"""Tests of speculative draft-and-verify decoding over the paged KV cache.
+
+The correctness bar, matching the house style: speculative decoding must be
+**bit-identical** — generated tokens AND the logits behind every committed
+token — to non-speculative decoding for Tender's integer pipeline
+(implicit and explicit requantization), across draft lengths 1-8, prefix
+cache on/off, both shipped drafters, greedy and seeded top-k sampling, and
+eos-mid-draft.  The FP baseline's logits may differ by BLAS row-blocking
+noise only (its tokens still match on these traces).  Speculation changes
+*how many forwards* serving takes, never *what* it serves.
+
+Alongside the end-to-end sweeps: unit tests of the drafters, of
+``TransformerRunner.verify`` against sequential decode steps, and of the
+``PagedKVCache.truncate`` rollback primitive's refcount / COW / radix-index
+edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TenderConfig, TenderQuantizer
+from repro.errors import ConfigurationError
+from repro.models import TransformerRunner
+from repro.serve import (
+    GenerationConfig,
+    GenerationEngine,
+    KVCache,
+    ModelDraft,
+    PagedKVCache,
+    PromptLookupDraft,
+    Scheduler,
+    SpecConfig,
+)
+from repro.serve.spec import _SpecState
+
+
+def tender_runner(weights, calibration, implicit: bool) -> TransformerRunner:
+    config = TenderConfig(bits=8, num_groups=8, row_chunk_size=8)
+    return TenderQuantizer(config, implicit=implicit).quantize(weights, calibration)
+
+
+@pytest.fixture(scope="module")
+def runners(outlier_weights, calibration):
+    return {
+        "float": TransformerRunner(outlier_weights),
+        "tender-implicit": tender_runner(outlier_weights, calibration, implicit=True),
+        "tender-explicit": tender_runner(outlier_weights, calibration, implicit=False),
+    }
+
+
+@pytest.fixture(scope="module")
+def prompts(corpus_splits):
+    """Ragged prompts, including a repetitive one that drafts well."""
+    train_tokens, _ = corpus_splits
+    span = train_tokens[300:312]
+    return [
+        train_tokens[:18],
+        np.concatenate([span, span, span[:5]]),  # repetitive: lookup hits
+        train_tokens[50:61],
+        np.concatenate([train_tokens[100:108], train_tokens[100:108]]),
+    ]
+
+
+def serve_all(runner, prompts, config, *, speculation=None, **kwargs):
+    scheduler = Scheduler(
+        runner,
+        config,
+        max_batch_size=kwargs.pop("max_batch_size", 3),
+        block_size=kwargs.pop("block_size", 8),
+        speculation=speculation,
+        **kwargs,
+    )
+    for prompt in prompts:
+        scheduler.submit(prompt)
+    outputs = {output.request_id: output for output in scheduler.run()}
+    return outputs, scheduler
+
+
+# ----------------------------------------------------------------------
+# Drafters
+# ----------------------------------------------------------------------
+class TestPromptLookupDraft:
+    def test_proposes_continuation_of_most_recent_match(self):
+        drafter = PromptLookupDraft(max_ngram=3)
+        tokens = np.array([1, 2, 3, 9, 9, 1, 2, 3, 7, 8, 1, 2, 3])
+        draft = drafter.propose(0, tokens, 4)
+        # Suffix [1, 2, 3] most recently occurred at index 5; what followed
+        # it there is [7, 8, 1, 2] — the proposed continuation.
+        assert draft.tolist() == [7, 8, 1, 2]
+
+    def test_falls_back_to_shorter_ngrams(self):
+        drafter = PromptLookupDraft(max_ngram=3, min_ngram=1)
+        tokens = np.array([5, 6, 7, 5, 9])
+        # No earlier [7, 5, 9] or [5, 9]; unigram [9] has no earlier
+        # occurrence either -> no match on the last token... but [5] does
+        # occur earlier when the suffix shrinks to it?  The suffix is always
+        # the *last* n tokens, so the unigram suffix is [9]: no match.
+        assert drafter.propose(0, tokens, 4).size == 0
+        tokens = np.array([5, 6, 7, 9, 5])
+        draft = drafter.propose(0, tokens, 2)
+        # Unigram suffix [5] matched at index 0; continuation [6, 7].
+        assert draft.tolist() == [6, 7]
+
+    def test_respects_max_tokens_and_sequence_end(self):
+        drafter = PromptLookupDraft(max_ngram=2)
+        tokens = np.array([4, 4, 4, 4])
+        assert drafter.propose(0, tokens, 2).tolist() == [4, 4]
+        assert len(drafter.propose(0, tokens, 10)) <= 10
+        assert drafter.propose(0, tokens, 0).size == 0
+
+    def test_cycle_proposal_is_exact(self):
+        drafter = PromptLookupDraft()
+        cycle = [3, 1, 4, 1, 5]
+        tokens = np.array(cycle * 4)
+        draft = drafter.propose(0, tokens, 7)
+        expected = (cycle * 3)[:7]
+        assert draft.tolist() == expected
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ConfigurationError):
+            PromptLookupDraft(max_ngram=2, min_ngram=3)
+        with pytest.raises(ConfigurationError):
+            PromptLookupDraft(max_ngram=0)
+
+
+class TestModelDraft:
+    def test_proposals_match_fresh_greedy_decode(self, runners):
+        """Cached catch-up must equal drafting from scratch every time."""
+        runner = runners["float"]
+        drafter = ModelDraft(runner)
+        rng = np.random.default_rng(5)
+        sequence = rng.integers(0, runner.config.vocab_size, size=12)
+        draft = drafter.propose(7, sequence, 4)
+
+        # From-scratch reference: prefill everything, greedy-decode 4.
+        cache = KVCache.for_model(runner.config, batch_size=1)
+        runner.prefill(sequence[None, :], np.array([len(sequence)]), cache)
+        reference = []
+        token = int(sequence[-1])
+        cache.lengths[:] = len(sequence) - 1
+        logits = runner.decode_step(np.array([token]), cache)
+        for _ in range(4):
+            token = int(np.argmax(logits[0]))
+            reference.append(token)
+            logits = runner.decode_step(np.array([token]), cache)
+        assert draft.tolist() == reference
+
+        # Extend the sequence as if 2 drafts were accepted plus a correction,
+        # and re-propose: the rolled-back cache must give the same answer as
+        # a fresh drafter.
+        extended = np.concatenate([sequence, draft[:2], [int(draft[2]) ^ 1]])
+        continued = drafter.propose(7, extended, 3)
+        fresh = ModelDraft(runner).propose(7, extended, 3)
+        assert continued.tolist() == fresh.tolist()
+
+    def test_truncated_copy_shares_weights(self, runners):
+        runner = runners["float"]
+        drafter = ModelDraft.truncated(runner, 1)
+        assert drafter.runner.config.num_layers == 1
+        assert drafter.runner.weights.blocks[0] is runner.weights.blocks[0]
+        assert drafter.runner.weights.lm_head is runner.weights.lm_head
+        with pytest.raises(ConfigurationError):
+            ModelDraft.truncated(runner, 0)
+        with pytest.raises(ConfigurationError):
+            ModelDraft.truncated(runner, runner.config.num_layers + 1)
+
+    def test_respects_draft_model_max_seq_len(self, runners):
+        runner = runners["float"]
+        drafter = ModelDraft(runner)
+        near_limit = np.zeros(runner.config.max_seq_len - 2, dtype=np.int64)
+        assert len(drafter.propose(0, near_limit, 8)) <= 2
+
+    def test_release_drops_state(self, runners):
+        drafter = ModelDraft(runners["float"])
+        drafter.propose(3, np.array([1, 2, 3, 4]), 2)
+        assert 3 in drafter._states
+        drafter.release(3)
+        assert 3 not in drafter._states
+
+
+class TestSpecConfig:
+    def test_validation(self):
+        drafter = PromptLookupDraft()
+        with pytest.raises(ConfigurationError):
+            SpecConfig(drafter=drafter, min_draft=0)
+        with pytest.raises(ConfigurationError):
+            SpecConfig(drafter=drafter, draft_tokens=9, max_draft=8)
+        with pytest.raises(ConfigurationError):
+            SpecConfig(drafter=drafter, ema_decay=0.0)
+        with pytest.raises(ConfigurationError):
+            SpecConfig(drafter=drafter, grow_threshold=0.2, shrink_threshold=0.3)
+        with pytest.raises(ConfigurationError):
+            Scheduler(None, speculation="yes")  # type: ignore[arg-type]
+
+    def test_ema_adapts_draft_length(self):
+        config = SpecConfig(drafter=PromptLookupDraft(), draft_tokens=4, max_draft=8)
+        state = _SpecState(draft_len=4)
+        for _ in range(3):
+            state.observe(4, 4, config)
+        assert state.draft_len > 4
+        for _ in range(8):
+            state.observe(state.draft_len, 0, config)
+        assert state.draft_len == config.min_draft
+        state.observe(0, 0, config)  # no proposal: no change
+        assert state.draft_len == config.min_draft
+
+    def test_non_adaptive_pins_draft_length(self):
+        config = SpecConfig(
+            drafter=PromptLookupDraft(), draft_tokens=3, adaptive=False
+        )
+        state = _SpecState(draft_len=3)
+        for _ in range(5):
+            state.observe(3, 3, config)
+        assert state.draft_len == 3
+
+
+# ----------------------------------------------------------------------
+# TransformerRunner.verify vs sequential decode steps
+# ----------------------------------------------------------------------
+class TestVerifyForward:
+    @pytest.mark.parametrize("name", ["tender-implicit", "tender-explicit"])
+    def test_verify_logits_match_decode_steps_bitwise(self, runners, prompts, name):
+        runner = runners[name]
+        prompt = prompts[0]
+        drafts = np.array([7, 11, 13, 17])
+
+        # Sequential reference: prefill, then decode the pending token and
+        # each draft one step at a time.
+        cache_a = KVCache.for_model(runner.config, batch_size=1)
+        logits = runner.prefill(prompt[None, :], np.array([len(prompt)]), cache_a)
+        pending = int(np.argmax(logits[0]))
+        sequential = []
+        token = pending
+        for draft in list(drafts):
+            step = runner.decode_step(np.array([token]), cache_a)
+            sequential.append(step[0])
+            token = int(draft)
+        bonus = runner.decode_step(np.array([token]), cache_a)
+        sequential.append(bonus[0])
+
+        # One verify forward over [pending, drafts...].
+        cache_b = KVCache.for_model(runner.config, batch_size=1)
+        runner.prefill(prompt[None, :], np.array([len(prompt)]), cache_b)
+        row = np.concatenate([[pending], drafts])
+        verified = runner.verify(row[None, :], cache_b, np.array([len(prompt)]))
+        assert verified.shape == (1, len(drafts) + 1, runner.config.vocab_size)
+        for position, reference in enumerate(sequential):
+            assert np.array_equal(verified[0, position], reference), position
+        assert cache_b.lengths[0] == len(prompt) + len(drafts) + 1
+
+    def test_verify_float_close(self, runners, prompts):
+        runner = runners["float"]
+        prompt = prompts[2]
+        cache = KVCache.for_model(runner.config, batch_size=1)
+        logits = runner.prefill(prompt[None, :], np.array([len(prompt)]), cache)
+        pending = int(np.argmax(logits[0]))
+        reference = runner.decode_step(np.array([pending]), cache)
+
+        cache_b = KVCache.for_model(runner.config, batch_size=1)
+        runner.prefill(prompt[None, :], np.array([len(prompt)]), cache_b)
+        verified = runner.verify(
+            np.array([[pending, 3]]), cache_b, np.array([len(prompt)])
+        )
+        np.testing.assert_allclose(verified[0, 0], reference[0], atol=1e-12)
+
+    def test_verify_validation(self, runners):
+        runner = runners["float"]
+        cache = KVCache.for_model(runner.config, batch_size=1)
+        with pytest.raises(ConfigurationError):
+            runner.verify(np.array([1, 2]), cache, np.array([0]))  # 1-D tokens
+        with pytest.raises(ConfigurationError):
+            runner.verify(np.array([[1, 2]]), cache, np.array([0, 1]))
+        with pytest.raises(ConfigurationError):
+            runner.verify(np.array([[1, 2]]), cache, np.array([-1]))
+
+
+# ----------------------------------------------------------------------
+# PagedKVCache.truncate edge cases
+# ----------------------------------------------------------------------
+class TestTruncate:
+    def make_pool(self, **kwargs):
+        defaults = dict(num_layers=1, num_heads=1, d_head=4, block_size=4, num_blocks=8)
+        defaults.update(kwargs)
+        return PagedKVCache(**defaults)
+
+    def write_tokens(self, pool, slot, start, count, value=1.0):
+        keys = np.full((1, 1, count, 4), value)
+        positions = np.arange(start, start + count)[None, :]
+        pool.write(0, [slot], keys, keys, positions)
+
+    def test_rollback_frees_tail_block_at_boundary(self):
+        pool = self.make_pool()
+        slot = pool.reserve(12)  # 3 blocks
+        self.write_tokens(pool, slot, 0, 10)
+        pool.set_length(slot, 10)
+        free_before = pool.free_block_count
+        released = pool.truncate(slot, 8)  # exactly 2 blocks
+        assert released == 1
+        assert len(pool.block_table(slot)) == 2
+        assert pool.free_block_count == free_before + 1
+        assert pool.length_of(slot) == 8
+
+    def test_rollback_into_shared_block_triggers_no_cow(self):
+        pool = self.make_pool()
+        tokens = np.arange(8)
+        slot_a = pool.reserve(12)
+        self.write_tokens(pool, slot_a, 0, 8)
+        pool.set_length(slot_a, 8)
+        pool.publish_prefix(slot_a, tokens)
+        matched = pool.match_prefix(tokens)
+        assert len(matched) == 2
+        slot_b = pool.reserve(12, shared=matched)
+        pool.set_length(slot_b, 8)
+        table_before = pool.block_table(slot_b)
+        assert pool.ref_count(table_before[1]) == 2
+        # Roll slot B back into the shared second block: no copy, no scrub,
+        # no de-index — only the length moves (and the private tail block
+        # is released).
+        version_before = pool.table_version
+        pool.truncate(slot_b, 6)
+        assert pool.block_table(slot_b)[:2] == table_before[:2]
+        assert pool.ref_count(table_before[1]) == 2
+        assert pool.cached_block_count == 2
+        assert np.all(pool.key_blocks[0][table_before[1]] != 0.0)
+        assert pool.table_version > version_before  # tail release only
+
+    def test_rollback_of_published_prefix_stays_matchable(self):
+        pool = self.make_pool()
+        tokens = np.arange(12)
+        slot = pool.reserve(12)
+        self.write_tokens(pool, slot, 0, 12)
+        pool.set_length(slot, 12)
+        pool.publish_prefix(slot, tokens)
+        assert pool.cached_block_count == 3
+        chain = pool.block_table(slot)
+        released = pool.truncate(slot, 4)
+        assert released == 2
+        # Fully released published blocks keep their contents and index
+        # entries on the LRU: the whole chain still matches, anchored by the
+        # retained block (fully below the cut, so never de-indexed).
+        assert pool.match_prefix(tokens) == chain
+        assert pool.cached_block_count == 3
+
+    def test_rollback_inside_sole_owner_published_block_deindexes_it(self):
+        pool = self.make_pool()
+        tokens = np.arange(8)
+        slot = pool.reserve(8)
+        self.write_tokens(pool, slot, 0, 8)
+        pool.set_length(slot, 8)
+        pool.publish_prefix(slot, tokens)
+        assert len(pool.match_prefix(tokens)) == 2
+        pool.truncate(slot, 6)  # cut inside the second published block
+        # The cut block will be rewritten by its sole owner: de-indexed (and
+        # its rolled-back positions scrubbed); the first block survives.
+        assert len(pool.match_prefix(tokens)) == 1
+        block = pool.block_table(slot)[1]
+        assert np.all(pool.key_blocks[0][block][:, 2:] == 0.0)
+        assert np.all(pool.key_blocks[0][block][:, :2] != 0.0)
+
+    def test_min_capacity_keeps_blocks(self):
+        pool = self.make_pool()
+        slot = pool.reserve(12)
+        self.write_tokens(pool, slot, 0, 10)
+        pool.set_length(slot, 10)
+        released = pool.truncate(slot, 5, min_capacity=12)
+        assert released == 0
+        assert len(pool.block_table(slot)) == 3
+        assert pool.length_of(slot) == 5
+        # The rolled-back region is scrubbed so later dynamic-quantization
+        # windows see zeros, not stale draft KV.
+        blocks = pool.block_table(slot)
+        assert np.all(pool.key_blocks[0][blocks[1]][:, 1:] == 0.0)
+        assert np.all(pool.key_blocks[0][blocks[2]] == 0.0)
+        # Writes within the kept capacity still succeed afterwards.
+        self.write_tokens(pool, slot, 5, 7)
+
+    def test_truncate_validation(self):
+        pool = self.make_pool()
+        slot = pool.reserve(8)
+        pool.set_length(slot, 4)
+        with pytest.raises(ConfigurationError):
+            pool.truncate(slot, 5)
+        with pytest.raises(ConfigurationError):
+            pool.truncate(slot, -1)
+        # A same-length truncate is legal; without min_capacity it still
+        # returns spare capacity blocks past the committed length.
+        assert pool.truncate(slot, 4, min_capacity=8) == 0
+        assert pool.truncate(slot, 4) == 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity
+# ----------------------------------------------------------------------
+class TestSpeculativeParity:
+    """Speculation must never change what gets served."""
+
+    @pytest.mark.parametrize("name", ["tender-implicit", "tender-explicit"])
+    @pytest.mark.parametrize("prefix_cache", [False, True])
+    def test_tokens_and_logits_bit_identical_across_draft_lengths(
+        self, runners, prompts, name, prefix_cache
+    ):
+        runner = runners[name]
+        config = GenerationConfig(max_new_tokens=10)
+        baseline, _ = serve_all(runner, prompts, config, prefix_cache=prefix_cache)
+        for draft_tokens in range(1, 9):
+            speculation = SpecConfig(
+                drafter=PromptLookupDraft(),
+                draft_tokens=draft_tokens,
+                max_draft=8,
+            )
+            outputs, scheduler = serve_all(
+                runner,
+                prompts,
+                config,
+                prefix_cache=prefix_cache,
+                speculation=speculation,
+            )
+            for request_id, reference in baseline.items():
+                produced = outputs[request_id]
+                assert np.array_equal(reference.generated, produced.generated), (
+                    f"draft_tokens={draft_tokens} request={request_id}"
+                )
+                assert np.array_equal(reference.step_logits, produced.step_logits), (
+                    f"draft_tokens={draft_tokens} request={request_id}"
+                )
+
+    @pytest.mark.parametrize("name", ["tender-implicit", "tender-explicit"])
+    def test_model_draft_parity(self, runners, prompts, name):
+        runner = runners[name]
+        config = GenerationConfig(max_new_tokens=8)
+        baseline, _ = serve_all(runner, prompts, config)
+        for drafter in (ModelDraft(runners["float"]), ModelDraft.truncated(runner, 1)):
+            speculation = SpecConfig(drafter=drafter, draft_tokens=3, max_draft=6)
+            outputs, _ = serve_all(runner, prompts, config, speculation=speculation)
+            for request_id, reference in baseline.items():
+                assert np.array_equal(
+                    reference.generated, outputs[request_id].generated
+                )
+                assert np.array_equal(
+                    reference.step_logits, outputs[request_id].step_logits
+                )
+
+    def test_float_tokens_identical(self, runners, prompts):
+        runner = runners["float"]
+        config = GenerationConfig(max_new_tokens=10)
+        baseline, _ = serve_all(runner, prompts, config)
+        outputs, _ = serve_all(
+            runner,
+            prompts,
+            config,
+            speculation=SpecConfig(drafter=PromptLookupDraft()),
+        )
+        for request_id, reference in baseline.items():
+            assert np.array_equal(reference.generated, outputs[request_id].generated)
+            np.testing.assert_allclose(
+                reference.step_logits, outputs[request_id].step_logits, atol=1e-12
+            )
+
+    def test_seeded_top_k_parity(self, runners, prompts):
+        """The sampled stream (and rng consumption) matches step for step."""
+        runner = runners["tender-implicit"]
+        config = GenerationConfig(max_new_tokens=9, top_k=4, temperature=0.8, seed=21)
+        baseline, _ = serve_all(runner, prompts, config)
+        outputs, _ = serve_all(
+            runner,
+            prompts,
+            config,
+            speculation=SpecConfig(drafter=PromptLookupDraft(), draft_tokens=5, max_draft=8),
+        )
+        for request_id, reference in baseline.items():
+            assert np.array_equal(reference.generated, outputs[request_id].generated)
+            assert np.array_equal(reference.step_logits, outputs[request_id].step_logits)
+
+    def test_eos_mid_draft_parity(self, runners, prompts):
+        runner = runners["tender-implicit"]
+        plain, _ = serve_all(runner, prompts, GenerationConfig(max_new_tokens=12))
+        # Pick an eos token that actually occurs mid-continuation somewhere.
+        eos = None
+        for output in plain.values():
+            if output.num_steps >= 3:
+                eos = int(output.generated[2])
+                break
+        assert eos is not None
+        config = GenerationConfig(max_new_tokens=12, eos_token=eos)
+        baseline, _ = serve_all(runner, prompts, config)
+        outputs, _ = serve_all(
+            runner,
+            prompts,
+            config,
+            speculation=SpecConfig(drafter=PromptLookupDraft(), draft_tokens=6, max_draft=8),
+        )
+        for request_id, reference in baseline.items():
+            produced = outputs[request_id]
+            assert reference.finish_reason == produced.finish_reason
+            assert np.array_equal(reference.generated, produced.generated)
+            assert np.array_equal(reference.step_logits, produced.step_logits)
+
+    def test_chunked_prefill_and_speculation_compose(self, runners, prompts):
+        runner = runners["tender-implicit"]
+        config = GenerationConfig(max_new_tokens=8)
+        baseline, _ = serve_all(runner, prompts, config)
+        outputs, _ = serve_all(
+            runner,
+            prompts,
+            config,
+            prefix_cache=True,
+            prefill_chunk=5,
+            speculation=SpecConfig(drafter=PromptLookupDraft()),
+        )
+        for request_id, reference in baseline.items():
+            assert np.array_equal(reference.generated, outputs[request_id].generated)
+            assert np.array_equal(reference.step_logits, outputs[request_id].step_logits)
+
+
+# ----------------------------------------------------------------------
+# Scheduler behavior and accounting
+# ----------------------------------------------------------------------
+class TestSpeculativeScheduling:
+    def test_repetitive_trace_reduces_decode_iterations(self, runners, corpus_splits):
+        """An extractive trace (prompt embeds the model's own continuation)."""
+        runner = runners["tender-implicit"]
+        train_tokens, _ = corpus_splits
+        seeds = [train_tokens[i * 31 : i * 31 + 12] for i in range(3)]
+        warm = GenerationEngine(runner).generate(
+            seeds, GenerationConfig(max_new_tokens=24)
+        )
+        repetitive = [
+            np.concatenate([seed, continuation])
+            for seed, continuation in zip(seeds, warm.generated)
+        ]
+        config = GenerationConfig(max_new_tokens=16)
+        _, plain = serve_all(runner, repetitive, config)
+        _, spec = serve_all(
+            runner,
+            repetitive,
+            config,
+            speculation=SpecConfig(drafter=PromptLookupDraft()),
+        )
+        assert spec.stats.decode_iterations < plain.stats.decode_iterations
+        assert spec.stats.spec_verify_iterations > 0
+        assert spec.stats.spec_accept_rate() > 0.0
+        assert spec.stats.generated_tokens == plain.stats.generated_tokens
+
+    def test_accept_stats_in_outputs(self, runners, prompts):
+        runner = runners["tender-implicit"]
+        outputs, scheduler = serve_all(
+            runner,
+            prompts,
+            GenerationConfig(max_new_tokens=10),
+            speculation=SpecConfig(drafter=PromptLookupDraft()),
+        )
+        assert scheduler.stats.spec_proposed_tokens == sum(
+            output.spec_proposed_tokens for output in outputs.values()
+        )
+        assert scheduler.stats.spec_accepted_tokens == sum(
+            output.spec_accepted_tokens for output in outputs.values()
+        )
+        rate = scheduler.stats.spec_accept_rate()
+        assert 0.0 <= rate <= 1.0
+
+    def test_drafter_released_per_request(self, runners, prompts):
+        runner = runners["tender-implicit"]
+
+        class RecordingDrafter(PromptLookupDraft):
+            def __init__(self):
+                super().__init__()
+                self.released = []
+
+            def release(self, request_id):
+                self.released.append(request_id)
+
+        drafter = RecordingDrafter()
+        outputs, _ = serve_all(
+            runner,
+            prompts,
+            GenerationConfig(max_new_tokens=6),
+            speculation=SpecConfig(drafter=drafter),
+        )
+        assert sorted(drafter.released) == sorted(outputs)
+
+    def test_speculation_never_writes_past_reservation(self, runners, prompts):
+        """Tight budgets exercise the depth clamp at every remaining count."""
+        runner = runners["tender-implicit"]
+        for budget in (1, 2, 3):
+            config = GenerationConfig(max_new_tokens=budget)
+            baseline, _ = serve_all(runner, prompts, config)
+            outputs, _ = serve_all(
+                runner,
+                prompts,
+                config,
+                speculation=SpecConfig(drafter=PromptLookupDraft(), draft_tokens=8, max_draft=8),
+            )
+            for request_id, reference in baseline.items():
+                assert np.array_equal(reference.generated, outputs[request_id].generated)
+
+    def test_engine_passes_speculation_through(self, runners, prompts):
+        runner = runners["tender-implicit"]
+        config = GenerationConfig(max_new_tokens=8)
+        baseline = GenerationEngine(runner).generate(prompts, config)
+        engine = GenerationEngine(
+            runner, speculation=SpecConfig(drafter=PromptLookupDraft())
+        )
+        result = engine.generate(prompts, config)
+        for reference, produced in zip(baseline.generated, result.generated):
+            assert np.array_equal(reference, produced)
+        assert np.array_equal(baseline.step_logits, result.step_logits)
+
+
+class TestStatsGuards:
+    def test_prefix_hit_rate_zero_when_idle(self, runners):
+        scheduler = Scheduler(runners["float"])
+        assert scheduler.stats.prefix_hit_rate() == 0.0
+        assert scheduler.stats.spec_accept_rate() == 0.0

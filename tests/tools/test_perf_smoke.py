@@ -35,3 +35,4 @@ class TestPerfSmoke:
         assert result.returncode == 0, f"perf smoke failed:\n{result.stdout}{result.stderr}"
         assert "perf smoke ok (fast decode path" in result.stdout
         assert "perf smoke ok (prefix cache served" in result.stdout
+        assert "perf smoke ok (speculation accepted" in result.stdout

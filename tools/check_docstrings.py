@@ -12,7 +12,8 @@ the handful of ``D`` rules the serving API is held to, over the AST:
 * D400  the summary line ends with a period
 * D419  docstring is non-empty
 
-Scope defaults to the public serving API (``src/repro/serve``), the GPU
+Scope defaults to the public serving API (``src/repro/serve``, which
+includes the speculative-decoding subsystem ``serve/spec.py``), the GPU
 latency models (``src/repro/gpu``), and the fast kernel layer
 (``src/repro/core/kernels.py``); pass paths to override:
 

@@ -26,6 +26,17 @@ Two checks run back to back:
    hits — exactly the regression this catches), and chunked prefill must
    keep active decodes advancing every iteration.
 
+3. **Speculative decoding** — serves a repetition-heavy trace (random
+   weights again, but with *periodic position embeddings* so greedy
+   generation provably enters a short cycle — no training needed) with
+   ``speculation=SpecConfig(PromptLookupDraft())`` and gates on the
+   deterministic accounting: generated tokens must be bit-identical to the
+   non-speculative run (with and without the prefix cache), the drafter's
+   accept rate must clear a floor, and the decode forward count must
+   actually drop — a broken verify/rollback path fails parity, a broken
+   drafter silently degrades to zero accepts, and both fail here instead
+   of shipping.
+
 Exit status 0 when clean; 1 with a one-line diagnosis otherwise.
 """
 
@@ -45,6 +56,10 @@ ATTEMPTS = 4
 #: The prefix cache must serve at least this fraction of the shared trace's
 #: prompt tokens (the trace is built with ~78% overlap).
 REQUIRED_HIT_RATE = 0.5
+#: The prompt-lookup drafter must land at least this fraction of its draft
+#: tokens on the periodic trace (measured ~0.9; the generation is a strict
+#: cycle, so a healthy drafter cannot miss).
+REQUIRED_ACCEPT_RATE = 0.5
 
 
 def _tiny_serving_runner():
@@ -98,23 +113,146 @@ def _tiny_serving_runner():
     return TransformerRunner(weights)
 
 
-def _serve(runner, prompts, prefix_cache, prefill_chunk=None):
+def _serve(runner, prompts, prefix_cache, prefill_chunk=None, speculation=None, max_new_tokens=3):
     """One scheduler run over ``prompts``; returns (outputs by id, stats)."""
     from repro.serve import GenerationConfig, Scheduler
 
     scheduler = Scheduler(
         runner,
-        GenerationConfig(max_new_tokens=3),
+        GenerationConfig(max_new_tokens=max_new_tokens),
         max_batch_size=3,
         block_size=8,
         prefix_cache=prefix_cache,
         prefill_chunk=prefill_chunk,
+        speculation=speculation,
         record_logits=False,
     )
     for prompt in prompts:
         scheduler.submit(prompt)
     outputs = {output.request_id: output for output in scheduler.run()}
     return outputs, scheduler.stats
+
+
+def _periodic_spec_runner(period: int = 7):
+    """A random-weight runner whose greedy generation provably cycles.
+
+    The position embedding repeats every ``period`` positions and dominates
+    the (deliberately small) token embeddings and attention weights, so the
+    residual stream — and therefore the greedy next token — is essentially
+    a function of ``position mod period``: generation enters a strict
+    ``period``-cycle immediately.  That gives the speculative gate a
+    repetition-heavy workload that needs no training and cannot drift.
+    """
+    from repro.models.inference import TransformerRunner
+    from repro.models.weights import (
+        AttentionWeights,
+        BlockWeights,
+        FeedForwardWeights,
+        LayerNormWeights,
+        ModelWeights,
+    )
+    from repro.nn import TransformerConfig
+
+    config = TransformerConfig(
+        vocab_size=64, d_model=32, num_heads=2, num_layers=2, d_ff=64, max_seq_len=128, seed=0
+    )
+    rng = np.random.default_rng(7)
+
+    def dense(shape, scale=0.05):
+        return rng.normal(scale=scale, size=shape)
+
+    def norm():
+        return LayerNormWeights(gain=np.ones(config.d_model), bias=np.zeros(config.d_model))
+
+    pattern = rng.normal(scale=1.0, size=(period, config.d_model))
+    position = np.tile(pattern, (config.max_seq_len // period + 1, 1))[: config.max_seq_len]
+    blocks = [
+        BlockWeights(
+            ln_attn=norm(),
+            attn=AttentionWeights(
+                wq=dense((config.d_model, config.d_model)), bq=np.zeros(config.d_model),
+                wk=dense((config.d_model, config.d_model)), bk=np.zeros(config.d_model),
+                wv=dense((config.d_model, config.d_model)), bv=np.zeros(config.d_model),
+                wo=dense((config.d_model, config.d_model)), bo=np.zeros(config.d_model),
+            ),
+            ln_ffn=norm(),
+            ffn=FeedForwardWeights(
+                w1=dense((config.d_model, config.d_ff)), b1=np.zeros(config.d_ff),
+                w2=dense((config.d_ff, config.d_model)), b2=np.zeros(config.d_model),
+            ),
+        )
+        for _ in range(config.num_layers)
+    ]
+    weights = ModelWeights(
+        config=config,
+        token_embedding=dense((config.vocab_size, config.d_model)),
+        position_embedding=position,
+        blocks=blocks,
+        ln_final=norm(),
+        lm_head=rng.normal(scale=0.5, size=(config.d_model, config.vocab_size)),
+    )
+    return TransformerRunner(weights)
+
+
+def check_speculative_smoke() -> int:
+    """Deterministic speculative-decoding parity and accept-rate gate."""
+    from repro.serve import GenerationConfig, GenerationEngine, PromptLookupDraft, SpecConfig
+
+    runner = _periodic_spec_runner()
+    rng = np.random.default_rng(11)
+    seeds = [rng.integers(0, 64, size=8) for _ in range(6)]
+    # Two-pass extractive trace: embed each request's own continuation in
+    # its prompt so the drafter can read the cycle from the first step.
+    warm = GenerationEngine(runner).generate(seeds, GenerationConfig(max_new_tokens=16))
+    prompts = [np.concatenate([seed, body]) for seed, body in zip(seeds, warm.generated)]
+
+    def speculation():
+        return SpecConfig(drafter=PromptLookupDraft(), draft_tokens=4, max_draft=8)
+
+    outputs_off, stats_off = _serve(runner, prompts, prefix_cache=False, max_new_tokens=16)
+    outputs_on, stats_on = _serve(
+        runner, prompts, prefix_cache=False, speculation=speculation(), max_new_tokens=16
+    )
+    for request_id, output in outputs_off.items():
+        if not np.array_equal(output.generated, outputs_on[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"under speculative decoding"
+            )
+            return 1
+    accept_rate = stats_on.spec_accept_rate()
+    if accept_rate < REQUIRED_ACCEPT_RATE:
+        print(
+            f"perf smoke FAILED: drafter accept rate {accept_rate:.0%} on the periodic "
+            f"trace (required >= {REQUIRED_ACCEPT_RATE:.0%}) — drafting or verification regressed"
+        )
+        return 1
+    if stats_on.decode_iterations >= stats_off.decode_iterations:
+        print(
+            "perf smoke FAILED: speculation did not reduce decode forwards "
+            f"({stats_on.decode_iterations} vs {stats_off.decode_iterations})"
+        )
+        return 1
+    outputs_combo, _ = _serve(
+        runner,
+        prompts,
+        prefix_cache=True,
+        prefill_chunk=8,
+        speculation=speculation(),
+        max_new_tokens=16,
+    )
+    for request_id, output in outputs_off.items():
+        if not np.array_equal(output.generated, outputs_combo[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"with speculation + prefix cache + chunked prefill combined"
+            )
+            return 1
+    print(
+        f"perf smoke ok (speculation accepted {accept_rate:.0%} of drafts, "
+        f"{stats_off.decode_iterations} -> {stats_on.decode_iterations} decode forwards)"
+    )
+    return 0
 
 
 def check_serving_smoke() -> int:
@@ -199,7 +337,7 @@ def check_fast_kernels() -> int:
 
 def main() -> int:
     """Run every smoke gate; first failure wins."""
-    return check_fast_kernels() or check_serving_smoke()
+    return check_fast_kernels() or check_serving_smoke() or check_speculative_smoke()
 
 
 if __name__ == "__main__":
