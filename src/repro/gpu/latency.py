@@ -691,6 +691,136 @@ def speculative_throughput(
     return results
 
 
+# ----------------------------------------------------------------------
+# Gather-free paged attention workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PagedAttentionWorkload:
+    """A decode step whose KV history lives in paged block storage.
+
+    Models the two serving realisations in ``repro.serve``: the *gather*
+    reference fancy-indexes every slot's KV blocks into a dense per-view
+    copy before the attention matmuls (one read of the pool plus one write
+    of the copy, for K and V, per layer, per step), while the *fused* path
+    (:func:`repro.core.kernels.paged_attention`) multiplies strided views
+    of consecutive-block runs straight out of the pool and moves no KV
+    bytes at all.  The attention GEMMs themselves are identical, so the
+    analytic speedup is pure memory traffic: the gathered copy is
+    ``O(batch x heads x context x d_head)`` per layer *per generated
+    token*, which is why the gap — like the KV-cache read itself — grows
+    linearly with context length while the projection GEMMs stay fixed.
+
+    Parameters
+    ----------
+    batch, context, d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    kv_bytes_per_element : int
+        Bytes per stored KV scalar (2 for FP16 serving).
+    """
+
+    batch: int
+    context: int
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+    kv_bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kv_bytes_per_element < 1:
+            raise ConfigurationError("kv_bytes_per_element must be >= 1")
+        # Delegate the remaining dimension checks to DecodeWorkload.
+        self.decode_workload()
+
+    def decode_workload(self) -> DecodeWorkload:
+        """The per-step GEMM workload (identical on both paths)."""
+        return DecodeWorkload(
+            batch=self.batch,
+            context=self.context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def with_context(self, context: int) -> "PagedAttentionWorkload":
+        """The same workload at a different attended context length."""
+        return PagedAttentionWorkload(
+            batch=self.batch,
+            context=context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+            kv_bytes_per_element=self.kv_bytes_per_element,
+        )
+
+    def gather_bytes_per_step(self) -> int:
+        """Dense KV bytes the gather path moves per decode step.
+
+        Each layer copies the attended K and V histories out of the pool
+        into a contiguous buffer: one read of the blocks plus one write of
+        the copy, both ``batch * heads * context * d_head`` elements.
+        This is exactly the traffic ``PagedKVCache.gather_bytes`` tallies
+        (doubled for the read), and exactly what the fused path avoids.
+        """
+        dense = (
+            self.batch
+            * self.num_heads
+            * self.context
+            * self.decode_workload().d_head
+            * self.kv_bytes_per_element
+        )
+        return self.num_layers * 2 * 2 * dense  # K and V, read + write
+
+    def gather_ms(self, device: GPUSpec) -> float:
+        """Time the per-step gather traffic occupies on the memory bus."""
+        return self.gather_bytes_per_step() / (device.memory_bandwidth_gbps * 1e9) * 1e3
+
+
+def paged_attention_throughput(
+    workload: PagedAttentionWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Decode throughput per scheme with gathered vs in-place paged KV.
+
+    Parameters
+    ----------
+    workload : PagedAttentionWorkload
+        The decode scenario (model shape, context, KV precision).
+    device_name : str
+        A key of :data:`repro.gpu.devices.GPU_SPECS`.
+    num_groups : int
+        Tender channel groups (forwarded to the per-scheme GEMM model).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"gather_tokens_per_s", "fused_tokens_per_s",
+        "speedup", "gather_bytes_per_step"}}`` — the speedup is
+        scheme-independent in the GEMMs and grows with context because the
+        avoided copy does while the projections stay fixed.
+    """
+    device = get_gpu(device_name)
+    step = decode_step_latencies(workload.decode_workload(), device_name, num_groups)
+    gather_ms = workload.gather_ms(device)
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme, latency in step.items():
+        fused_s = latency.milliseconds * 1e-3
+        gather_s = (latency.milliseconds + gather_ms) * 1e-3
+        results[scheme] = {
+            "gather_tokens_per_s": workload.batch / gather_s,
+            "fused_tokens_per_s": workload.batch / fused_s,
+            "speedup": gather_s / fused_s,
+            "gather_bytes_per_step": float(workload.gather_bytes_per_step()),
+        }
+    return results
+
+
 def continuous_batch_throughput(
     workload: ContinuousBatchWorkload,
     device_name: str,

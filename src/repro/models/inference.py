@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro.core.kernels import paged_attention
 from repro.errors import ConfigurationError
 from repro.models.weights import ModelWeights
 from repro.quant.observers import ActivationObserver
@@ -73,6 +74,10 @@ class MatmulExecutor(Protocol):
 
 class FloatExecutor:
     """The FP16/FP32 baseline: plain floating-point matrix multiplication."""
+
+    #: ``attention_matmul`` is a plain product, so the runner may replace the
+    #: gather-then-dense attention with the fused paged kernel.
+    plain_attention = True
 
     def project(self, name, x, weight, bias):
         out = x @ weight
@@ -137,6 +142,12 @@ class TransformerRunner:
         self.weights = weights
         self.config = weights.config
         self.executor = executor if executor is not None else FloatExecutor()
+        #: Read KV straight from paged-block storage during cached attention
+        #: (see :func:`repro.core.kernels.paged_attention`).  Takes effect
+        #: only when both the executor (``plain_attention``) and the cache
+        #: (``supports_paged_attention``) allow it; clear it to force the
+        #: gather-then-dense reference path.
+        self.fused_paged_attention = True
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -297,22 +308,37 @@ class TransformerRunner:
 
         queries, keys, values = split(queries), split(keys), split(values)
         cache.write(index, keys, values, positions)
-        attended = int(positions.max()) + 1
-        cached_keys, cached_values = cache.view(index, attended)
-
-        scores = self.executor.attention_matmul(
-            f"{prefix}.qk", queries, np.swapaxes(cached_keys, -1, -2)
-        ) / np.sqrt(config.d_head)
-        hidden_slots = np.arange(attended)[None, None, None, :] > positions[:, None, :, None]
-        scores = np.where(hidden_slots, -1e9, scores)
-        attention = softmax(scores, axis=-1)
-        if valid is not None and not valid.all():
-            # Padded probability rows see a wider causal window than the row
-            # they were duplicated from; replace them with the first (valid)
-            # row's probabilities so dynamically-quantized X_S X_V statistics
-            # stay independent of batching.
-            attention = np.where(valid[:, None, :, None], attention, attention[:, :, :1, :])
-        context = self.executor.attention_matmul(f"{prefix}.sv", attention, cached_values)
+        if (
+            self.fused_paged_attention
+            and getattr(self.executor, "plain_attention", False)
+            and getattr(cache, "supports_paged_attention", False)
+        ):
+            # Both attention products are plain matmuls, so read K/V straight
+            # from block storage — no dense gather.  Operands are fetched
+            # *after* the write: any copy-on-write fork the write triggered is
+            # already reflected in the run table.
+            key_pool, value_pool, runs, block_size = cache.attention_operands(index)
+            context = paged_attention(
+                queries, key_pool, value_pool, runs, block_size, positions, valid
+            )
+        else:
+            attended = int(positions.max()) + 1
+            cached_keys, cached_values = cache.view(index, attended)
+            scores = self.executor.attention_matmul(
+                f"{prefix}.qk", queries, np.swapaxes(cached_keys, -1, -2)
+            ) / np.sqrt(config.d_head)
+            hidden_slots = np.arange(attended)[None, None, None, :] > positions[:, None, :, None]
+            scores = np.where(hidden_slots, -1e9, scores)
+            attention = softmax(scores, axis=-1)
+            if valid is not None and not valid.all():
+                # Padded probability rows see a wider causal window than the
+                # row they were duplicated from; replace them with the first
+                # (valid) row's probabilities so dynamically-quantized X_S X_V
+                # statistics stay independent of batching.
+                attention = np.where(
+                    valid[:, None, :, None], attention, attention[:, :, :1, :]
+                )
+            context = self.executor.attention_matmul(f"{prefix}.sv", attention, cached_values)
         context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, config.d_model)
         return self._project(f"{prefix}.out_proj", context, block.attn.wo, block.attn.bo, positions)
 

@@ -51,8 +51,20 @@ Two pieces cooperate:
   knowing anything about paging.  The view precomputes a dense
   ``(row, block index) -> physical block`` table so ``gather`` is one fancy
   index per layer and ``write`` one scatter — refreshed only when the pool's
-  block topology actually changes (reserve/free/copy-on-write), never per
-  decode iteration.
+  block topology actually changes (reserve/free/copy-on-write/truncate),
+  never per decode iteration.
+
+Since the fused-paged-attention PR the pool's physical layout is
+``(num_heads, num_blocks, block_size, d_head)`` — heads outermost — so a run
+of *consecutive* physical blocks is one zero-copy reshape away from the
+``(num_heads, run_len x block_size, d_head)`` operand an attention matmul
+wants.  :meth:`SlotBatchView.attention_operands` exposes the pool arrays
+plus each row's maximal consecutive-block runs (cached on the block index),
+letting :func:`repro.core.kernels.paged_attention` consume KV straight from
+block storage; :meth:`PagedKVCache.gather` remains the retained
+dense-copy reference path, and its traffic is tallied in
+:attr:`PagedKVCache.gather_bytes` so serving gates can assert the fused
+path truly never materializes a dense KV copy.
 """
 
 from __future__ import annotations
@@ -74,10 +86,16 @@ class _BlockIndex:
     ``tables[row, i]`` is the physical block backing block index ``i`` of
     ``slot_ids[row]`` (``-1`` padding past a shorter slot's reservation).
     Rebuilt from the pool only when the pool's ``table_version`` moves —
-    i.e. on reserve/free/copy-on-write, not per decode iteration.
+    i.e. on reserve/free/copy-on-write/truncate, not per decode iteration.
+
+    ``runs[row]`` decomposes the row's table into maximal runs of
+    *consecutive* physical blocks as ``(first_block_index, first_physical,
+    num_blocks)`` triples: with the head-outermost pool layout each run is a
+    zero-copy view of block storage, which is what the fused paged-attention
+    kernel consumes instead of a gathered dense copy.
     """
 
-    __slots__ = ("slot_ids", "version", "tables", "blocks_per_row")
+    __slots__ = ("slot_ids", "version", "tables", "blocks_per_row", "runs")
 
     def __init__(self, paged: "PagedKVCache", slot_ids: Sequence[int]) -> None:
         self.slot_ids = [int(s) for s in slot_ids]
@@ -92,14 +110,33 @@ class _BlockIndex:
             dense[row, : len(table)] = table
         self.tables = dense
         self.blocks_per_row = np.array([len(table) for table in tables], dtype=np.int64)
+        self.runs = [_consecutive_runs(table) for table in tables]
         self.version = paged._table_version
+
+
+def _consecutive_runs(table: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Maximal consecutive-physical-block runs of one slot's table.
+
+    Returns ``(first_block_index, first_physical_block, num_blocks)``
+    triples covering the table in position order.
+    """
+    runs: List[Tuple[int, int, int]] = []
+    for index, block in enumerate(table):
+        if runs and runs[-1][1] + runs[-1][2] == block:
+            first_index, first_physical, count = runs[-1]
+            runs[-1] = (first_index, first_physical, count + 1)
+        else:
+            runs.append((index, int(block), 1))
+    return runs
 
 
 class PagedKVCache:
     """A pool of fixed-size KV blocks shared by all live requests.
 
-    Storage is one ``(num_blocks, num_heads, block_size, d_head)`` key array
-    and one value array per layer.  A *slot* (one live request) owns a list
+    Storage is one ``(num_heads, num_blocks, block_size, d_head)`` key array
+    and one value array per layer — heads outermost, so consecutive physical
+    blocks are contiguous per head and a consecutive-block run reshapes into
+    an attention operand without copying.  A *slot* (one live request) owns a list
     of block ids covering positions ``[0, capacity)``; :meth:`reserve`
     allocates the whole table up front so a request admitted by the
     scheduler can never run out of cache mid-decode.  Blocks are reference
@@ -138,10 +175,14 @@ class PagedKVCache:
     ) -> None:
         if min(num_layers, num_heads, d_head, block_size, num_blocks) < 1:
             raise ConfigurationError("PagedKVCache dimensions must all be >= 1")
-        shape = (num_blocks, num_heads, block_size, d_head)
+        shape = (num_heads, num_blocks, block_size, d_head)
         self.block_size = int(block_size)
         self.key_blocks: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
         self.value_blocks: List[np.ndarray] = [np.zeros(shape, dtype=np.float64) for _ in range(num_layers)]
+        #: Bytes of dense KV copies materialised by :meth:`gather` — the
+        #: traffic the fused paged-attention path exists to avoid.  Reset
+        #: freely; the perf-smoke gate asserts it stays 0 on fused decodes.
+        self.gather_bytes = 0
         self._refcounts = np.zeros(num_blocks, dtype=np.int64)
         self._dirty = np.zeros(num_blocks, dtype=bool)
         #: Refcount-0 blocks in reclaim order (front reclaimed first).
@@ -192,7 +233,7 @@ class PagedKVCache:
     @property
     def num_blocks(self) -> int:
         """Total blocks in the pool."""
-        return int(self.key_blocks[0].shape[0])
+        return int(self.key_blocks[0].shape[1])
 
     @property
     def free_block_count(self) -> int:
@@ -206,7 +247,7 @@ class PagedKVCache:
 
     @property
     def table_version(self) -> int:
-        """Counter bumped on every block-topology change (reserve/free/COW)."""
+        """Counter bumped on every block-topology change (reserve/free/COW/truncate)."""
         return self._table_version
 
     @property
@@ -431,8 +472,8 @@ class PagedKVCache:
         self._deindex(block)
         if scrub and self._dirty[block]:
             for layer in range(self.num_layers):
-                self.key_blocks[layer][block] = 0.0
-                self.value_blocks[layer][block] = 0.0
+                self.key_blocks[layer][:, block] = 0.0
+                self.value_blocks[layer][:, block] = 0.0
             self._dirty[block] = False
         self._refcounts[block] = 1
         return block
@@ -525,7 +566,12 @@ class PagedKVCache:
                 self._release(block)
         if released:
             del table[keep:]
-            self._table_version += 1
+        # Invalidate unconditionally, not just when blocks were released: a
+        # cached _BlockIndex built before the rollback must never keep
+        # addressing rolled-back positions once the freed blocks regrow into
+        # another slot's reservation, and a scrub-only rollback still
+        # changes which positions of the retained blocks hold live data.
+        self._table_version += 1
         first_cut = new_length // self.block_size if new_length < length else keep
         for index in range(first_cut, keep):
             block = table[index]
@@ -537,8 +583,8 @@ class PagedKVCache:
             end = min(length - index * self.block_size, self.block_size)
             if begin < end:
                 for layer in range(self.num_layers):
-                    self.key_blocks[layer][block][:, begin:end] = 0.0
-                    self.value_blocks[layer][block][:, begin:end] = 0.0
+                    self.key_blocks[layer][:, block, begin:end] = 0.0
+                    self.value_blocks[layer][:, block, begin:end] = 0.0
         self._lengths[slot] = new_length
         return released
 
@@ -559,8 +605,8 @@ class PagedKVCache:
         source = self._tables[slot][block_index]
         copy = self._allocate_fresh(scrub=False)
         for layer in range(self.num_layers):
-            self.key_blocks[layer][copy] = self.key_blocks[layer][source]
-            self.value_blocks[layer][copy] = self.value_blocks[layer][source]
+            self.key_blocks[layer][:, copy] = self.key_blocks[layer][:, source]
+            self.value_blocks[layer][:, copy] = self.value_blocks[layer][:, source]
         self._dirty[copy] = True
         self._tables[slot][block_index] = copy
         self._refcounts[source] -= 1
@@ -645,10 +691,10 @@ class PagedKVCache:
             targets = index.tables[rows, block_rows]
         offsets = positions - block_rows * self.block_size
         self._dirty[targets] = True
-        # Advanced indices on axes 0 and 2 with a slice between: the head
-        # axis moves last in the indexed view, so payloads are transposed.
-        self.key_blocks[layer][targets, :, offsets] = keys.transpose(0, 2, 1, 3)
-        self.value_blocks[layer][targets, :, offsets] = values.transpose(0, 2, 1, 3)
+        # Adjacent advanced indices on the block/position axes keep the head
+        # axis leading in the indexed view, so payloads move it up front.
+        self.key_blocks[layer][:, targets, offsets] = keys.transpose(1, 0, 2, 3)
+        self.value_blocks[layer][:, targets, offsets] = values.transpose(1, 0, 2, 3)
 
     def gather(
         self,
@@ -684,7 +730,7 @@ class PagedKVCache:
         """
         index = self._fresh_index(slot_ids, index)
         rows = len(index.slot_ids)
-        heads = self.key_blocks[layer].shape[1]
+        heads = self.key_blocks[layer].shape[0]
         d_head = self.key_blocks[layer].shape[3]
         num_blocks = self.blocks_needed(length) if length else 0
         width = index.tables.shape[1]
@@ -694,15 +740,20 @@ class PagedKVCache:
             blocks = np.full((rows, num_blocks), _ROOT, dtype=np.int64)
             blocks[:, :width] = index.tables
         missing = blocks < 0
-        gathered_keys = self.key_blocks[layer][np.where(missing, 0, blocks)]
-        gathered_values = self.value_blocks[layer][np.where(missing, 0, blocks)]
+        gathered_keys = self.key_blocks[layer][:, np.where(missing, 0, blocks)]
+        gathered_values = self.value_blocks[layer][:, np.where(missing, 0, blocks)]
         if missing.any():
-            gathered_keys[missing] = 0.0
-            gathered_values[missing] = 0.0
+            gathered_keys[:, missing] = 0.0
+            gathered_values[:, missing] = 0.0
         shape = (rows, heads, num_blocks * self.block_size, d_head)
-        keys = gathered_keys.transpose(0, 2, 1, 3, 4).reshape(shape)[:, :, :length]
-        values = gathered_values.transpose(0, 2, 1, 3, 4).reshape(shape)[:, :, :length]
-        return np.ascontiguousarray(keys), np.ascontiguousarray(values)
+        keys = np.ascontiguousarray(
+            gathered_keys.transpose(1, 0, 2, 3, 4).reshape(shape)[:, :, :length]
+        )
+        values = np.ascontiguousarray(
+            gathered_values.transpose(1, 0, 2, 3, 4).reshape(shape)[:, :, :length]
+        )
+        self.gather_bytes += keys.nbytes + values.nbytes
+        return keys, values
 
     def view(self, slot_ids: Sequence[int]) -> "SlotBatchView":
         """Build a dense cache facade over ``slot_ids`` (see :class:`SlotBatchView`)."""
@@ -777,6 +828,31 @@ class SlotBatchView:
     def view(self, layer: int, length: int) -> Tuple[np.ndarray, np.ndarray]:
         """Dense (keys, values) over the first ``length`` positions of each slot."""
         return self._paged.gather(layer, self.slot_ids, length, index=self._index)
+
+    #: The fused paged-attention path can read this view's KV straight from
+    #: block storage (see :meth:`attention_operands`).
+    supports_paged_attention = True
+
+    def attention_operands(
+        self, layer: int
+    ) -> Tuple[np.ndarray, np.ndarray, List[List[Tuple[int, int, int]]], int]:
+        """Block-table operands for gather-free attention over this view.
+
+        Returns ``(key_pool, value_pool, runs, block_size)``: the layer's
+        pool arrays (shape ``(num_heads, num_blocks, block_size, d_head)``,
+        *not* copied) and each row's maximal consecutive-block runs as
+        ``(first_block_index, first_physical_block, num_blocks)`` triples.
+        The cached block index is freshness-checked first, so operands
+        fetched after a ``write`` (which may have copy-on-write forked a
+        block) always describe the current topology.
+        """
+        index = self._paged._fresh_index(self.slot_ids, self._index)
+        return (
+            self._paged.key_blocks[layer],
+            self._paged.value_blocks[layer],
+            index.runs,
+            self._paged.block_size,
+        )
 
     def commit(self) -> None:
         """Publish the view's per-row lengths back to the pool's slot table."""

@@ -216,8 +216,14 @@ class SchedulerStats:
         return self.prefill_iterations + self.decode_iterations
 
     def tokens_per_iteration(self) -> float:
-        """Generated tokens per forward pass — the batching-efficiency metric."""
-        return self.generated_tokens / max(1, self.total_iterations)
+        """Generated tokens per forward pass — the batching-efficiency metric.
+
+        A scheduler that has not run a forward yet reports ``0.0`` rather
+        than dividing by zero, matching :meth:`prefix_hit_rate`.
+        """
+        if self.total_iterations == 0:
+            return 0.0
+        return self.generated_tokens / self.total_iterations
 
     def prefix_hit_rate(self) -> float:
         """Fraction of prompt tokens served from the prefix cache.
@@ -283,12 +289,19 @@ def _reserved_positions(prompt_len: int, budget: int) -> int:
 
 
 def _sample_token(logits_row: np.ndarray, config: GenerationConfig, rng: np.random.Generator) -> int:
-    """Draw one token for one request (greedy or seeded top-k)."""
+    """Draw one token for one request (greedy or seeded top-k).
+
+    The top-k cut uses a stable descending sort (equal logits keep ascending
+    token order), so which tokens sit at a tied k-boundary — and which token
+    a given RNG draw yields — is a function of the logits alone, never of
+    partition order.  Bit-identical-across-paths guarantees would otherwise
+    silently depend on ties not happening.
+    """
     if config.top_k == 0:
         return int(np.argmax(logits_row))
     scaled = logits_row / config.temperature
     k = min(config.top_k, scaled.shape[-1])
-    top_indices = np.argpartition(scaled, -k)[-k:]
+    top_indices = np.argsort(-scaled, kind="stable")[:k]
     top_scores = scaled[top_indices] - scaled[top_indices].max()
     probabilities = np.exp(top_scores)
     probabilities /= probabilities.sum()

@@ -1,0 +1,153 @@
+"""Parity of the gather-free paged attention kernel with the dense reference.
+
+``paged_attention`` reads K/V from ``PagedKVCache`` block storage through
+zero-copy consecutive-run views and must reproduce the gather-then-dense
+attention of ``TransformerRunner._attention_cached``: the attention
+*probabilities* are bit-identical by construction (same assembled scores,
+same mask, same shared softmax), single-run rows are bit-identical through
+the SV product too, and multi-run rows may differ only by the final-sum
+rounding of the context accumulation (~1e-15, squashed by Tender's static
+requantization of every subsequent matmul — see the serving sweeps in
+``tests/serve/test_fused_paged_attention.py`` for the end-to-end
+bit-identical bar).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import paged_attention
+from repro.serve import PagedKVCache
+from repro.tensor.ops import softmax
+
+BLOCK = 4
+
+
+def dense_reference(queries, view, layer, positions, valid=None):
+    """The gather-then-dense attention math, expression for expression."""
+    d_head = queries.shape[-1]
+    attended = int(positions.max()) + 1
+    cached_keys, cached_values = view.view(layer, attended)
+    scores = (queries @ np.swapaxes(cached_keys, -1, -2)) / np.sqrt(d_head)
+    hidden = np.arange(attended)[None, None, None, :] > positions[:, None, :, None]
+    scores = np.where(hidden, -1e9, scores)
+    attention = softmax(scores, axis=-1)
+    if valid is not None and not valid.all():
+        attention = np.where(valid[:, None, :, None], attention, attention[:, :, :1, :])
+    return attention @ cached_values, attention
+
+
+def fill_slots(pool, rng, lengths, *, fragment=False):
+    """Reserve one slot per length (optionally fragmenting the free list)."""
+    if fragment:
+        # Interleave reserve/free so later tables span non-consecutive blocks.
+        holes = [pool.reserve(BLOCK) for _ in range(3)]
+        for hole in holes[::2]:
+            pool.free(hole)
+    slots = []
+    for length in lengths:
+        slot = pool.reserve(length)
+        keys = rng.normal(size=(1, 2, length, BLOCK))
+        values = rng.normal(size=(1, 2, length, BLOCK))
+        pool.write(0, [slot], keys, values, np.arange(length)[None, :])
+        pool.set_length(slot, length)
+        slots.append(slot)
+    return slots
+
+
+def run_both(pool, slots, rng, positions, valid=None, q_len=1):
+    view = pool.view(slots)
+    queries = rng.normal(size=(len(slots), 2, q_len, BLOCK))
+    key_pool, value_pool, runs, block_size = view.attention_operands(0)
+    fused = paged_attention(queries, key_pool, value_pool, runs, block_size, positions, valid)
+    reference, attention = dense_reference(queries, view, 0, positions, valid)
+    return fused, reference, attention, runs
+
+
+class TestDecodeParity:
+    @pytest.mark.parametrize("length", [BLOCK, BLOCK + 1, 3 * BLOCK, 3 * BLOCK + 1])
+    def test_block_boundary_contexts_bitwise(self, rng, length):
+        """Contexts exactly at and one past a block multiple, fresh slots.
+
+        Fresh reservations get consecutive blocks (one run per row), so the
+        whole context — not just the probabilities — is bit-identical.
+        """
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [length, length])
+        positions = np.full((2, 1), length - 1)
+        fused, reference, _, runs = run_both(pool, slots, rng, positions)
+        assert all(len(row_runs) == 1 for row_runs in runs)
+        np.testing.assert_array_equal(fused, reference)
+
+    def test_fragmented_tables_multi_run(self, rng):
+        """Non-consecutive block tables: probabilities exact, context ~1e-15."""
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [3 * BLOCK, 2 * BLOCK + 2], fragment=True)
+        positions = np.array([[3 * BLOCK - 1], [2 * BLOCK + 1]])
+        fused, reference, _, runs = run_both(pool, slots, rng, positions)
+        assert any(len(row_runs) > 1 for row_runs in runs)
+        np.testing.assert_allclose(fused, reference, rtol=0.0, atol=1e-12)
+
+    def test_ragged_batch(self, rng):
+        """Short rows see zero-filled history past their reservation, masked."""
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [11, 5, 8])
+        positions = np.array([[10], [4], [7]])
+        fused, reference, _, _ = run_both(pool, slots, rng, positions)
+        np.testing.assert_allclose(fused, reference, rtol=0.0, atol=1e-12)
+
+    def test_masked_probabilities_are_exact_zero(self, rng):
+        """Masked columns carry exactly-zero probability in both paths, so
+        skipping them in the per-run SV product is an exact no-op."""
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [9, 5])
+        positions = np.array([[8], [4]])
+        _, _, attention, _ = run_both(pool, slots, rng, positions)
+        assert (attention[1, :, :, 5:] == 0.0).all()
+
+
+class TestMultiTokenQueries:
+    def test_verify_shaped_window_bitwise(self, rng):
+        """q_len > 1 with per-token positions — the speculative verify shape."""
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [10, 10])
+        positions = np.stack([np.arange(7, 10), np.arange(7, 10)])
+        fused, reference, _, _ = run_both(pool, slots, rng, positions, q_len=3)
+        np.testing.assert_array_equal(fused, reference)
+
+    def test_valid_mask_replicates_padding_neutralisation(self, rng):
+        """Padded rows take the first row's probabilities, as in the dense path."""
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [9, 6])
+        positions = np.stack([np.arange(6, 9), np.arange(3, 6)])
+        valid = np.array([[True, True, True], [True, True, False]])
+        fused, reference, _, _ = run_both(pool, slots, rng, positions, valid=valid, q_len=3)
+        np.testing.assert_array_equal(fused, reference)
+
+
+class TestStorageContract:
+    def test_run_views_share_pool_memory(self, rng):
+        """The kernel's per-run K/V views must alias pool storage (no copy)."""
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [3 * BLOCK])
+        view = pool.view(slots)
+        key_pool, _, runs, block_size = view.attention_operands(0)
+        (first_index, first_physical, count) = runs[0][0]
+        run_view = key_pool[:, first_physical : first_physical + count].reshape(
+            2, count * block_size, BLOCK
+        )
+        assert np.shares_memory(run_view, pool.key_blocks[0])
+
+    def test_gather_tallies_bytes_fused_path_does_not(self, rng):
+        pool = PagedKVCache(num_layers=1, num_heads=2, d_head=BLOCK, block_size=BLOCK, num_blocks=16)
+        slots = fill_slots(pool, rng, [8, 8])
+        view = pool.view(slots)
+        queries = rng.normal(size=(2, 2, 1, BLOCK))
+        positions = np.array([[7], [7]])
+        assert pool.gather_bytes == 0
+        key_pool, value_pool, runs, block_size = view.attention_operands(0)
+        paged_attention(queries, key_pool, value_pool, runs, block_size, positions)
+        assert pool.gather_bytes == 0
+        view.view(0, 8)
+        assert pool.gather_bytes == 2 * 2 * 2 * 8 * BLOCK * 8  # k+v, rows, heads, len, d, f64

@@ -323,3 +323,63 @@ class TestSpeculativeWorkload:
             self.make(draft_cost_ratio=-0.1)
         with pytest.raises(ConfigurationError):
             self.make(batch=0)
+
+
+class TestPagedAttentionWorkload:
+    @staticmethod
+    def make(**overrides):
+        from repro.gpu import PagedAttentionWorkload
+
+        defaults = dict(
+            batch=8,
+            context=2048,
+            d_model=4096,
+            d_ff=16384,
+            num_heads=32,
+            num_layers=4,
+        )
+        defaults.update(overrides)
+        return PagedAttentionWorkload(**defaults)
+
+    def test_gather_bytes_scale_linearly_with_context(self):
+        short = self.make(context=1024).gather_bytes_per_step()
+        long = self.make(context=4096).gather_bytes_per_step()
+        assert long == 4 * short
+        # K and V, read + write, per layer: 2 * 2 * L * B * H * ctx * d * 2B.
+        workload = self.make(context=1024)
+        expected = 2 * 2 * 4 * 8 * 32 * 1024 * (4096 // 32) * 2
+        assert workload.gather_bytes_per_step() == expected
+
+    def test_speedup_grows_with_context(self):
+        from repro.gpu import paged_attention_throughput
+
+        previous = None
+        for context in (256, 1024, 4096, 16384):
+            table = paged_attention_throughput(self.make().with_context(context), "a100")
+            speedup = table["Tender SW"]["speedup"]
+            assert speedup > 1.0
+            if previous is not None:
+                assert speedup > previous
+            previous = speedup
+
+    def test_throughput_table_covers_every_scheme(self):
+        from repro.gpu import paged_attention_throughput
+
+        table = paged_attention_throughput(self.make(), "rtx3090")
+        assert set(table) == {
+            "FP16",
+            "INT8 (per-tensor)",
+            "INT8 (per-row)",
+            "INT8 (per-channel)",
+            "Tender SW",
+        }
+        for row in table.values():
+            assert row["fused_tokens_per_s"] > row["gather_tokens_per_s"] > 0.0
+            assert row["speedup"] > 1.0
+            assert row["gather_bytes_per_step"] == self.make().gather_bytes_per_step()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.make(kv_bytes_per_element=0)
+        with pytest.raises(ConfigurationError):
+            self.make(batch=0)

@@ -162,3 +162,76 @@ class TestSlotBatchView:
     def test_empty_view_rejected(self):
         with pytest.raises(ConfigurationError):
             make_pool().view([])
+
+
+class TestTruncateInvalidatesCachedIndexes:
+    """Regression: a view's cached block index must never outlive a rollback.
+
+    ``truncate`` can return blocks to the free list; once another slot's
+    reservation regrows into them, a ``SlotBatchView`` still holding the
+    pre-rollback index would read (gather) or clobber (write) the new
+    owner's KV.  Truncate therefore bumps the table version unconditionally
+    — even a scrub-only rollback changes which positions of the retained
+    blocks hold live data — and every view operation freshness-checks first.
+    """
+
+    def test_truncate_regrow_gather_write_roundtrip(self, rng):
+        pool = make_pool(block_size=4, num_blocks=4)
+        victim = pool.reserve(8)  # two blocks
+        payload = rng.normal(size=(1, 2, 8, 4))
+        pool.write(0, [victim], payload, payload, np.arange(8)[None, :])
+        pool.set_length(victim, 8)
+        view = pool.view([victim])
+        view.view(0, 8)  # caches the two-block index
+        # Roll back past the second block: it returns to the free list...
+        assert pool.truncate(victim, 4) == 1
+        # ...and another slot's reservation immediately regrows into it.
+        other = pool.reserve(4)
+        foreign = rng.normal(size=(1, 2, 4, 4))
+        pool.write(0, [other], foreign, foreign, np.arange(4)[None, :])
+        pool.set_length(other, 4)
+        # Gather through the pre-rollback view: the stale index must refresh,
+        # zero-filling past the truncated capacity instead of leaking the new
+        # owner's KV out of the reclaimed block.
+        keys, values = view.view(0, 8)
+        np.testing.assert_array_equal(keys[:, :, :4], payload[:, :, :4])
+        assert not keys[:, :, 4:].any() and not values[:, :, 4:].any()
+        # Write through the same view: position 4 is out of the truncated
+        # slot's capacity now — rejected, not scattered into the new owner.
+        with pytest.raises(ConfigurationError):
+            view.write(0, payload[:, :, :1], payload[:, :, :1], np.array([[4]]))
+        got, _ = pool.gather(0, [other], 4)
+        np.testing.assert_array_equal(got, foreign)
+
+    def test_truncate_regrow_with_shared_prefix_blocks(self, rng):
+        """Same hazard with the head block shared: the refreshed index keeps
+        addressing the shared prefix correctly after the rollback."""
+        pool = make_pool(block_size=4, num_blocks=4)
+        parent = pool.reserve(4)
+        payload = rng.normal(size=(1, 2, 4, 4))
+        pool.write(0, [parent], payload, payload, np.arange(4)[None, :])
+        pool.set_length(parent, 4)
+        child = pool.reserve(8, shared=pool.block_table(parent))
+        pool.set_length(child, 4)
+        tail = rng.normal(size=(1, 2, 4, 4))
+        pool.write(0, [child], tail, tail, np.arange(4, 8)[None, :])
+        pool.set_length(child, 8)
+        view = pool.view([child])
+        view.view(0, 8)
+        assert pool.truncate(child, 4) == 1  # drop the private tail block
+        other = pool.reserve(4)
+        foreign = rng.normal(size=(1, 2, 4, 4))
+        pool.write(0, [other], foreign, foreign, np.arange(4)[None, :])
+        keys, _ = view.view(0, 8)
+        np.testing.assert_array_equal(keys[:, :, :4], payload)  # shared head intact
+        assert not keys[:, :, 4:].any()  # reclaimed tail not leaked
+
+    def test_scrub_only_truncate_still_bumps_the_version(self):
+        """A min_capacity rollback releases nothing yet still invalidates:
+        the retained blocks' rolled-back positions changed under the view."""
+        pool = make_pool(block_size=4)
+        slot = pool.reserve(8)
+        pool.set_length(slot, 8)
+        before = pool.table_version
+        assert pool.truncate(slot, 6, min_capacity=8) == 0
+        assert pool.table_version > before

@@ -540,7 +540,7 @@ class TestVectorizedPool:
 
     @staticmethod
     def reference_gather(pool, slot_ids, layer, length):
-        heads = pool.key_blocks[layer].shape[1]
+        heads = pool.key_blocks[layer].shape[0]
         d_head = pool.key_blocks[layer].shape[3]
         keys = np.zeros((len(slot_ids), heads, length, d_head))
         values = np.zeros_like(keys)
@@ -551,8 +551,8 @@ class TestVectorizedPool:
                 start = block_index * pool.block_size
                 stop = min(start + pool.block_size, copied)
                 block = table[block_index]
-                keys[row, :, start:stop] = pool.key_blocks[layer][block, :, : stop - start]
-                values[row, :, start:stop] = pool.value_blocks[layer][block, :, : stop - start]
+                keys[row, :, start:stop] = pool.key_blocks[layer][:, block, : stop - start]
+                values[row, :, start:stop] = pool.value_blocks[layer][:, block, : stop - start]
         return keys, values
 
     def test_gather_matches_reference_loop(self, rng):

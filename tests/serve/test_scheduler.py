@@ -325,3 +325,66 @@ class TestDecodeViewReuse:
         # Membership change (a request finishing) invalidates the cache.
         scheduler.run()
         assert scheduler._decode_view is None
+
+
+class TestStatsGuards:
+    """Rate metrics on a scheduler that has done nothing yet: 0.0, not a crash."""
+
+    def test_fresh_stats_report_zero_rates(self):
+        from repro.serve.scheduler import SchedulerStats
+
+        stats = SchedulerStats()
+        assert stats.tokens_per_iteration() == 0.0
+        assert stats.prefix_hit_rate() == 0.0
+        assert stats.spec_accept_rate() == 0.0
+
+    def test_rates_after_activity_are_unchanged(self):
+        from repro.serve.scheduler import SchedulerStats
+
+        stats = SchedulerStats(
+            prefill_iterations=2,
+            decode_iterations=3,
+            generated_tokens=10,
+            spec_proposed_tokens=4,
+            spec_accepted_tokens=3,
+        )
+        assert stats.tokens_per_iteration() == 2.0
+        assert stats.spec_accept_rate() == 0.75
+
+
+class TestSampleTokenTies:
+    """Seeded top-k must break equal logits by token index, not partition order."""
+
+    @staticmethod
+    def _sample(logits, top_k, seed, temperature=1.0):
+        from repro.serve.scheduler import _sample_token
+
+        config = GenerationConfig(top_k=top_k, temperature=temperature, seed=seed)
+        return _sample_token(np.asarray(logits, dtype=np.float64), config, np.random.default_rng(seed))
+
+    def test_all_tied_logits_sample_the_lowest_indices(self):
+        """With every logit equal, the top-k set is tokens 0..k-1 by the
+        stable tiebreak — any draw outside it means partition order leaked."""
+        logits = np.zeros(32)
+        drawn = {self._sample(logits, top_k=4, seed=seed) for seed in range(64)}
+        assert drawn <= {0, 1, 2, 3}
+        assert len(drawn) > 1  # still actually sampling within the set
+
+    def test_tie_at_the_k_boundary_keeps_the_lowest_index(self):
+        """Three tokens tie at the k-boundary; only the lowest-indexed one
+        may enter the top-k set."""
+        logits = np.array([5.0, 4.0, 3.0, 2.0, 2.0, 2.0, 1.0, 0.0])
+        # Near-uniform probabilities so every member of the set is drawn.
+        drawn = {self._sample(logits, top_k=4, seed=seed, temperature=50.0) for seed in range(128)}
+        assert drawn == {0, 1, 2, 3}
+
+    def test_tied_draws_are_permutation_consistent(self):
+        """Reordering tied tokens changes *which* token is drawn only through
+        its index, never through memory layout: sampling from the mirrored
+        logits yields the mirrored token."""
+        logits = np.array([1.0, 1.0, 1.0, 1.0, 0.0, 0.0])
+        for seed in range(16):
+            token = self._sample(logits, top_k=4, seed=seed)
+            mirrored = self._sample(logits[::-1].copy(), top_k=4, seed=seed)
+            assert token in {0, 1, 2, 3}
+            assert mirrored == 5 - (3 - token)  # same rank among the ties

@@ -323,7 +323,7 @@ class TestTruncate:
         assert pool.block_table(slot_b)[:2] == table_before[:2]
         assert pool.ref_count(table_before[1]) == 2
         assert pool.cached_block_count == 2
-        assert np.all(pool.key_blocks[0][table_before[1]] != 0.0)
+        assert np.all(pool.key_blocks[0][:, table_before[1]] != 0.0)
         assert pool.table_version > version_before  # tail release only
 
     def test_rollback_of_published_prefix_stays_matchable(self):
@@ -356,8 +356,8 @@ class TestTruncate:
         # its rolled-back positions scrubbed); the first block survives.
         assert len(pool.match_prefix(tokens)) == 1
         block = pool.block_table(slot)[1]
-        assert np.all(pool.key_blocks[0][block][:, 2:] == 0.0)
-        assert np.all(pool.key_blocks[0][block][:, :2] != 0.0)
+        assert np.all(pool.key_blocks[0][:, block, 2:] == 0.0)
+        assert np.all(pool.key_blocks[0][:, block, :2] != 0.0)
 
     def test_min_capacity_keeps_blocks(self):
         pool = self.make_pool()
@@ -371,8 +371,8 @@ class TestTruncate:
         # The rolled-back region is scrubbed so later dynamic-quantization
         # windows see zeros, not stale draft KV.
         blocks = pool.block_table(slot)
-        assert np.all(pool.key_blocks[0][blocks[1]][:, 1:] == 0.0)
-        assert np.all(pool.key_blocks[0][blocks[2]] == 0.0)
+        assert np.all(pool.key_blocks[0][:, blocks[1], 1:] == 0.0)
+        assert np.all(pool.key_blocks[0][:, blocks[2]] == 0.0)
         # Writes within the kept capacity still succeed afterwards.
         self.write_tokens(pool, slot, 5, 7)
 

@@ -5,7 +5,7 @@ Run from the repository root (tier-1 runs it via ``tests/tools``):
 
     PYTHONPATH=src python tools/check_perf_smoke.py
 
-Two checks run back to back:
+Four checks run back to back:
 
 1. **Fast kernels** — builds the shared synthetic decode workload from
    ``repro.core.perf`` (no model training, no checkpoint cache — the same
@@ -36,6 +36,14 @@ Two checks run back to back:
    actually drop — a broken verify/rollback path fails parity, a broken
    drafter silently degrades to zero accepts, and both fail here instead
    of shipping.
+
+4. **Fused paged attention** — serves the same random-weight model with
+   the fused block-table attention on and off and gates on the
+   deterministic accounting: generated tokens must be identical, the
+   fused run must move **zero** dense KV bytes
+   (``PagedKVCache.gather_bytes``), and the reference run must tally at
+   least the analytic floor — a fused path that silently falls back to
+   gathering fails the zero check, and a broken counter fails the floor.
 
 Exit status 0 when clean; 1 with a one-line diagnosis otherwise.
 """
@@ -335,9 +343,78 @@ def check_fast_kernels() -> int:
     return 0
 
 
+def check_fused_attention() -> int:
+    """Deterministic fused paged-attention parity and KV-traffic gate."""
+    from repro.serve import GenerationConfig, Scheduler
+
+    runner = _tiny_serving_runner()
+    rng = np.random.default_rng(5)
+    # Lengths straddle the block size (8): exactly at, one past, and mid-block.
+    prompts = [rng.integers(0, 64, size=size) for size in (16, 17, 24, 9)]
+
+    def serve(fused):
+        scheduler = Scheduler(
+            runner,
+            GenerationConfig(max_new_tokens=4),
+            max_batch_size=3,
+            block_size=8,
+            record_logits=False,
+        )
+        before = runner.fused_paged_attention
+        runner.fused_paged_attention = fused
+        try:
+            for prompt in prompts:
+                scheduler.submit(prompt)
+            outputs = {output.request_id: output for output in scheduler.run()}
+        finally:
+            runner.fused_paged_attention = before
+        return outputs, scheduler.cache.gather_bytes
+
+    outputs_fused, fused_bytes = serve(True)
+    outputs_reference, reference_bytes = serve(False)
+    for request_id, output in outputs_reference.items():
+        if not np.array_equal(output.generated, outputs_fused[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"under fused paged attention"
+            )
+            return 1
+    if fused_bytes != 0:
+        print(
+            f"perf smoke FAILED: fused paged attention gathered {fused_bytes} dense "
+            f"KV bytes (required exactly 0) — the fused path fell back to gathering"
+        )
+        return 1
+    # The reference path re-gathers every request's whole K/V history on every
+    # decode step.  A loose analytic floor — one decode step's dense K+V for
+    # the shortest prompt alone, per layer — catches a broken counter without
+    # depending on scheduler batching details.
+    config = runner.weights.config
+    d_head = config.d_model // config.num_heads
+    floor = (
+        config.num_layers * 2 * min(len(p) for p in prompts) * config.num_heads * d_head * 8
+    )
+    if reference_bytes < floor:
+        print(
+            f"perf smoke FAILED: reference path gathered only {reference_bytes} dense "
+            f"KV bytes (floor {floor}) — the gather-bytes counter regressed"
+        )
+        return 1
+    print(
+        f"perf smoke ok (fused paged attention token-identical, 0 vs "
+        f"{reference_bytes} gathered KV bytes)"
+    )
+    return 0
+
+
 def main() -> int:
     """Run every smoke gate; first failure wins."""
-    return check_fast_kernels() or check_serving_smoke() or check_speculative_smoke()
+    return (
+        check_fast_kernels()
+        or check_serving_smoke()
+        or check_speculative_smoke()
+        or check_fused_attention()
+    )
 
 
 if __name__ == "__main__":
