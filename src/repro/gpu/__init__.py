@@ -8,7 +8,9 @@ step, :class:`ContinuousBatchWorkload` to a whole serving trace
 rate → request throughput), :class:`SpeculativeWorkload` to
 draft-and-verify decoding (accept rate → decode throughput), and
 :class:`PagedAttentionWorkload` to gather-free paged attention (the dense
-KV copy the fused kernel avoids, versus context length).
+KV copy the fused kernel avoids, versus context length), and
+:class:`PreemptionWorkload` to priority preemption (the urgent-TTFT gain
+of evicting a victim versus the recompute its resume pays).
 """
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
@@ -17,6 +19,7 @@ from repro.gpu.latency import (
     DecodeWorkload,
     GemmLatency,
     PagedAttentionWorkload,
+    PreemptionWorkload,
     PrefixCacheWorkload,
     SpeculativeWorkload,
     continuous_batch_throughput,
@@ -27,6 +30,7 @@ from repro.gpu.latency import (
     int8_latency_ms,
     paged_attention_throughput,
     per_channel_latency_ms,
+    preemption_tradeoff,
     prefix_cache_throughput,
     speculative_throughput,
     tender_software_latency_ms,
@@ -40,10 +44,12 @@ __all__ = [
     "DecodeWorkload",
     "ContinuousBatchWorkload",
     "PagedAttentionWorkload",
+    "PreemptionWorkload",
     "PrefixCacheWorkload",
     "SpeculativeWorkload",
     "continuous_batch_throughput",
     "paged_attention_throughput",
+    "preemption_tradeoff",
     "prefix_cache_throughput",
     "speculative_throughput",
     "fp16_latency_ms",

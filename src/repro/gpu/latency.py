@@ -857,3 +857,177 @@ def continuous_batch_throughput(
             "speedup": workload.speedup_over_static(),
         }
     return results
+
+
+# ----------------------------------------------------------------------
+# Preemption (recompute-vs-wait) serving workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PreemptionWorkload:
+    """The recompute-vs-wait tradeoff behind priority preemption.
+
+    Models the decision ``repro.serve.Scheduler`` (``preemption=True``)
+    faces when an urgent request arrives into a full batch: either the
+    request **waits** for a slot to drain naturally (its TTFT absorbs
+    ``expected_wait_steps`` batched decode steps before its own prefill),
+    or the scheduler **preempts** a low-priority victim — the urgent TTFT
+    collapses to its own prefill, at the cost of re-prefilling the
+    victim's uncached context when it resumes.  Because preemption frees
+    blocks to the LRU free-list where published prefixes stay matchable,
+    the resume usually re-maps most of the victim's context
+    (``resume_hit_rate``) instead of recomputing it — which is what makes
+    preemption cheap enough to win.
+
+    Parameters
+    ----------
+    victim_context : int
+        Committed tokens (prompt + generated) the victim holds when
+        preempted — the upper bound on its resume recompute.
+    resume_hit_rate : float
+        Fraction of the victim's context re-served from still-matchable
+        prefix blocks at resume (``0`` = everything recomputed, the
+        no-prefix-cache case).
+    high_prompt_tokens : int
+        Prompt length of the urgent request.
+    expected_wait_steps : float
+        Batched decode steps until a slot frees without preemption (for a
+        drain-limited batch, roughly the victims' mean remaining tokens).
+    d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    batch : int
+        Active decode batch size while the urgent request waits.
+    """
+
+    victim_context: int
+    resume_hit_rate: float
+    high_prompt_tokens: int
+    expected_wait_steps: float
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.victim_context < 1:
+            raise ConfigurationError("victim_context must be >= 1")
+        if not 0.0 <= self.resume_hit_rate <= 1.0:
+            raise ConfigurationError("resume_hit_rate must lie in [0, 1]")
+        if self.high_prompt_tokens < 1:
+            raise ConfigurationError("high_prompt_tokens must be >= 1")
+        if self.expected_wait_steps < 0.0:
+            raise ConfigurationError("expected_wait_steps must be >= 0")
+        if self.batch < 1:
+            raise ConfigurationError("batch must be >= 1")
+        self.decode_workload()
+
+    def recompute_tokens(self) -> int:
+        """Victim tokens re-prefilled at resume (at least the final one)."""
+        return max(1, int(round(self.victim_context * (1.0 - self.resume_hit_rate))))
+
+    def prefill_workload(self, rows: int, context: int) -> DecodeWorkload:
+        """The GEMMs of prefilling ``rows`` tokens against ``context``."""
+        return DecodeWorkload(
+            batch=max(1, rows),
+            context=max(1, context),
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def decode_workload(self) -> DecodeWorkload:
+        """Per-step GEMMs of the batch the urgent request would wait behind."""
+        return DecodeWorkload(
+            batch=self.batch,
+            context=self.victim_context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def wait_ttft_ms(self, device_name: str, num_groups: int = 8) -> Dict[str, float]:
+        """Per-scheme urgent TTFT without preemption: wait out the drain."""
+        step = decode_step_latencies(self.decode_workload(), device_name, num_groups)
+        prefill = decode_step_latencies(
+            self.prefill_workload(self.high_prompt_tokens, self.high_prompt_tokens),
+            device_name,
+            num_groups,
+        )
+        return {
+            scheme: self.expected_wait_steps * step[scheme].milliseconds
+            + prefill[scheme].milliseconds
+            for scheme in step
+        }
+
+    def preempt_ttft_ms(self, device_name: str, num_groups: int = 8) -> Dict[str, float]:
+        """Per-scheme urgent TTFT with preemption: just its own prefill."""
+        prefill = decode_step_latencies(
+            self.prefill_workload(self.high_prompt_tokens, self.high_prompt_tokens),
+            device_name,
+            num_groups,
+        )
+        return {scheme: prefill[scheme].milliseconds for scheme in prefill}
+
+    def recompute_ms(self, device_name: str, num_groups: int = 8) -> Dict[str, float]:
+        """Per-scheme cost of re-prefilling the victim's uncached context."""
+        prefill = decode_step_latencies(
+            self.prefill_workload(self.recompute_tokens(), self.victim_context),
+            device_name,
+            num_groups,
+        )
+        return {scheme: prefill[scheme].milliseconds for scheme in prefill}
+
+    def ttft_speedup(self, device_name: str, num_groups: int = 8) -> Dict[str, float]:
+        """Per-scheme urgent-TTFT gain of preempting over waiting."""
+        wait = self.wait_ttft_ms(device_name, num_groups)
+        preempt = self.preempt_ttft_ms(device_name, num_groups)
+        return {scheme: wait[scheme] / preempt[scheme] for scheme in wait}
+
+
+def preemption_tradeoff(
+    workload: PreemptionWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Price both sides of a preemption decision, per scheme.
+
+    Parameters
+    ----------
+    workload : PreemptionWorkload
+        The serving scenario.
+    device_name : str
+        A key of :data:`repro.gpu.devices.GPU_SPECS`.
+    num_groups : int
+        Tender channel groups (forwarded to the per-scheme GEMM model).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"wait_ttft_ms", "preempt_ttft_ms", "ttft_speedup",
+        "recompute_ms", "recompute_overhead_ratio", "worthwhile"}}`` —
+        ``recompute_overhead_ratio`` divides the victim's resume recompute
+        by the urgent wait it saved; ``worthwhile`` (1.0 / 0.0) is that
+        ratio falling below one, i.e. the preemption bought more urgent
+        latency than it spent in aggregate throughput.
+    """
+    wait = workload.wait_ttft_ms(device_name, num_groups)
+    preempt = workload.preempt_ttft_ms(device_name, num_groups)
+    recompute = workload.recompute_ms(device_name, num_groups)
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme in wait:
+        saved = wait[scheme] - preempt[scheme]
+        ratio = recompute[scheme] / saved if saved > 0.0 else float("inf")
+        results[scheme] = {
+            "wait_ttft_ms": wait[scheme],
+            "preempt_ttft_ms": preempt[scheme],
+            "ttft_speedup": wait[scheme] / preempt[scheme],
+            "recompute_ms": recompute[scheme],
+            "recompute_overhead_ratio": ratio,
+            "worthwhile": 1.0 if ratio < 1.0 else 0.0,
+        }
+    return results

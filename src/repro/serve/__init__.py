@@ -16,7 +16,11 @@ Three layers, bottom up:
   admission, chunked prefill interleaved with decode, shared-prompt prefix
   caching, speculative draft-and-verify decoding, mid-flight eviction);
 * :class:`GenerationEngine` / :func:`generate` — the fixed-batch policy
-  over the scheduler, returning a rectangular :class:`GenerationResult`.
+  over the scheduler, returning a rectangular :class:`GenerationResult`;
+* :class:`AsyncEngine` — the asyncio streaming frontend: per-token
+  :class:`RequestStream` iterators, bounded-queue admission control with
+  backpressure, priority classes with deadlines, and free-then-replay
+  preemption whose resumed outputs stay bit-identical.
 
 Speculative decoding (:mod:`repro.serve.spec`) plugs a
 :class:`DraftProposer` — :class:`PromptLookupDraft` n-gram lookup or a
@@ -26,6 +30,7 @@ bit-identical to non-speculative decoding for Tender implicit/explicit
 while k sequential decode forwards collapse into one verification forward.
 """
 
+from repro.serve.async_engine import AsyncEngine, RequestStream, serve_all
 from repro.serve.engine import GenerationEngine, GenerationResult, generate
 from repro.serve.kv_cache import KVCache
 from repro.serve.paged_kv_cache import PagedKVCache, SlotBatchView
@@ -37,21 +42,34 @@ from repro.serve.scheduler import (
     SchedulerStats,
 )
 from repro.serve.spec import DraftProposer, ModelDraft, PromptLookupDraft, SpecConfig
+from repro.serve.stress import (
+    InvariantViolation,
+    ServingStressHarness,
+    check_pool_invariants,
+    shrink_ops,
+)
 
 __all__ = [
+    "AsyncEngine",
     "KVCache",
     "PagedKVCache",
+    "RequestStream",
     "SlotBatchView",
     "DraftProposer",
+    "serve_all",
     "GenerationConfig",
     "GenerationEngine",
     "GenerationResult",
+    "InvariantViolation",
     "ModelDraft",
     "PromptLookupDraft",
     "Request",
     "RequestOutput",
     "Scheduler",
     "SchedulerStats",
+    "ServingStressHarness",
     "SpecConfig",
+    "check_pool_invariants",
     "generate",
+    "shrink_ops",
 ]

@@ -280,6 +280,32 @@ class PagedKVCache:
         """Physical block ids of ``slot``, in position order (a copy)."""
         return list(self._tables[slot])
 
+    def free_blocks(self) -> List[int]:
+        """Ids of unreferenced blocks, in LRU reclaim order (a copy).
+
+        Introspection for invariant checkers (``repro.serve.stress``):
+        together with :meth:`ref_count` this exposes the free-list side of
+        the refcount/free-list duality without touching private state.
+        """
+        return list(self._free_lru)
+
+    def radix_entries(self) -> Dict[Tuple[int, bytes], int]:
+        """The prefix index as ``{(parent, token-run bytes): block}`` (a copy).
+
+        ``parent`` is the physical block anchoring the previous run of the
+        chain, or ``-1`` at a prompt's first block.  Introspection for
+        invariant checkers; mutating the copy has no effect on the pool.
+        """
+        return dict(self._prefix_index)
+
+    def radix_children(self, block: int) -> Set[int]:
+        """Published radix children of ``block`` (``-1`` for roots; a copy)."""
+        return set(self._children.get(block, ()))
+
+    def block_key_of(self, block: int) -> Optional[Tuple[int, bytes]]:
+        """The radix key ``block`` is published under, or None if unpublished."""
+        return self._block_key.get(block)
+
     # ------------------------------------------------------------------
     # Prefix identity (radix of chained block hashes)
     # ------------------------------------------------------------------
@@ -689,6 +715,14 @@ class PagedKVCache:
         if shared.any():
             self._fork_shared_targets(index, block_rows, shared)
             targets = index.tables[rows, block_rows]
+        # A sole-owner target can still sit in the prefix index: published,
+        # truncated past while a sharer pinned its bytes, then orphaned when
+        # that sharer freed.  Its content is about to change, so its entry —
+        # and every chain built on it — must drop, or a later match_prefix
+        # would surface stale bytes under the old key.
+        for block in np.unique(targets):
+            if self._block_key.get(int(block)) is not None:
+                self._deindex(int(block))
         offsets = positions - block_rows * self.block_size
         self._dirty[targets] = True
         # Adjacent advanced indices on the block/position axes keep the head

@@ -64,8 +64,8 @@ per-chunk quantization schedule — the same scoped exception
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -140,12 +140,26 @@ class Request:
         Set on the scheduler's internal copy by :meth:`Scheduler.submit`
         (which also returns it); a caller-constructed request is never
         mutated and may be resubmitted freely.
+    priority : int
+        Priority class: **lower values are more urgent**.  Admission is
+        ordered by ``(priority, arrival_time, request_id)``, and with
+        ``preemption=True`` an inadmissible head may evict a strictly
+        lower-priority (higher-valued) victim.  Default ``0``.
+    deadline : float, optional
+        Absolute scheduler-clock tick by which admission must have begun.
+        A request still waiting when the clock passes its deadline finishes
+        with ``finish_reason="expired"`` and no generated tokens.  Deadlines
+        never cancel a request that already started (or was preempted after
+        starting) — its partial work is kept.  ``None`` (default) never
+        expires.
     """
 
     prompt: np.ndarray
     max_new_tokens: Optional[int] = None
     arrival_time: float = 0.0
     request_id: Optional[int] = None
+    priority: int = 0
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -167,9 +181,11 @@ class RequestOutput:
     step_logits: np.ndarray
     #: Decode steps this request took (``len(generated)``).
     num_steps: int
-    #: ``"eos"`` or ``"length"``.
+    #: ``"eos"``, ``"length"``, ``"expired"`` (deadline passed while still
+    #: waiting), or ``"cancelled"`` (caller withdrew the request).
     finish_reason: str
     #: Scheduler-clock ticks at admission (prefill start) and completion.
+    #: ``admitted_at`` is ``-1.0`` for requests that expired unadmitted.
     admitted_at: float = 0.0
     finished_at: float = 0.0
     #: Prompt tokens whose KV came from the prefix cache (0 when disabled).
@@ -178,6 +194,14 @@ class RequestOutput:
     #: is disabled).
     spec_proposed_tokens: int = 0
     spec_accepted_tokens: int = 0
+    #: Priority class the request was submitted with (lower = more urgent).
+    priority: int = 0
+    #: Scheduler-clock tick the request arrived, as submitted.
+    arrival_time: float = 0.0
+    #: Tick the first token was committed (``-1.0`` if none ever was).
+    first_token_at: float = -1.0
+    #: Times the request was preempted and replayed before finishing.
+    preemptions: int = 0
 
 
 @dataclass
@@ -203,12 +227,26 @@ class SchedulerStats:
     #: Multi-token verification forwards executed (a subset of
     #: ``decode_iterations``).
     spec_verify_iterations: int = 0
-    #: Requests completed.
+    #: Requests completed (finish reason ``"eos"`` or ``"length"``).
     completed_requests: int = 0
     #: Largest number of concurrently admitted requests (prefilling + decoding).
     peak_active: int = 0
     #: Clock ticks spent with an empty batch waiting for the next arrival.
     idle_time: float = 0.0
+    #: Requests evicted mid-flight to make room for a higher-priority head
+    #: (each re-queued for prompt replay; counts evictions, not requests).
+    preemptions: int = 0
+    #: Requests that expired waiting (deadline passed before admission).
+    expired_requests: int = 0
+    #: Requests withdrawn via :meth:`Scheduler.cancel`.
+    cancelled_requests: int = 0
+    #: Per-priority-class time-to-first-token samples, in scheduler ticks
+    #: (``first_token_at - arrival_time``), appended as requests finish.
+    ttft_by_class: Dict[int, List[float]] = field(default_factory=dict)
+    #: Per-priority-class time-per-output-token samples, in scheduler ticks
+    #: (``(finished_at - first_token_at) / (num_steps - 1)``; single-token
+    #: requests contribute no sample).
+    tpot_by_class: Dict[int, List[float]] = field(default_factory=dict)
 
     @property
     def total_iterations(self) -> int:
@@ -242,6 +280,39 @@ class SchedulerStats:
             return 0.0
         return self.spec_accepted_tokens / self.spec_proposed_tokens
 
+    def ttft_values(self, priority: Optional[int] = None) -> List[float]:
+        """TTFT samples in scheduler ticks (one class, or all classes merged)."""
+        if priority is not None:
+            return list(self.ttft_by_class.get(int(priority), []))
+        merged: List[float] = []
+        for values in self.ttft_by_class.values():
+            merged.extend(values)
+        return merged
+
+    def ttft_percentile(self, q: float, priority: Optional[int] = None) -> float:
+        """The ``q``-th percentile TTFT of a class in ticks (0.0 if no samples)."""
+        values = self.ttft_values(priority)
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+    def mean_ttft(self, priority: Optional[int] = None) -> float:
+        """Mean TTFT of a class in scheduler ticks (0.0 if no samples)."""
+        values = self.ttft_values(priority)
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
+    def mean_tpot(self, priority: Optional[int] = None) -> float:
+        """Mean time-per-output-token of a class in ticks (0.0 if no samples)."""
+        if priority is not None:
+            values = self.tpot_by_class.get(int(priority), [])
+        else:
+            values = [v for samples in self.tpot_by_class.values() for v in samples]
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
 
 class _ActiveRequest:
     """Book-keeping for one admitted, not-yet-finished request."""
@@ -255,9 +326,12 @@ class _ActiveRequest:
         "logits",
         "next_token",
         "admitted_at",
+        "first_token_at",
+        "preemptions",
         "prefill_pos",
         "prefix_hit_tokens",
         "prefill_view",
+        "replay",
         "spec",
     )
 
@@ -270,12 +344,53 @@ class _ActiveRequest:
         self.logits: List[np.ndarray] = []
         self.next_token = -1
         self.admitted_at = admitted_at
+        #: Tick the first token was committed (-1.0 until then); survives
+        #: preemption so TTFT reflects the *first* admission.
+        self.first_token_at = -1.0
+        #: Times this request has been preempted and re-queued.
+        self.preemptions = 0
         self.prefill_pos = 0
         self.prefix_hit_tokens = 0
         #: Batch-of-one view reused across this request's prefill chunks.
         self.prefill_view: Optional["SlotBatchView"] = None
+        #: Tokens the current prefill must cover: the prompt, or — after a
+        #: preemption mid-decode — prompt + generated[:-1] (the last sampled
+        #: token was never fed to the model, so it stays pending).
+        self.replay: Optional[np.ndarray] = None
         #: Per-request adaptive speculation state (None when disabled).
         self.spec: Optional[_SpecState] = None
+
+
+class _QueueEntry:
+    """One waiting-queue entry: the request plus optional preempted state."""
+
+    __slots__ = ("request", "resume")
+
+    def __init__(self, request: Request, resume: Optional[_ActiveRequest] = None) -> None:
+        self.request = request
+        #: Preserved book-keeping of a preempted request (None for fresh
+        #: submissions): generated tokens, logits, RNG, spec state.
+        self.resume = resume
+
+    def replay_tokens(self) -> np.ndarray:
+        """Tokens the next prefill must cover when this entry is admitted.
+
+        A fresh request replays its prompt.  A request preempted after
+        sampling ``G`` tokens replays ``prompt + generated[:G-1]``: the KV
+        cache of an active request always trails its sampled stream by one
+        token (the newest token is fed by the *next* decode step), so the
+        final sampled token stays pending rather than being recomputed —
+        resuming never re-samples, which is what keeps preempted outputs
+        bit-identical to unpreempted runs.
+        """
+        if self.resume is None or not self.resume.generated:
+            return self.request.prompt
+        return np.concatenate(
+            [
+                self.request.prompt,
+                np.asarray(self.resume.generated[:-1], dtype=np.int64),
+            ]
+        )
 
 
 def _token_budget(prompt_len: int, max_new_tokens: int, max_seq_len: int) -> int:
@@ -352,6 +467,21 @@ class Scheduler:
         padded with repeated-token guesses; draft lengths adapt per request
         via an accept-rate EMA.  Chunked prefill interleaves unchanged —
         speculation only alters the decode half of each :meth:`step`.
+    preemption : bool
+        Allow admission to evict a strictly lower-priority victim when the
+        head of the queue cannot start (no free slot, or
+        :class:`ResourceExhaustedError` from the block pool).  The victim's
+        blocks are released to the LRU free-list (published blocks stay
+        matchable, so resume usually re-maps its prefix instead of
+        recomputing it) and the victim is re-queued for prompt replay; its
+        token stream is bit-identical to an unpreempted run because resume
+        replays already-sampled tokens without re-sampling.  Incompatible
+        with ``policy="gang"``.
+    on_token : callable, optional
+        ``on_token(request_id, token)`` invoked synchronously for every
+        committed token, in commit order — the streaming hook
+        :class:`~repro.serve.async_engine.AsyncEngine` feeds per-request
+        iterators from.
 
     Raises
     ------
@@ -380,6 +510,8 @@ class Scheduler:
         prefix_cache: bool = False,
         prefill_chunk: Optional[int] = None,
         speculation: Optional[SpecConfig] = None,
+        preemption: bool = False,
+        on_token: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -389,6 +521,13 @@ class Scheduler:
             raise ConfigurationError("prefill_chunk must be >= 1 (or None to disable)")
         if speculation is not None and not isinstance(speculation, SpecConfig):
             raise ConfigurationError("speculation must be a SpecConfig (or None)")
+        if preemption and policy == "gang":
+            raise ConfigurationError(
+                "preemption requires the continuous policy (gang batches "
+                "drain fully before admitting, so there is nothing to preempt into)"
+            )
+        self.preemption = bool(preemption)
+        self.on_token = on_token
         self.runner = runner
         self.config = config or GenerationConfig()
         self.max_batch_size = int(max_batch_size)
@@ -410,9 +549,14 @@ class Scheduler:
             )
         self.now = 0.0
         self.stats = SchedulerStats()
-        #: Min-heap of (arrival_time, request_id, request): FIFO by arrival,
-        #: submission order breaking ties, with O(log n) admission peeks.
-        self._waiting: List[Tuple[float, int, Request]] = []
+        #: Min-heap of (priority, arrival_time, request_id, entry) over
+        #: *arrived* requests: most-urgent class first, FIFO by arrival
+        #: within a class, submission order breaking ties.
+        self._waiting: List[Tuple[int, float, int, _QueueEntry]] = []
+        #: Min-heap of (arrival_time, request_id, entry) over requests whose
+        #: arrival lies in the future; promoted into ``_waiting`` (and into
+        #: priority order) once the clock reaches them.
+        self._future: List[Tuple[float, int, _QueueEntry]] = []
         #: Admitted requests whose prompts are not fully prefilled yet, FIFO.
         self._prefilling: List[_ActiveRequest] = []
         self._active: Dict[int, _ActiveRequest] = {}
@@ -430,6 +574,8 @@ class Scheduler:
         *,
         max_new_tokens: Optional[int] = None,
         arrival_time: float = 0.0,
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> int:
         """Enqueue a request (or a bare prompt) and return its request id.
 
@@ -437,8 +583,8 @@ class Scheduler:
         ----------
         request : Request or ndarray
             A full :class:`Request`, or just its prompt token array.
-        max_new_tokens, arrival_time
-            Conveniences for the bare-prompt form; passing either alongside
+        max_new_tokens, arrival_time, priority, deadline
+            Conveniences for the bare-prompt form; passing any alongside
             a full :class:`Request` is rejected (set the fields on the
             request instead) so overrides can never be silently dropped.
 
@@ -451,22 +597,36 @@ class Scheduler:
         ------
         ConfigurationError
             If the prompt is empty, contains out-of-vocabulary ids, leaves
-            no room below ``max_seq_len``, or can never fit the KV pool.
+            no room below ``max_seq_len``, can never fit the KV pool, or
+            the deadline precedes the arrival.
         """
         if isinstance(request, Request):
-            if max_new_tokens is not None or arrival_time != 0.0:
+            if (
+                max_new_tokens is not None
+                or arrival_time != 0.0
+                or priority != 0
+                or deadline is not None
+            ):
                 raise ConfigurationError(
-                    "pass max_new_tokens/arrival_time on the Request itself, "
-                    "not as submit() keywords alongside one"
+                    "pass max_new_tokens/arrival_time/priority/deadline on the "
+                    "Request itself, not as submit() keywords alongside one"
                 )
             max_new_tokens = request.max_new_tokens
             arrival_time = request.arrival_time
+            priority = request.priority
+            deadline = request.deadline
             request = request.prompt
         # The scheduler owns its queue entries: an internal Request is built
         # even from a full Request so the caller's object is never mutated
         # (it can be resubmitted, or submitted to several schedulers).
         prompt = np.asarray(request, dtype=np.int64).reshape(-1)
-        admitted = Request(prompt=prompt, max_new_tokens=max_new_tokens, arrival_time=arrival_time)
+        admitted = Request(
+            prompt=prompt,
+            max_new_tokens=max_new_tokens,
+            arrival_time=arrival_time,
+            priority=int(priority),
+            deadline=None if deadline is None else float(deadline),
+        )
         model_config = self.runner.config
         if prompt.size == 0:
             raise ConfigurationError("prompts must contain at least one token")
@@ -479,6 +639,8 @@ class Scheduler:
             )
         if max_new_tokens is not None and max_new_tokens < 1:
             raise ConfigurationError("max_new_tokens must be >= 1")
+        if admitted.deadline is not None and admitted.deadline < admitted.arrival_time:
+            raise ConfigurationError("deadline must not precede arrival_time")
         needed = self.cache.blocks_needed(self._reserved_capacity(admitted))
         if needed > self.cache.num_blocks:
             raise ConfigurationError(
@@ -487,13 +649,34 @@ class Scheduler:
             )
         admitted.request_id = self._next_request_id
         self._next_request_id += 1
-        heapq.heappush(self._waiting, (admitted.arrival_time, admitted.request_id, admitted))
+        self._enqueue(_QueueEntry(admitted))
         return admitted.request_id
+
+    def _enqueue(self, entry: _QueueEntry) -> None:
+        """Push an entry onto the arrived or future queue, as appropriate."""
+        request = entry.request
+        if request.arrival_time > self.now:
+            heapq.heappush(self._future, (request.arrival_time, request.request_id, entry))
+        else:
+            heapq.heappush(
+                self._waiting,
+                (request.priority, request.arrival_time, request.request_id, entry),
+            )
+
+    def _promote_arrivals(self) -> None:
+        """Move future-queue entries whose arrival has come into priority order."""
+        while self._future and self._future[0][0] <= self.now:
+            _, _, entry = heapq.heappop(self._future)
+            request = entry.request
+            heapq.heappush(
+                self._waiting,
+                (request.priority, request.arrival_time, request.request_id, entry),
+            )
 
     @property
     def has_pending(self) -> bool:
         """True while any request is waiting, prefilling, or decoding."""
-        return bool(self._waiting or self._prefilling or self._active)
+        return bool(self._waiting or self._future or self._prefilling or self._active)
 
     @property
     def num_active(self) -> int:
@@ -502,8 +685,8 @@ class Scheduler:
 
     @property
     def num_waiting(self) -> int:
-        """Requests queued but not yet admitted."""
-        return len(self._waiting)
+        """Requests queued (arrived or future) but not yet admitted."""
+        return len(self._waiting) + len(self._future)
 
     # ------------------------------------------------------------------
     # Serving loop
@@ -521,11 +704,11 @@ class Scheduler:
         list of RequestOutput
             Requests that finished during this iteration (possibly empty).
         """
-        if not self._active and not self._prefilling and self._waiting:
-            next_arrival = self._waiting[0][0]
-            if next_arrival > self.now:
-                self.stats.idle_time += next_arrival - self.now
-                self.now = next_arrival
+        self._promote_arrivals()
+        if not self._active and not self._prefilling and not self._waiting and self._future:
+            next_arrival = self._future[0][0]
+            self.stats.idle_time += next_arrival - self.now
+            self.now = next_arrival
         finished: List[RequestOutput] = []
         self._admit(finished)
         if self.prefill_chunk is not None:
@@ -553,6 +736,7 @@ class Scheduler:
                 self.now,
                 self.stats.total_iterations,
                 len(self._waiting),
+                len(self._future),
                 len(self._prefilling),
                 len(self._active),
             )
@@ -561,6 +745,7 @@ class Scheduler:
                 self.now,
                 self.stats.total_iterations,
                 len(self._waiting),
+                len(self._future),
                 len(self._prefilling),
                 len(self._active),
             )
@@ -645,29 +830,37 @@ class Scheduler:
         return _reserved_positions(len(request.prompt), self._budget(request))
 
     def _admit(self, finished: List[RequestOutput]) -> None:
-        """FIFO admission: reserve (and start prefilling) waiting requests.
+        """Priority-ordered admission: reserve and start waiting requests.
 
-        Admission is strictly in (arrival_time, request_id) order and stops
-        at the first request that cannot start — a head-of-line request
-        waiting for blocks is never overtaken by a cheaper later one, which
-        is what makes starvation impossible.  With ``prefix_cache`` the
-        prompt is matched against the radix of published block identities
-        first, so a request may need far fewer fresh blocks than its
-        reservation suggests.
+        Admission is strictly in (priority, arrival_time, request_id) order
+        and stops at the first request that cannot start — a head-of-line
+        request waiting for blocks is never overtaken by a cheaper
+        same-priority later one, which is what makes starvation within a
+        class impossible.  With ``prefix_cache`` the prompt is matched
+        against the radix of published block identities first, so a request
+        may need far fewer fresh blocks than its reservation suggests.
+        With ``preemption=True`` a head that cannot start evicts strictly
+        lower-priority victims (worst first) until it fits or none remain.
         """
+        self._promote_arrivals()
+        self._expire_deadlines(finished)
         if self.policy == "gang" and (self._active or self._prefilling):
             return
         block_size = self.cache.block_size
-        while self._waiting and self.num_active < self.max_batch_size:
-            arrival, _, head = self._waiting[0]
-            if arrival > self.now:
-                break
-            prompt = head.prompt
-            matched = self.cache.match_prefix(prompt) if self.prefix_cache else []
-            # The final prompt token is always recomputed — its logits seed
-            # sampling — so a hit is capped at len(prompt) - 1 tokens and a
-            # fully-matched final block must become a private (COW) copy.
-            start = min(len(matched) * block_size, len(prompt) - 1)
+        while self._waiting:
+            entry = self._waiting[0][3]
+            head = entry.request
+            if self.num_active >= self.max_batch_size:
+                if not self._preempt_for(head):
+                    break
+                continue  # a slot freed; retry the same head
+            tokens = entry.replay_tokens()
+            matched = self.cache.match_prefix(tokens) if self.prefix_cache else []
+            # The final replayed token is always recomputed — its logits (or,
+            # on resume, its KV write position) seed the next step — so a hit
+            # is capped at len(tokens) - 1 and a fully-matched final block
+            # must become a private (COW) copy.
+            start = min(len(matched) * block_size, len(tokens) - 1)
             try:
                 slot = self.cache.reserve(
                     self._reserved_capacity(head),
@@ -675,23 +868,219 @@ class Scheduler:
                     private_tail=start < len(matched) * block_size,
                 )
             except ResourceExhaustedError:
+                if self._preempt_for(head):
+                    continue  # victim blocks went back to the pool; retry
                 break
             heapq.heappop(self._waiting)
             self.cache.set_length(slot, start)
-            state = _ActiveRequest(
-                head, slot, self._budget(head), self.config.seed, admitted_at=self.now
-            )
-            if self.speculation is not None:
-                state.spec = _SpecState(draft_len=self.speculation.draft_tokens)
+            if entry.resume is not None:
+                state = entry.resume
+                state.slot = slot
+            else:
+                state = _ActiveRequest(
+                    head, slot, self._budget(head), self.config.seed, admitted_at=self.now
+                )
+                if self.speculation is not None:
+                    state.spec = _SpecState(draft_len=self.speculation.draft_tokens)
+            state.replay = tokens
             state.prefill_pos = start
-            state.prefix_hit_tokens = start
+            state.prefix_hit_tokens += start
             self.stats.prefix_hit_tokens += start
             self._prefilling.append(state)
             self.stats.peak_active = max(self.stats.peak_active, self.num_active)
             if self.prefill_chunk is None:
                 # Unchunked serving: the whole remaining prompt is prefilled
                 # in one forward at admission, exactly as before this PR.
-                self._advance_prefill(state, len(prompt) - start, finished)
+                self._advance_prefill(state, len(tokens) - start, finished)
+
+    def _expire_deadlines(self, finished: List[RequestOutput]) -> None:
+        """Retire waiting requests whose admission deadline has passed.
+
+        Only never-started requests expire (``now > deadline``): a preempted
+        request already holds sampled tokens, and dropping them would turn a
+        scheduling decision into data loss.  Expiry happens at admission
+        time, so a request whose deadline tick is *reachable* is always
+        offered admission at that tick before it can expire.
+        """
+        if not any(
+            item[3].request.deadline is not None and item[3].resume is None
+            for item in self._waiting
+        ):
+            return
+        kept: List[Tuple[int, float, int, _QueueEntry]] = []
+        for item in self._waiting:
+            entry = item[3]
+            request = entry.request
+            if (
+                entry.resume is None
+                and request.deadline is not None
+                and self.now > request.deadline
+            ):
+                self.stats.expired_requests += 1
+                finished.append(self._unstarted_output(request, "expired"))
+            else:
+                kept.append(item)
+        if len(kept) != len(self._waiting):
+            self._waiting = kept
+            heapq.heapify(self._waiting)
+
+    def _preempt_for(self, head: Request) -> bool:
+        """Evict one strictly lower-priority victim to make room for ``head``.
+
+        The victim is the *worst* active request — highest priority value,
+        then latest admission, then latest id — so repeated calls while one
+        head retries its reservation peel victims in least-valuable-first
+        order.  Returns False (and preempts nothing) when preemption is
+        disabled or no strictly lower-priority victim exists; admission then
+        stops exactly as without preemption.
+        """
+        if not self.preemption:
+            return False
+        candidates = [
+            state
+            for state in list(self._active.values()) + list(self._prefilling)
+            if state.request.priority > head.priority
+        ]
+        if not candidates:
+            return False
+        victim = max(
+            candidates,
+            key=lambda state: (
+                state.request.priority,
+                state.admitted_at,
+                state.request.request_id,
+            ),
+        )
+        self._preempt(victim)
+        return True
+
+    def _preempt(self, state: _ActiveRequest) -> None:
+        """Release one admitted request's slot and re-queue it for replay.
+
+        The freed blocks go to the LRU free-list; published prefix blocks
+        stay matchable there, so the replay usually re-maps its prefix
+        instead of recomputing it.  All sampling state (generated tokens,
+        recorded logits, RNG, speculation counters) rides along in the queue
+        entry, which is what keeps the eventual output bit-identical to an
+        unpreempted run.
+        """
+        request = state.request
+        entry = _QueueEntry(request, state)
+        if self.prefix_cache:
+            # Publish every fully-committed block — including blocks the
+            # victim *generated*, which ordinary serving never publishes —
+            # right before freeing them.  They land at the matchable back of
+            # the LRU, so the replay re-maps the victim's whole context (bar
+            # the partial tail block) instead of re-prefilling it; the
+            # content is a pure function of the tokens, so sharers and the
+            # resumed victim alike read exactly the bytes a cold prefill
+            # would produce.
+            committed = self.cache.length_of(state.slot)
+            if committed:
+                self.cache.publish_prefix(state.slot, entry.replay_tokens()[:committed])
+        self.release_request(request.request_id)
+        state.prefill_pos = 0
+        state.replay = None
+        state.preemptions += 1
+        self.stats.preemptions += 1
+        heapq.heappush(
+            self._waiting,
+            (request.priority, request.arrival_time, request.request_id, entry),
+        )
+
+    def release_request(self, request_id: int) -> _ActiveRequest:
+        """Evict an admitted request from its slot, freeing all its KV blocks.
+
+        The single eviction/backfill path shared by completion
+        (:meth:`_finalize`), preemption, and cancellation: removes the
+        request from the prefill queue or the active set, invalidates the
+        cached batch views, returns its blocks to the pool (published blocks
+        stay LRU-matchable), and releases any drafter state.  The freed slot
+        is backfilled by ``_admit`` on the next step.
+
+        Returns
+        -------
+        _ActiveRequest
+            The request's book-keeping (its ``slot`` is reset to ``-1``).
+
+        Raises
+        ------
+        ConfigurationError
+            If the request is not currently admitted — already finished,
+            already released (double release), still waiting, or unknown.
+        """
+        request_id = int(request_id)
+        state: Optional[_ActiveRequest] = None
+        for candidate in self._prefilling:
+            if candidate.request.request_id == request_id:
+                state = candidate
+                self._prefilling.remove(candidate)
+                break
+        if state is None:
+            for slot, candidate in self._active.items():
+                if candidate.request.request_id == request_id:
+                    state = candidate
+                    del self._active[slot]
+                    break
+        if state is None:
+            raise ConfigurationError(
+                f"request {request_id} is not admitted (already finished, "
+                "already released, still waiting, or never submitted)"
+            )
+        self._decode_view = None
+        state.prefill_view = None
+        self.cache.free(state.slot)
+        state.slot = -1
+        if self.speculation is not None:
+            self.speculation.drafter.release(request_id)
+        return state
+
+    def cancel(self, request_id: int) -> RequestOutput:
+        """Withdraw a request wherever it is and free everything it holds.
+
+        A waiting request is removed from its queue; an admitted one is
+        evicted via :meth:`release_request` (all KV blocks freed).  Either
+        way the returned output carries ``finish_reason="cancelled"`` and
+        whatever tokens were committed before the cancellation — cancelled
+        outputs are returned here, never from :meth:`step`.
+
+        Raises
+        ------
+        ConfigurationError
+            If the request is unknown or already finished.
+        """
+        request_id = int(request_id)
+        for queue in (self._waiting, self._future):
+            for index, item in enumerate(queue):
+                entry = item[-1]
+                if entry.request.request_id == request_id:
+                    queue.pop(index)
+                    heapq.heapify(queue)
+                    self.stats.cancelled_requests += 1
+                    if entry.resume is not None:
+                        return self._build_output(entry.resume, "cancelled")
+                    return self._unstarted_output(entry.request, "cancelled")
+        state = self.release_request(request_id)
+        self.stats.cancelled_requests += 1
+        return self._build_output(state, "cancelled")
+
+    def _unstarted_output(self, request: Request, reason: str) -> RequestOutput:
+        """Terminal output for a request that never produced a token."""
+        vocab = self.runner.config.vocab_size
+        return RequestOutput(
+            request_id=int(request.request_id),
+            prompt=request.prompt,
+            sequence=request.prompt,
+            generated=np.zeros(0, dtype=np.int64),
+            prompt_length=len(request.prompt),
+            step_logits=np.zeros((0, vocab), dtype=np.float64),
+            num_steps=0,
+            finish_reason=reason,
+            admitted_at=-1.0,
+            finished_at=self.now,
+            priority=request.priority,
+            arrival_time=request.arrival_time,
+        )
 
     def _advance_prefill(self, state: _ActiveRequest, budget: int, finished: List[RequestOutput]) -> int:
         """Prefill up to ``budget`` prompt tokens of one request (one forward).
@@ -705,34 +1094,44 @@ class Scheduler:
         int
             Prompt tokens computed by this chunk.
         """
-        prompt = state.request.prompt
+        tokens = state.replay if state.replay is not None else state.request.prompt
         begin = state.prefill_pos
-        end = min(len(prompt), begin + budget)
-        chunk = prompt[begin:end]
+        end = min(len(tokens), begin + budget)
+        chunk = tokens[begin:end]
         if state.prefill_view is None:
             state.prefill_view = self.cache.view([state.slot])
         view = state.prefill_view
+        # Only the final chunk of a *fresh* prompt needs logits (they seed
+        # sampling); intermediate chunks — and every chunk of a preemption
+        # replay, whose next token was sampled before the preemption — skip
+        # the LM-head projection entirely.
+        samples = end == len(tokens) and not state.generated
         logits = self.runner.prefill(
             chunk[None, :],
             np.array([len(chunk)]),
             view,
             start_positions=np.array([begin]),
-            # Only the prompt's final chunk needs logits (they seed sampling);
-            # intermediate chunks skip the LM-head projection entirely.
-            return_logits=end == len(prompt),
+            return_logits=samples,
         )
         view.commit()
         state.prefill_pos = end
         self.stats.prefill_iterations += 1
         self.stats.prefill_tokens += len(chunk)
         self.now += 1.0
-        if end == len(prompt):
+        if end == len(tokens):
             self._prefilling.remove(state)
             state.prefill_view = None
+            state.replay = None
             if self.prefix_cache:
-                self.cache.publish_prefix(state.slot, prompt)
+                self.cache.publish_prefix(state.slot, tokens)
             self._active[state.slot] = state
-            self._consume_logits(state, logits[0], finished)
+            if samples:
+                self._consume_logits(state, logits[0], finished)
+            else:
+                # Preemption replay: the last token sampled before the
+                # preemption was never fed to the model; it becomes the next
+                # decode step's input, exactly as in the unpreempted run.
+                state.next_token = state.generated[-1]
         return len(chunk)
 
     def _prefill_iteration(self, finished: List[RequestOutput]) -> None:
@@ -932,11 +1331,9 @@ class Scheduler:
         eos = self.config.eos_token
         for position in range(num_drafts + 1):
             token = _sample_token(logits_rows[position], self.config, state.rng)
-            state.generated.append(token)
+            self._commit_token(state, token)
             if self.record_logits:
                 state.logits.append(np.asarray(logits_rows[position], dtype=np.float64).copy())
-            state.next_token = token
-            self.stats.generated_tokens += 1
             committed += 1
             matched = position < num_drafts and token == int(draft[position])
             if matched and position < proposed:
@@ -954,16 +1351,24 @@ class Scheduler:
         state.spec.observe(proposed, accepted, self.speculation)
         return committed, reason
 
+    def _commit_token(self, state: _ActiveRequest, token: int) -> None:
+        """Record one committed token: stream it, stamp the first-token tick."""
+        state.generated.append(token)
+        state.next_token = token
+        self.stats.generated_tokens += 1
+        if state.first_token_at < 0:
+            state.first_token_at = self.now
+        if self.on_token is not None:
+            self.on_token(int(state.request.request_id), int(token))
+
     def _consume_logits(
         self, state: _ActiveRequest, logits_row: np.ndarray, finished: List[RequestOutput]
     ) -> None:
         """Sample the next token for one request and retire it if done."""
         token = _sample_token(logits_row, self.config, state.rng)
-        state.generated.append(token)
+        self._commit_token(state, token)
         if self.record_logits:
             state.logits.append(np.asarray(logits_row, dtype=np.float64).copy())
-        state.next_token = token
-        self.stats.generated_tokens += 1
         eos = self.config.eos_token
         if eos is not None and token == eos:
             self._finalize(state, "eos", finished)
@@ -972,11 +1377,22 @@ class Scheduler:
 
     def _finalize(self, state: _ActiveRequest, reason: str, finished: List[RequestOutput]) -> None:
         """Evict a finished request: free its blocks, emit its output."""
-        self._active.pop(state.slot, None)
-        self._decode_view = None
-        self.cache.free(state.slot)
-        if self.speculation is not None:
-            self.speculation.drafter.release(int(state.request.request_id))
+        self.release_request(state.request.request_id)
+        self.stats.completed_requests += 1
+        priority = int(state.request.priority)
+        if state.first_token_at >= 0:
+            self.stats.ttft_by_class.setdefault(priority, []).append(
+                state.first_token_at - state.request.arrival_time
+            )
+            steps = len(state.generated)
+            if steps > 1:
+                self.stats.tpot_by_class.setdefault(priority, []).append(
+                    (self.now - state.first_token_at) / (steps - 1)
+                )
+        finished.append(self._build_output(state, reason))
+
+    def _build_output(self, state: _ActiveRequest, reason: str) -> RequestOutput:
+        """Assemble the terminal :class:`RequestOutput` for one request."""
         continuation = np.array(state.generated, dtype=np.int64)
         vocab = self.runner.config.vocab_size
         step_logits = (
@@ -984,21 +1400,22 @@ class Scheduler:
             if state.logits
             else np.zeros((0, vocab), dtype=np.float64)
         )
-        self.stats.completed_requests += 1
-        finished.append(
-            RequestOutput(
-                request_id=int(state.request.request_id),
-                prompt=state.request.prompt,
-                sequence=np.concatenate([state.request.prompt, continuation]),
-                generated=continuation,
-                prompt_length=len(state.request.prompt),
-                step_logits=step_logits,
-                num_steps=len(continuation),
-                finish_reason=reason,
-                admitted_at=state.admitted_at,
-                finished_at=self.now,
-                prefix_hit_tokens=state.prefix_hit_tokens,
-                spec_proposed_tokens=state.spec.proposed_tokens if state.spec else 0,
-                spec_accepted_tokens=state.spec.accepted_tokens if state.spec else 0,
-            )
+        return RequestOutput(
+            request_id=int(state.request.request_id),
+            prompt=state.request.prompt,
+            sequence=np.concatenate([state.request.prompt, continuation]),
+            generated=continuation,
+            prompt_length=len(state.request.prompt),
+            step_logits=step_logits,
+            num_steps=len(continuation),
+            finish_reason=reason,
+            admitted_at=state.admitted_at,
+            finished_at=self.now,
+            prefix_hit_tokens=state.prefix_hit_tokens,
+            spec_proposed_tokens=state.spec.proposed_tokens if state.spec else 0,
+            spec_accepted_tokens=state.spec.accepted_tokens if state.spec else 0,
+            priority=int(state.request.priority),
+            arrival_time=state.request.arrival_time,
+            first_token_at=state.first_token_at,
+            preemptions=state.preemptions,
         )

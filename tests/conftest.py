@@ -9,6 +9,8 @@ through the on-disk checkpoint cache.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,18 @@ from repro.nn import TransformerConfig
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: tests that train or load zoo-sized checkpoints")
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize ``stress_seed`` from the ``REPRO_STRESS_SEEDS`` env knob.
+
+    Tier-1 runs the randomized serving stress harness on 3 seeds by default;
+    set ``REPRO_STRESS_SEEDS=50`` (or any N) for a deeper soak without
+    touching the test code.
+    """
+    if "stress_seed" in metafunc.fixturenames:
+        num_seeds = int(os.environ.get("REPRO_STRESS_SEEDS", "3"))
+        metafunc.parametrize("stress_seed", range(num_seeds))
 
 
 @pytest.fixture(scope="session")

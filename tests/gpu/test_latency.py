@@ -383,3 +383,82 @@ class TestPagedAttentionWorkload:
             self.make(kv_bytes_per_element=0)
         with pytest.raises(ConfigurationError):
             self.make(batch=0)
+
+
+class TestPreemptionWorkload:
+    @staticmethod
+    def make(**overrides):
+        from repro.gpu import PreemptionWorkload
+
+        defaults = dict(
+            victim_context=512,
+            resume_hit_rate=0.9,
+            high_prompt_tokens=64,
+            expected_wait_steps=128.0,
+            d_model=4096,
+            d_ff=16384,
+            num_heads=32,
+            num_layers=4,
+            batch=4,
+        )
+        defaults.update(overrides)
+        return PreemptionWorkload(**defaults)
+
+    def test_recompute_tokens_shrink_with_hit_rate(self):
+        assert self.make(resume_hit_rate=0.0).recompute_tokens() == 512
+        assert self.make(resume_hit_rate=0.75).recompute_tokens() == 128
+        # Even a perfect prefix hit re-prefills the final unfed token.
+        assert self.make(resume_hit_rate=1.0).recompute_tokens() == 1
+
+    def test_preempting_beats_waiting_on_ttft(self):
+        from repro.gpu import preemption_tradeoff
+
+        table = preemption_tradeoff(self.make(), "a100")
+        for row in table.values():
+            assert row["wait_ttft_ms"] > row["preempt_ttft_ms"] > 0.0
+            assert row["ttft_speedup"] > 1.0
+
+    def test_speedup_grows_with_wait(self):
+        from repro.gpu import preemption_tradeoff
+
+        previous = None
+        for wait in (16.0, 64.0, 256.0):
+            table = preemption_tradeoff(self.make(expected_wait_steps=wait), "a100")
+            speedup = table["Tender SW"]["ttft_speedup"]
+            if previous is not None:
+                assert speedup > previous
+            previous = speedup
+
+    def test_prefix_hits_make_preemption_worthwhile(self):
+        from repro.gpu import preemption_tradeoff
+
+        hit = preemption_tradeoff(self.make(resume_hit_rate=0.9), "a100")
+        cold = preemption_tradeoff(self.make(resume_hit_rate=0.0), "a100")
+        for scheme in hit:
+            assert hit[scheme]["recompute_ms"] < cold[scheme]["recompute_ms"]
+            assert hit[scheme]["recompute_overhead_ratio"] < 1.0
+            assert hit[scheme]["worthwhile"] == 1.0
+
+    def test_tradeoff_table_covers_every_scheme(self):
+        from repro.gpu import preemption_tradeoff
+
+        table = preemption_tradeoff(self.make(), "rtx3090")
+        assert set(table) == {
+            "FP16",
+            "INT8 (per-tensor)",
+            "INT8 (per-row)",
+            "INT8 (per-channel)",
+            "Tender SW",
+        }
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.make(victim_context=0)
+        with pytest.raises(ConfigurationError):
+            self.make(resume_hit_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            self.make(high_prompt_tokens=0)
+        with pytest.raises(ConfigurationError):
+            self.make(expected_wait_steps=-1.0)
+        with pytest.raises(ConfigurationError):
+            self.make(batch=0)

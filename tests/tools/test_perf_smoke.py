@@ -36,3 +36,6 @@ class TestPerfSmoke:
         assert "perf smoke ok (fast decode path" in result.stdout
         assert "perf smoke ok (prefix cache served" in result.stdout
         assert "perf smoke ok (speculation accepted" in result.stdout
+        assert "perf smoke ok (fused paged attention" in result.stdout
+        assert "perf smoke ok (preemption token-identical" in result.stdout
+        assert "perf smoke ok (serving stress clean" in result.stdout

@@ -5,7 +5,7 @@ Run from the repository root (tier-1 runs it via ``tests/tools``):
 
     PYTHONPATH=src python tools/check_perf_smoke.py
 
-Four checks run back to back:
+Six checks run back to back:
 
 1. **Fast kernels** — builds the shared synthetic decode workload from
    ``repro.core.perf`` (no model training, no checkpoint cache — the same
@@ -45,6 +45,23 @@ Four checks run back to back:
    least the analytic floor — a fused path that silently falls back to
    gathering fails the zero check, and a broken counter fails the floor.
 
+5. **Priority preemption** — serves a tiny two-class trace (background
+   stream plus an urgent burst) with FIFO and with preemptive scheduling
+   and gates on the deterministic accounting: every request's tokens must
+   be bit-identical across the two policies (the free-then-replay resume
+   path must not perturb a single logit), at least one preemption must
+   actually fire, the urgent class's tick-based p99 TTFT must improve by
+   ``REQUIRED_TTFT_SPEEDUP``, and aggregate generated tokens per forwarded
+   row must stay within ``REQUIRED_WORK_RATIO`` of FIFO — a resume path
+   that stops publishing victims' blocks fails the work gate, and a
+   replay that re-samples fails parity.
+
+6. **Serving stress** — replays short ``ServingStressHarness`` schedules
+   (mixed admit/fork/decode/truncate/preempt/evict against a tiny paged
+   pool) and fails on any ``InvariantViolation`` — the same invariant web
+   tier-1 exercises, kept in the standalone gate so external CI without
+   pytest still audits the pool.
+
 Exit status 0 when clean; 1 with a one-line diagnosis otherwise.
 """
 
@@ -68,6 +85,19 @@ REQUIRED_HIT_RATE = 0.5
 #: tokens on the periodic trace (measured ~0.9; the generation is a strict
 #: cycle, so a healthy drafter cannot miss).
 REQUIRED_ACCEPT_RATE = 0.5
+#: Preemption must improve the urgent class's deterministic (tick-based)
+#: p99 TTFT by at least this factor on the two-class trace (measured ~8.7x;
+#: the floor matches the headline gate in ``bench_generate_decode.py``).
+REQUIRED_TTFT_SPEEDUP = 1.5
+#: Preemptive scheduling must keep aggregate generated tokens per forwarded
+#: row within 5% of FIFO (measured ~0.99 — prefix-published victim blocks
+#: make replay nearly free; a resume path that recomputes from scratch
+#: lands well below this).
+REQUIRED_WORK_RATIO = 0.95
+#: Stress seeds and ops per seed for the standalone invariant sweep (tier-1
+#: runs the deeper parametrized suite in ``tests/serve``).
+STRESS_SEEDS = 2
+STRESS_OPS = 120
 
 
 def _tiny_serving_runner():
@@ -407,6 +437,115 @@ def check_fused_attention() -> int:
     return 0
 
 
+def check_preemption_smoke() -> int:
+    """Deterministic preemption-parity, TTFT, and recompute-cost gate."""
+    from repro.serve import GenerationConfig, Scheduler
+
+    runner = _tiny_serving_runner()
+    rng = np.random.default_rng(13)
+    # Background stream from t=0 saturates the batch-2 scheduler with long
+    # generations; the urgent burst lands at t=8 with short prompts and
+    # 3-token budgets — the traffic whose TTFT preemption protects.
+    low = [(rng.integers(0, 64, size=6 + i % 3), 5, 24, 0.8 * i) for i in range(4)]
+    high = [(rng.integers(0, 64, size=4 + i % 2), 0, 3, 8.0 + 0.5 * i) for i in range(4)]
+
+    def serve(preemption):
+        # Block size 4 keeps the unpublished tail a resumed victim must
+        # re-prefill short, so replay rides the prefix cache.
+        scheduler = Scheduler(
+            runner,
+            GenerationConfig(max_new_tokens=24),
+            max_batch_size=2,
+            block_size=4,
+            prefix_cache=True,
+            preemption=preemption,
+            record_logits=False,
+        )
+        urgent_ids = []
+        for group in (low, high):
+            for prompt, priority, budget, arrival in group:
+                request_id = scheduler.submit(
+                    prompt,
+                    max_new_tokens=budget,
+                    arrival_time=arrival,
+                    priority=priority if preemption else 0,
+                )
+                if group is high:
+                    urgent_ids.append(request_id)
+        outputs = {output.request_id: output for output in scheduler.run()}
+        return outputs, scheduler.stats, urgent_ids
+
+    outputs_fifo, stats_fifo, urgent_fifo = serve(False)
+    outputs_preempt, stats_preempt, urgent_preempt = serve(True)
+    for request_id, output in outputs_fifo.items():
+        if not np.array_equal(output.generated, outputs_preempt[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"under preemptive scheduling — the free-then-replay resume is not "
+                f"bit-exact"
+            )
+            return 1
+    if stats_preempt.preemptions < 1:
+        print(
+            "perf smoke FAILED: the two-class trace triggered no preemption — "
+            "the priority policy never fired, so the gate proves nothing"
+        )
+        return 1
+
+    def p99_ttft(outputs, request_ids):
+        waits = [
+            outputs[rid].first_token_at - outputs[rid].arrival_time for rid in request_ids
+        ]
+        return float(np.percentile(waits, 99))
+
+    ttft_fifo = p99_ttft(outputs_fifo, urgent_fifo)
+    ttft_preempt = p99_ttft(outputs_preempt, urgent_preempt)
+    speedup = ttft_fifo / ttft_preempt
+    if speedup < REQUIRED_TTFT_SPEEDUP:
+        print(
+            f"perf smoke FAILED: preemption improved urgent p99 TTFT only "
+            f"{speedup:.2f}x ({ttft_fifo:.1f} -> {ttft_preempt:.1f} ticks, required "
+            f">= {REQUIRED_TTFT_SPEEDUP:.1f}x) — the priority policy regressed"
+        )
+        return 1
+    tokens = sum(len(output.generated) for output in outputs_fifo.values())
+    work_fifo = tokens / (stats_fifo.prefill_tokens + tokens)
+    work_preempt = tokens / (stats_preempt.prefill_tokens + tokens)
+    work_ratio = work_preempt / work_fifo
+    if work_ratio < REQUIRED_WORK_RATIO:
+        print(
+            f"perf smoke FAILED: preemption cut tokens-per-forwarded-row to "
+            f"{work_ratio:.0%} of FIFO (required >= {REQUIRED_WORK_RATIO:.0%}) — "
+            f"victim replay is recomputing instead of riding the prefix cache"
+        )
+        return 1
+    print(
+        f"perf smoke ok (preemption token-identical, urgent p99 TTFT "
+        f"{speedup:.1f}x, work ratio {work_ratio:.0%})"
+    )
+    return 0
+
+
+def check_serving_stress() -> int:
+    """Randomized invariant sweep over the paged pool's op vocabulary."""
+    from repro.serve import InvariantViolation, ServingStressHarness
+
+    for seed in range(STRESS_SEEDS):
+        try:
+            ServingStressHarness(seed=seed).run(STRESS_OPS)
+        except InvariantViolation as error:
+            print(
+                f"perf smoke FAILED: serving stress violated a pool invariant "
+                f"(seed {seed}): {error}"
+            )
+            return 1
+    print(
+        f"perf smoke ok (serving stress clean over {STRESS_SEEDS} seeds x "
+        f"{STRESS_OPS} ops)"
+    )
+    return 0
+
+
 def main() -> int:
     """Run every smoke gate; first failure wins."""
     return (
@@ -414,6 +553,8 @@ def main() -> int:
         or check_serving_smoke()
         or check_speculative_smoke()
         or check_fused_attention()
+        or check_preemption_smoke()
+        or check_serving_stress()
     )
 
 
