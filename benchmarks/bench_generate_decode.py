@@ -48,9 +48,20 @@ Four measurements ride in one benchmark round:
    5% of FIFO.  ``repro.gpu.PreemptionWorkload`` provides the
    analytic recompute-vs-wait expectation alongside the measurement.
 
-The prefix-cache, speculative, and preemption results land in
-``BENCH_serving.json`` when ``REPRO_WRITE_BENCH=1`` (or a full evaluation)
-asks for a fresh record.
+7. **Fault tolerance** — a Poisson arrival trace over a 3-replica
+   ``repro.serve.cluster.ReplicaPool`` (sticky-template routing), served
+   fault-free and under seeded mid-trace replica kills.  The deterministic
+   gates: every request's tokens stay bit-identical across the chaos run
+   (crashed requests are checkpointed and replayed, never re-sampled), at
+   least one recovery fires, and chaos goodput — generated tokens per
+   forwarded token row — stays within 80% of fault-free, because recovery
+   replays ride prefix-cache hits instead of recomputing whole contexts.
+   ``repro.gpu.FaultToleranceWorkload`` provides the analytic
+   recompute-cost-vs-failure-rate expectation alongside the measurement.
+
+The prefix-cache, speculative, preemption, and fault-tolerance results land
+in ``BENCH_serving.json`` when ``REPRO_WRITE_BENCH=1`` (or a full
+evaluation) asks for a fresh record.
 """
 
 from __future__ import annotations
@@ -72,17 +83,21 @@ from repro.experiments.report import format_table, full_evaluation_enabled
 from repro.gpu import (
     ContinuousBatchWorkload,
     DecodeWorkload,
+    FaultToleranceWorkload,
     PreemptionWorkload,
     PrefixCacheWorkload,
     SpeculativeWorkload,
     decode_step_latencies,
+    fault_tolerance_goodput,
 )
 from repro.models import TransformerRunner, get_language_model
 from repro.models.zoo import get_zoo_entry
 from repro.serve import (
+    FaultInjector,
     GenerationConfig,
     GenerationEngine,
     PromptLookupDraft,
+    ReplicaPool,
     Scheduler,
     SpecConfig,
 )
@@ -767,6 +782,149 @@ def run_preemption_bench() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Fault tolerance: seeded replica kills over a sticky-routed pool
+# ----------------------------------------------------------------------
+FT_REPLICAS = 3
+FT_BATCH = 2
+FT_BLOCK = 4
+FT_TEMPLATES = 2
+FT_REQUESTS = 8
+FT_BUDGET = 12
+#: Pool iterations at which the scripted chaos schedule kills a replica —
+#: late enough that the victims hold committed tokens worth replaying,
+#: spread across two replicas so two distinct failovers are exercised.
+FT_KILLS = {2: 0, 6: 1}
+
+
+def build_fault_tolerance_trace(tokens, seed: int) -> List[tuple]:
+    """A template-heavy Poisson trace for the replica pool.
+
+    Every prompt opens with one of ``FT_TEMPLATES`` shared templates, so
+    sticky-template routing lands each template's requests on one replica
+    and a recovered request's replay finds its template prefix already
+    published on the failover target — the prefix-hit recovery the
+    goodput gate below depends on.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(scale=0.5, size=FT_REQUESTS))
+    trace = []
+    for index in range(FT_REQUESTS):
+        template = tokens[(index % FT_TEMPLATES) * 64 : (index % FT_TEMPLATES) * 64 + 10]
+        suffix = tokens[200 + index * 7 : 200 + index * 7 + 2 + index % 3]
+        trace.append((np.concatenate([template, suffix]), float(arrivals[index])))
+    return trace
+
+
+def _serve_pool_trace(runner, trace: List[tuple], injector) -> tuple:
+    """Serve the trace once through a fresh pool; ``injector=None`` is clean."""
+    pool = ReplicaPool(
+        runner,
+        num_replicas=FT_REPLICAS,
+        config=GenerationConfig(max_new_tokens=FT_BUDGET),
+        fault_injector=injector,
+        max_batch_size=FT_BATCH,
+        block_size=FT_BLOCK,
+        record_logits=False,
+    )
+    for prompt, arrival in trace:
+        pool.submit(prompt, arrival_time=arrival)
+    start = time.perf_counter()
+    outputs = {output.request_id: output for output in pool.run()}
+    return outputs, pool, time.perf_counter() - start
+
+
+def run_fault_tolerance_bench() -> dict:
+    """Chaos goodput and bit-exact recovery over a 3-replica pool."""
+    weights = get_language_model(MODEL_NAME)
+    corpus_train, _ = load_corpus("wiki", vocab_size=weights.config.vocab_size).split()
+    calibration = calibration_samples(corpus_train, seq_len=48, num_samples=4, seed=7)
+    runner = TenderQuantizer(
+        TenderConfig(bits=8, num_groups=8, row_chunk_size=32), implicit=True
+    ).quantize(weights, calibration)
+
+    trace = build_fault_tolerance_trace(corpus_train, seed=43)
+    clean_outputs, clean_pool, clean_s = _serve_pool_trace(runner, trace, None)
+    injector = FaultInjector(seed=0, kill_at=dict(FT_KILLS))
+    chaos_outputs, chaos_pool, chaos_s = _serve_pool_trace(runner, trace, injector)
+
+    # A replica kill must never change what a request generates: every
+    # checkpointed victim replays on its failover replica to bit-identical
+    # tokens (Tender's integer pipeline), never re-samples.
+    for request_id, output in clean_outputs.items():
+        assert np.array_equal(output.generated, chaos_outputs[request_id].generated)
+    recoveries = chaos_pool.cluster_stats.recoveries
+    assert recoveries >= 1, "the scripted kills never exercised the replay path"
+    assert chaos_pool.cluster_stats.degraded_requests == 0, (
+        "this trace fits the retry budget; nothing should be shed"
+    )
+
+    # Goodput in the same deterministic unit as the preemption bench:
+    # generated tokens per forwarded token row.  The pool retains the
+    # counters of schedulers discarded by crash rebuilds, so generated
+    # tokens are conserved across runs and recovery recompute shows up as
+    # exactly the extra prefill rows; prefix-hit replay is what keeps the
+    # chaos run within the 80% floor of fault-free.
+    clean_stats, chaos_stats = clean_pool.stats, chaos_pool.stats
+    tokens = chaos_stats["generated_tokens"]
+    assert tokens == clean_stats["generated_tokens"]
+    clean_tpr = tokens / (clean_stats["prefill_tokens"] + tokens)
+    chaos_tpr = tokens / (chaos_stats["prefill_tokens"] + tokens)
+    goodput_ratio = chaos_tpr / clean_tpr
+    assert goodput_ratio >= 0.8, (
+        f"chaos goodput fell to {goodput_ratio:.0%} of fault-free (>20% recompute)"
+    )
+
+    # The replayed rows the cache served vs the ones actually recomputed —
+    # the measured counterpart of the analytic ``resume_hit_rate``.
+    replay_saved = chaos_stats["prefix_hit_tokens"] - clean_stats["prefix_hit_tokens"]
+    replay_cost = chaos_stats["prefill_tokens"] - clean_stats["prefill_tokens"]
+    resume_hit_rate = (
+        replay_saved / (replay_saved + replay_cost) if replay_saved + replay_cost > 0 else 0.0
+    )
+    mean_context = int(round(np.mean([
+        len(out.prompt) + len(out.generated) for out in chaos_outputs.values()
+    ])))
+    failure_rate = chaos_pool.cluster_stats.failures / max(
+        chaos_pool.cluster_stats.iterations * FT_REPLICAS, 1
+    )
+
+    entry = get_zoo_entry(MODEL_NAME)
+    analytic = FaultToleranceWorkload(
+        num_replicas=FT_REPLICAS,
+        batch=FT_BATCH,
+        mean_context=mean_context,
+        failure_rate=min(failure_rate, 0.999),
+        resume_hit_rate=min(1.0, max(0.0, resume_hit_rate)),
+        retry_backoff_steps=0.0,
+        d_model=entry.paper_d_model,
+        d_ff=entry.paper_d_ff,
+        num_heads=entry.paper_num_heads,
+        num_layers=entry.paper_num_layers,
+    )
+    return {
+        "num_requests": FT_REQUESTS,
+        "num_replicas": FT_REPLICAS,
+        "kills": len(FT_KILLS),
+        "failures": chaos_pool.cluster_stats.failures,
+        "recoveries": recoveries,
+        "degraded": chaos_pool.cluster_stats.degraded_requests,
+        "tokens": tokens,
+        "tokens_per_row_fault_free": clean_tpr,
+        "tokens_per_row_chaos": chaos_tpr,
+        "goodput_ratio": goodput_ratio,
+        "resume_hit_rate": resume_hit_rate,
+        "mean_context": mean_context,
+        "iterations_fault_free": clean_pool.cluster_stats.iterations,
+        "iterations_chaos": chaos_pool.cluster_stats.iterations,
+        "fault_free_wall_s": clean_s,
+        "chaos_wall_s": chaos_s,
+        "analytic_goodput_ratio_tender_sw": fault_tolerance_goodput(analytic, "rtx3090")[
+            "Tender SW"
+        ]["goodput_ratio"],
+    }
+
+
 def run_bench() -> dict:
     results = {
         "decode": run_generate_bench(),
@@ -775,12 +933,14 @@ def run_bench() -> dict:
         "prefix_cache": run_prefix_cache_bench(),
         "speculative": run_speculative_bench(),
         "preemption": run_preemption_bench(),
+        "fault_tolerance": run_fault_tolerance_bench(),
     }
     if full_evaluation_enabled() or os.environ.get("REPRO_WRITE_BENCH") == "1":
         record = {
             "prefix_cache": results["prefix_cache"],
             "speculative": results["speculative"],
             "preemption": results["preemption"],
+            "fault_tolerance": results["fault_tolerance"],
         }
         SERVING_RESULT_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return results
@@ -794,6 +954,7 @@ def test_generate_decode(benchmark, render):
     prefix = results["prefix_cache"]
     spec = results["speculative"]
     preempt = results["preemption"]
+    fault = results["fault_tolerance"]
     render(
         format_table(
             ["Scheme", "Wall ms/token", "Modeled GPU ms/step", "Tokens"],
@@ -891,6 +1052,23 @@ def test_generate_decode(benchmark, render):
             title=(
                 f"Priority preemption: {preempt['num_low']} background + "
                 f"{preempt['num_high']} urgent requests, batch {PREEMPT_BATCH}"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["Metric", "Fault-free", "Chaos (seeded kills)"],
+            [
+                ["replica kills", 0, fault["kills"]],
+                ["recoveries", 0, fault["recoveries"]],
+                ["degraded requests", 0, fault["degraded"]],
+                ["tokens / forwarded row", fault["tokens_per_row_fault_free"], fault["tokens_per_row_chaos"]],
+                ["goodput ratio", 1.0, fault["goodput_ratio"]],
+                ["resume prefix-hit rate", 0.0, fault["resume_hit_rate"]],
+                ["goodput ratio (analytic, Tender SW)", 1.0, fault["analytic_goodput_ratio_tender_sw"]],
+            ],
+            title=(
+                f"Fault tolerance: {fault['num_requests']} requests over "
+                f"{fault['num_replicas']} replicas, {fault['kills']} seeded kills"
             ),
         )
     )

@@ -35,3 +35,7 @@ class SimulationError(ReproError):
 
 class ResourceExhaustedError(ReproError):
     """Raised when a bounded runtime resource pool (e.g. KV blocks) runs dry."""
+
+
+class ReplicaFailureError(ReproError):
+    """Raised when a serving replica crashes (or is chaos-killed) mid-iteration."""

@@ -8,15 +8,19 @@ step, :class:`ContinuousBatchWorkload` to a whole serving trace
 rate → request throughput), :class:`SpeculativeWorkload` to
 draft-and-verify decoding (accept rate → decode throughput), and
 :class:`PagedAttentionWorkload` to gather-free paged attention (the dense
-KV copy the fused kernel avoids, versus context length), and
+KV copy the fused kernel avoids, versus context length),
 :class:`PreemptionWorkload` to priority preemption (the urgent-TTFT gain
-of evicting a victim versus the recompute its resume pays).
+of evicting a victim versus the recompute its resume pays), and
+:class:`FaultToleranceWorkload` to replica-pool fault tolerance (the
+goodput kept under failures when recovery replays checkpoints over
+prefix-cache hits instead of recomputing whole contexts).
 """
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
 from repro.gpu.latency import (
     ContinuousBatchWorkload,
     DecodeWorkload,
+    FaultToleranceWorkload,
     GemmLatency,
     PagedAttentionWorkload,
     PreemptionWorkload,
@@ -25,6 +29,7 @@ from repro.gpu.latency import (
     continuous_batch_throughput,
     decode_step_latencies,
     decode_throughput_tokens_per_s,
+    fault_tolerance_goodput,
     figure12_latencies,
     fp16_latency_ms,
     int8_latency_ms,
@@ -43,11 +48,13 @@ __all__ = [
     "GemmLatency",
     "DecodeWorkload",
     "ContinuousBatchWorkload",
+    "FaultToleranceWorkload",
     "PagedAttentionWorkload",
     "PreemptionWorkload",
     "PrefixCacheWorkload",
     "SpeculativeWorkload",
     "continuous_batch_throughput",
+    "fault_tolerance_goodput",
     "paged_attention_throughput",
     "preemption_tradeoff",
     "prefix_cache_throughput",

@@ -1031,3 +1031,153 @@ def preemption_tradeoff(
             "worthwhile": 1.0 if ratio < 1.0 else 0.0,
         }
     return results
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerance (recompute-cost-vs-failure-rate) replica-pool workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultToleranceWorkload:
+    """Goodput of a replica pool under failures and checkpoint/replay recovery.
+
+    Models what ``repro.serve.cluster.ReplicaPool`` pays when a replica
+    dies: every in-flight request is checkpointed and re-admitted
+    elsewhere, re-prefilling the fraction of its context the prefix cache
+    cannot re-serve (``1 - resume_hit_rate``) and sitting out
+    ``retry_backoff_steps`` decode steps of exponential backoff.  The
+    question the model answers is the same shape as the preemption
+    tradeoff: at what failure rate does recovery recompute start to
+    dominate, and how much of it does prefix-hit recovery buy back.
+
+    Parameters
+    ----------
+    num_replicas : int
+        Pool size (failures are per replica, goodput is fleet-wide).
+    batch : int
+        Active decode rows per replica — the requests a single failure
+        checkpoints and replays.
+    mean_context : int
+        Mean committed tokens (prompt + generated) per in-flight request
+        at failure time — the upper bound on per-request recompute.
+    failure_rate : float
+        Per-decode-step probability that a given replica fails (kill,
+        watchdog trip, or unrecoverable stall).
+    resume_hit_rate : float
+        Fraction of a recovered request's replay served from prefix-cache
+        hits on the target replica (``0`` = disjoint caches, everything
+        recomputed; sticky-template routing pushes this up).
+    retry_backoff_steps : float
+        Mean decode steps a recovered request waits out in backoff before
+        re-admission (the retry budget's exponential delay, amortized).
+    d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    """
+
+    num_replicas: int
+    batch: int
+    mean_context: int
+    failure_rate: float
+    resume_hit_rate: float
+    retry_backoff_steps: float
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ConfigurationError("num_replicas must be >= 1")
+        if self.batch < 1:
+            raise ConfigurationError("batch must be >= 1")
+        if self.mean_context < 1:
+            raise ConfigurationError("mean_context must be >= 1")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ConfigurationError("failure_rate must lie in [0, 1)")
+        if not 0.0 <= self.resume_hit_rate <= 1.0:
+            raise ConfigurationError("resume_hit_rate must lie in [0, 1]")
+        if self.retry_backoff_steps < 0.0:
+            raise ConfigurationError("retry_backoff_steps must be >= 0")
+        self.decode_workload()
+
+    def decode_workload(self) -> DecodeWorkload:
+        """Per-step GEMMs of one replica's healthy decode batch."""
+        return DecodeWorkload(
+            batch=self.batch,
+            context=self.mean_context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def recompute_tokens(self) -> int:
+        """Replayed tokens actually recomputed per recovered request."""
+        return max(1, int(round(self.mean_context * (1.0 - self.resume_hit_rate))))
+
+    def recovery_workload(self) -> DecodeWorkload:
+        """The GEMMs of re-prefilling one failed replica's whole batch."""
+        return DecodeWorkload(
+            batch=max(1, self.batch * self.recompute_tokens()),
+            context=self.mean_context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+
+def fault_tolerance_goodput(
+    workload: FaultToleranceWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Expected replica-pool goodput under failures, per scheme.
+
+    Amortizes recovery into the per-step cost: each decode step carries a
+    ``failure_rate`` chance of paying a full recovery (re-prefill of the
+    uncached context of every in-flight request, plus the backoff steps
+    the recovered requests sit out), so the expected effective step is
+    ``step + failure_rate * (recovery + backoff_steps * step)`` and
+    goodput is the healthy step divided by the effective one.
+
+    Parameters
+    ----------
+    workload : FaultToleranceWorkload
+        The chaos scenario.
+    device_name : str
+        A key of :data:`repro.gpu.devices.GPU_SPECS`.
+    num_groups : int
+        Tender channel groups (forwarded to the per-scheme GEMM model).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"step_ms", "recovery_ms", "effective_step_ms",
+        "goodput_ratio", "fault_free_tokens_per_s", "tokens_per_s"}}`` —
+        ``goodput_ratio`` is the fraction of fault-free throughput the
+        pool keeps (1.0 at ``failure_rate=0``, higher with better
+        ``resume_hit_rate``, which is the analytic case for sticky-template
+        routing).
+    """
+    step = decode_step_latencies(workload.decode_workload(), device_name, num_groups)
+    recovery = decode_step_latencies(workload.recovery_workload(), device_name, num_groups)
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme in step:
+        step_ms = step[scheme].milliseconds
+        recovery_ms = recovery[scheme].milliseconds
+        effective_ms = step_ms + workload.failure_rate * (
+            recovery_ms + workload.retry_backoff_steps * step_ms
+        )
+        fleet_rows = workload.num_replicas * workload.batch
+        results[scheme] = {
+            "step_ms": step_ms,
+            "recovery_ms": recovery_ms,
+            "effective_step_ms": effective_ms,
+            "goodput_ratio": step_ms / effective_ms,
+            "fault_free_tokens_per_s": fleet_rows / (step_ms * 1e-3),
+            "tokens_per_s": fleet_rows / (effective_ms * 1e-3),
+        }
+    return results

@@ -20,7 +20,12 @@ Three layers, bottom up:
 * :class:`AsyncEngine` — the asyncio streaming frontend: per-token
   :class:`RequestStream` iterators, bounded-queue admission control with
   backpressure, priority classes with deadlines, and free-then-replay
-  preemption whose resumed outputs stay bit-identical.
+  preemption whose resumed outputs stay bit-identical;
+* :class:`ReplicaPool` (:mod:`repro.serve.cluster`) — N fault-isolated
+  scheduler replicas behind a prefix-cache-aware sticky :class:`Router`,
+  with seeded chaos injection (:class:`FaultInjector`), checkpoint/replay
+  recovery (:class:`RequestCheckpoint`), a circuit breaker + zero-progress
+  watchdog, and graceful ``"degraded"`` shedding under memory pressure.
 
 Speculative decoding (:mod:`repro.serve.spec`) plugs a
 :class:`DraftProposer` — :class:`PromptLookupDraft` n-gram lookup or a
@@ -31,12 +36,14 @@ while k sequential decode forwards collapse into one verification forward.
 """
 
 from repro.serve.async_engine import AsyncEngine, RequestStream, serve_all
+from repro.serve.cluster import ClusterStats, FaultInjector, ReplicaPool, Router
 from repro.serve.engine import GenerationEngine, GenerationResult, generate
 from repro.serve.kv_cache import KVCache
 from repro.serve.paged_kv_cache import PagedKVCache, SlotBatchView
 from repro.serve.scheduler import (
     GenerationConfig,
     Request,
+    RequestCheckpoint,
     RequestOutput,
     Scheduler,
     SchedulerStats,
@@ -51,9 +58,13 @@ from repro.serve.stress import (
 
 __all__ = [
     "AsyncEngine",
+    "ClusterStats",
+    "FaultInjector",
     "KVCache",
     "PagedKVCache",
+    "ReplicaPool",
     "RequestStream",
+    "Router",
     "SlotBatchView",
     "DraftProposer",
     "serve_all",
@@ -64,6 +75,7 @@ __all__ = [
     "ModelDraft",
     "PromptLookupDraft",
     "Request",
+    "RequestCheckpoint",
     "RequestOutput",
     "Scheduler",
     "SchedulerStats",

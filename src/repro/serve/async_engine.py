@@ -22,6 +22,18 @@ frontend:
   whose blocks return to the LRU free-list and whose prompt+tokens replay
   on re-admission — bit-identical to an unpreempted run, because resume
   never re-samples.
+* **Failure containment** — an exception escaping the background step
+  loop resolves *every* pending :class:`RequestStream` with the error
+  (``result()`` re-raises it, iterators raise it after draining buffered
+  tokens) instead of leaving awaiters suspended; per-call ``timeout=`` on
+  :meth:`RequestStream.result` and :meth:`RequestStream.next` bounds any
+  single wait, so a stalled engine can never hang a caller.
+* **Pool-backed serving** — pass ``pool=`` (a
+  :class:`~repro.serve.cluster.ReplicaPool`, or anything scheduler-shaped)
+  instead of a runner to stream from a fault-tolerant replica fleet; the
+  engine only uses the duck-typed driving surface (``submit`` / ``step`` /
+  ``cancel`` / ``expire`` / ``has_pending`` / ``num_waiting`` / ``now``),
+  so recovery, chaos injection, and degradation stay the pool's business.
 
 The engine never runs the model concurrently with itself: one background
 asyncio task calls ``scheduler.step()`` whenever work is pending and yields
@@ -94,16 +106,67 @@ class RequestStream:
 
     async def __anext__(self) -> int:
         """Yield the next committed token, or stop at end of stream."""
-        item = await self._tokens.get()
+        return await self.next()
+
+    async def next(self, timeout: Optional[float] = None) -> int:
+        """Yield the next committed token (``__anext__`` with a ``timeout=``).
+
+        Parameters
+        ----------
+        timeout : float, optional
+            Seconds to wait for the next token (``asyncio.wait_for``
+            semantics).  On expiry the request is finished ``"expired"``
+            through the scheduler's deadline path — partial tokens are kept
+            in the terminal output — and :class:`asyncio.TimeoutError` is
+            raised, so a stalled replica can never hang a consumer.
+
+        Raises
+        ------
+        StopAsyncIteration
+            At end of stream (buffered tokens drain first).
+        asyncio.TimeoutError
+            If ``timeout`` elapses before a token (or end of stream).
+        Exception
+            The serve loop's error, when the engine failed mid-request.
+        """
+        try:
+            if timeout is None:
+                item = await self._tokens.get()
+            else:
+                item = await asyncio.wait_for(self._tokens.get(), timeout)
+        except asyncio.TimeoutError:
+            self._engine._expire_stream(self)
+            raise
         if item is _DONE:
             # Keep the queue terminated for any concurrent/late iterator.
             self._tokens.put_nowait(_DONE)
+            if self._result.done() and self._result.exception() is not None:
+                raise self._result.exception()
             raise StopAsyncIteration
         return item
 
-    async def result(self) -> RequestOutput:
-        """Wait for (and return) the request's terminal output."""
-        return await self._result
+    async def result(self, timeout: Optional[float] = None) -> RequestOutput:
+        """Wait for (and return) the request's terminal output.
+
+        Parameters
+        ----------
+        timeout : float, optional
+            Seconds to wait (``asyncio.wait_for`` semantics).  On expiry
+            :class:`asyncio.TimeoutError` is raised and the request itself
+            is left untouched (shielded) — unlike a per-token
+            :meth:`next` timeout, a result timeout is only the caller
+            giving up on *waiting*, not on the request.
+
+        Raises
+        ------
+        asyncio.TimeoutError
+            If ``timeout`` elapses first.
+        Exception
+            The serve loop's error, when the engine failed mid-request.
+        """
+        if timeout is None:
+            return await self._result
+        return await asyncio.wait_for(asyncio.shield(self._result), timeout)
 
     async def cancel(self) -> RequestOutput:
         """Withdraw this request (see :meth:`AsyncEngine.cancel`)."""
@@ -119,16 +182,34 @@ class RequestStream:
             self._result.set_result(output)
         self._tokens.put_nowait(_DONE)
 
+    def _reject(self, error: BaseException) -> None:
+        """Terminate the stream with the serve loop's error.
+
+        ``result()`` re-raises ``error``; iterators drain any buffered
+        tokens first, then raise it in place of ``StopAsyncIteration``.
+        """
+        if not self._result.done():
+            self._result.set_exception(error)
+        self._tokens.put_nowait(_DONE)
+
 
 class AsyncEngine:
     """Bounded-queue asyncio frontend over a :class:`Scheduler`.
 
     Parameters
     ----------
-    runner : TransformerRunner
-        The executor-backed model (any quantization scheme).
+    runner : TransformerRunner, optional
+        The executor-backed model (any quantization scheme).  Omit it (pass
+        ``None``) when serving from a ``pool``.
     config : GenerationConfig, optional
         Decoding parameters shared by all requests.
+    pool : optional
+        A scheduler-shaped engine core — typically a
+        :class:`~repro.serve.cluster.ReplicaPool` — to serve from instead
+        of constructing a private :class:`Scheduler`.  Mutually exclusive
+        with ``runner`` and the scheduler keywords; the pool keeps whatever
+        fault-tolerance policy it was built with, and the engine installs
+        itself as its ``on_token`` hook.
     max_waiting : int
         Bound on the scheduler's waiting queue.  :meth:`submit` applies
         backpressure (awaits) at the bound; :meth:`submit_nowait` raises.
@@ -143,8 +224,8 @@ prefix_cache, prefill_chunk, speculation
     Raises
     ------
     ConfigurationError
-        For invalid parameters (``max_waiting < 1``, or anything the
-        scheduler rejects).
+        For invalid parameters (``max_waiting < 1``, both ``runner`` and
+        ``pool``, neither, or anything the scheduler rejects).
 
     Examples
     --------
@@ -157,9 +238,10 @@ prefix_cache, prefill_chunk, speculation
 
     def __init__(
         self,
-        runner: TransformerRunner,
+        runner: Optional[TransformerRunner] = None,
         config: Optional[GenerationConfig] = None,
         *,
+        pool=None,
         max_waiting: int = 32,
         preemption: bool = True,
         max_batch_size: int = 8,
@@ -173,24 +255,41 @@ prefix_cache, prefill_chunk, speculation
     ) -> None:
         if max_waiting < 1:
             raise ConfigurationError("max_waiting must be >= 1")
+        if (runner is None) == (pool is None):
+            raise ConfigurationError(
+                "pass exactly one of runner (private scheduler) or pool "
+                "(replica-pool engine core)"
+            )
         self.max_waiting = int(max_waiting)
-        self.scheduler = Scheduler(
-            runner,
-            config,
-            max_batch_size=max_batch_size,
-            block_size=block_size,
-            num_blocks=num_blocks,
-            policy=policy,
-            record_logits=record_logits,
-            prefix_cache=prefix_cache,
-            prefill_chunk=prefill_chunk,
-            speculation=speculation,
-            preemption=preemption,
-            on_token=self._on_token,
-        )
+        if pool is not None:
+            if config is not None:
+                raise ConfigurationError(
+                    "a pool carries its own GenerationConfig; do not pass "
+                    "config alongside pool"
+                )
+            self.scheduler = pool
+            pool.on_token = self._on_token
+        else:
+            self.scheduler = Scheduler(
+                runner,
+                config,
+                max_batch_size=max_batch_size,
+                block_size=block_size,
+                num_blocks=num_blocks,
+                policy=policy,
+                record_logits=record_logits,
+                prefix_cache=prefix_cache,
+                prefill_chunk=prefill_chunk,
+                speculation=speculation,
+                preemption=preemption,
+                on_token=self._on_token,
+            )
         self._streams: dict = {}
         self._task: Optional["asyncio.Task"] = None
         self._closed = False
+        #: The exception that killed the serve loop, if one did; re-raised
+        #: by every pending stream and every later submission attempt.
+        self._error: Optional[BaseException] = None
         #: Set whenever new work arrives (wakes an idle serve loop).
         self._work_event: Optional[asyncio.Event] = None
         #: Set after every step (wakes submitters waiting on backpressure).
@@ -232,6 +331,8 @@ prefix_cache, prefill_chunk, speculation
         while self.scheduler.num_waiting >= self.max_waiting:
             seat.clear()
             await seat.wait()
+            if self._error is not None:
+                raise self._error
             if self._closed:
                 raise ConfigurationError("engine is closed")
         return self._submit(prompt, priority, deadline, max_new_tokens)
@@ -306,6 +407,8 @@ prefix_cache, prefill_chunk, speculation
     # ------------------------------------------------------------------
     def _ensure_running(self) -> None:
         """Start (or restart) the background step-loop task."""
+        if self._error is not None:
+            raise self._error
         if self._closed:
             raise ConfigurationError("engine is closed")
         if self._work_event is None:
@@ -315,17 +418,40 @@ prefix_cache, prefill_chunk, speculation
             self._task = asyncio.get_running_loop().create_task(self._serve_loop())
 
     async def _serve_loop(self) -> None:
-        """Drive ``scheduler.step()`` while work is pending, else sleep."""
-        while not self._closed:
-            if self.scheduler.has_pending:
-                for output in self.scheduler.step():
-                    self._finish(output)
-                self._seat_event.set()
-                # Yield between steps so submitters/consumers interleave.
-                await asyncio.sleep(0)
-            else:
-                self._work_event.clear()
-                await self._work_event.wait()
+        """Drive ``scheduler.step()`` while work is pending, else sleep.
+
+        An exception escaping a step is terminal for the engine: it is
+        stored, every pending stream is rejected with it (``result()``
+        re-raises, iterators raise after draining their buffers), and
+        suspended submitters are woken — nothing is ever left awaiting a
+        result that can no longer arrive.
+        """
+        try:
+            while not self._closed:
+                if self.scheduler.has_pending:
+                    for output in self.scheduler.step():
+                        self._finish(output)
+                    self._seat_event.set()
+                    # Yield between steps so submitters/consumers interleave.
+                    await asyncio.sleep(0)
+                else:
+                    self._work_event.clear()
+                    await self._work_event.wait()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as error:
+            self._fail(error)
+
+    def _fail(self, error: BaseException) -> None:
+        """Poison the engine: reject every pending stream, wake everyone."""
+        self._error = error
+        self._closed = True
+        for request_id in sorted(self._streams):
+            self._streams[request_id]._reject(error)
+        self._streams.clear()
+        if self._seat_event is not None:
+            self._seat_event.set()
+            self._work_event.set()
 
     def _on_token(self, request_id: int, token: int) -> None:
         """Scheduler ``on_token`` hook: route a committed token to its stream."""
@@ -338,6 +464,24 @@ prefix_cache, prefill_chunk, speculation
         stream = self._streams.pop(output.request_id, None)
         if stream is not None:
             stream._resolve(output)
+
+    def _expire_stream(self, stream: RequestStream) -> None:
+        """Finish a stream ``"expired"`` after a per-token timeout.
+
+        Rides the scheduler's deadline path (:meth:`Scheduler.expire`), so
+        committed tokens are kept in the terminal output and every block is
+        freed.  A request that finished in the timeout race window is left
+        as-is.
+        """
+        if stream.finished or self._closed:
+            return
+        try:
+            output = self.scheduler.expire(stream.request_id)
+        except ConfigurationError:
+            return  # finished (or was withdrawn) while the timeout fired
+        self._finish(output)
+        if self._seat_event is not None:
+            self._seat_event.set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -380,7 +524,11 @@ prefix_cache, prefill_chunk, speculation
 
     @property
     def stats(self):
-        """The underlying scheduler's :class:`SchedulerStats`."""
+        """The engine core's stats.
+
+        A :class:`SchedulerStats` when the engine owns a private scheduler;
+        the pool's aggregate counters when serving from a replica pool.
+        """
         return self.scheduler.stats
 
 

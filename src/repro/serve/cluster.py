@@ -1,0 +1,880 @@
+"""Fault-tolerant replica-pool serving: routing, chaos, recovery, degradation.
+
+PR 7's free-then-replay preemption proved that an in-flight request can be
+torn down and resumed *bit-identically* — re-prefill
+``prompt + generated[:-1]`` over prefix-cache hits, keep the final sampled
+token pending, never re-sample.  This module promotes that mechanism from a
+scheduling policy into the repo's **recovery primitive** and scales serving
+past one engine:
+
+* :class:`ReplicaPool` — N independent
+  :class:`~repro.serve.scheduler.Scheduler` engines stepped in lockstep
+  behind one submission surface with pool-level request ids.
+* :class:`Router` — prefix-cache-aware *sticky-template* placement: the
+  leading prompt block is hashed and rendezvous-ranked across healthy
+  replicas, so requests sharing a template land on the same engine and keep
+  their prefix-cache hit rates at fleet scale, while failover to the next
+  healthy replica is deterministic.
+* :class:`FaultInjector` — a seeded chaos harness in the spirit of
+  :class:`~repro.serve.stress.ServingStressHarness`: kills replicas
+  mid-iteration (:class:`~repro.errors.ReplicaFailureError`), injects
+  :class:`~repro.errors.ResourceExhaustedError` at the admission/reserve
+  site, and stalls a replica's step loop for a run of iterations.
+* **Request-level recovery** — on replica failure every in-flight request
+  is checkpointed as ``(prompt, generated tokens, sampling RNG state)``
+  (:class:`~repro.serve.scheduler.RequestCheckpoint`) and re-admitted on a
+  healthy replica via the replay path, governed by a per-request retry
+  budget with exponential backoff (the backoff is a *future arrival tick*,
+  so it is deterministic in scheduler time) and honoring existing admission
+  deadlines — a crash never extends a deadline, and a request that already
+  started never expires (matching the scheduler's own rule).
+* **Circuit breaker + watchdog** — a replica is marked unhealthy after
+  ``breaker_threshold`` consecutive failures and re-probed after an
+  (exponentially growing) cooldown; a watchdog detects zero-progress
+  iterations on a replica with pending work and triggers the same recovery
+  path, so a stalled engine is drained exactly like a crashed one.
+* **Graceful degradation** — under memory pressure the router sheds the
+  lowest-priority waiting request with ``finish_reason="degraded"``
+  (:meth:`Scheduler.shed`) instead of crashing the pool, and a request
+  whose retry budget is exhausted degrades the same way.
+
+Determinism is load-bearing, exactly as everywhere in ``repro.serve``: the
+pool steps replicas in replica-id order, the injector's schedule is a pure
+function of its seed, shedding picks victims by ``(priority, request_id)``,
+and recovery replays rather than re-samples — so for Tender's integer
+pipeline a chaos run's surviving outputs are bit-identical (tokens *and*
+committed-position logits) to a fault-free run, which is what
+``tools/check_perf_smoke.py`` gates on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReplicaFailureError, ResourceExhaustedError
+from repro.models.inference import TransformerRunner
+from repro.serve.scheduler import (
+    GenerationConfig,
+    Request,
+    RequestCheckpoint,
+    RequestOutput,
+    Scheduler,
+)
+
+#: SchedulerStats counters the pool aggregates (and retains across crash
+#: rebuilds) for its merged ``stats`` view.
+_POOL_STAT_KEYS = (
+    "prefill_tokens",
+    "prefix_hit_tokens",
+    "generated_tokens",
+    "decode_iterations",
+    "prefill_iterations",
+    "completed_requests",
+    "preemptions",
+    "degraded_requests",
+)
+
+
+@dataclass
+class FaultEvent:
+    """One chaos action the :class:`FaultInjector` fired (for audit logs)."""
+
+    #: Pool iteration the event fired on.
+    iteration: int
+    #: Replica the event targeted.
+    replica_id: int
+    #: ``"kill"``, ``"exhaust"``, or ``"stall"``.
+    kind: str
+
+
+class FaultInjector:
+    """Seeded chaos schedule over a replica pool: kills, exhaustion, stalls.
+
+    Two modes compose:
+
+    * **Scripted** — ``kill_at`` / ``exhaust_at`` / ``stall_at`` map pool
+      iterations to replica ids, for deterministic gates that need a fault
+      at an exact point in a trace.
+    * **Randomized** — per (iteration, replica) the seeded generator draws
+      each fault kind with the configured rate, for soak-style chaos runs.
+
+    The injector is consulted once per replica per pool iteration *before*
+    the replica steps, so a kill lands mid-flight: requests hold partial
+    prefills and half-decoded continuations, exactly the state recovery
+    must replay.  ``max_kills`` bounds scripted-plus-random kills so a
+    high-rate schedule cannot exterminate the whole pool.
+
+    Parameters
+    ----------
+    seed : int
+        Seed of the randomized schedule (scripted events ignore it).
+    kill_rate, exhaust_rate, stall_rate : float
+        Per-(iteration, replica) probabilities of each fault kind.
+    stall_steps : int
+        Iterations a stalled replica skips before it resumes stepping.
+    kill_at, exhaust_at, stall_at : dict, optional
+        ``{pool_iteration: replica_id}`` scripted faults.
+    max_kills : int, optional
+        Ceiling on total kills (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        kill_rate: float = 0.0,
+        exhaust_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_steps: int = 3,
+        kill_at: Optional[Dict[int, int]] = None,
+        exhaust_at: Optional[Dict[int, int]] = None,
+        stall_at: Optional[Dict[int, int]] = None,
+        max_kills: Optional[int] = None,
+    ) -> None:
+        for name, rate in (
+            ("kill_rate", kill_rate),
+            ("exhaust_rate", exhaust_rate),
+            ("stall_rate", stall_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1]")
+        if stall_steps < 1:
+            raise ConfigurationError("stall_steps must be >= 1")
+        self.rng = np.random.default_rng(seed)
+        self.kill_rate = float(kill_rate)
+        self.exhaust_rate = float(exhaust_rate)
+        self.stall_rate = float(stall_rate)
+        self.stall_steps = int(stall_steps)
+        self.kill_at = dict(kill_at or {})
+        self.exhaust_at = dict(exhaust_at or {})
+        self.stall_at = dict(stall_at or {})
+        self.max_kills = max_kills
+        #: Every event fired, in firing order (the chaos audit log).
+        self.events: List[FaultEvent] = []
+
+    def draw(self, iteration: int, replica_id: int) -> Optional[str]:
+        """The fault (if any) to inject on this replica this iteration.
+
+        Scripted events win over random draws; at most one fault fires per
+        (iteration, replica).  Returns ``"kill"``, ``"exhaust"``,
+        ``"stall"``, or ``None``.
+        """
+        kind = None
+        if self.kill_at.get(iteration) == replica_id:
+            kind = "kill"
+        elif self.exhaust_at.get(iteration) == replica_id:
+            kind = "exhaust"
+        elif self.stall_at.get(iteration) == replica_id:
+            kind = "stall"
+        else:
+            # One draw per fault kind, always consumed in the same order, so
+            # the schedule is a pure function of (seed, call sequence).
+            draws = self.rng.random(3)
+            if draws[0] < self.kill_rate:
+                kind = "kill"
+            elif draws[1] < self.exhaust_rate:
+                kind = "exhaust"
+            elif draws[2] < self.stall_rate:
+                kind = "stall"
+        if kind == "kill" and self.max_kills is not None:
+            fired = sum(1 for event in self.events if event.kind == "kill")
+            if fired >= self.max_kills:
+                kind = None
+        if kind is not None:
+            self.events.append(FaultEvent(iteration, replica_id, kind))
+        return kind
+
+
+class Router:
+    """Prefix-cache-aware sticky-template placement over healthy replicas.
+
+    The first ``template_window`` prompt tokens — the shared template a
+    prefix cache can actually reuse — are hashed, and every replica is
+    ranked by the rendezvous weight ``crc32(template_key || replica_id)``.
+    The healthy replica with the highest weight wins, which gives the two
+    properties fleet-scale prefix caching needs:
+
+    * **Stickiness** — equal templates always land on the same replica
+      while it is healthy, so hit rates survive scale-out;
+    * **Deterministic failover** — when the winner is unhealthy the
+      next-ranked healthy replica takes over (and *only* that template's
+      traffic moves), with no rehash storm on recovery.
+    """
+
+    def __init__(self, num_replicas: int, template_window: int = 16) -> None:
+        if num_replicas < 1:
+            raise ConfigurationError("num_replicas must be >= 1")
+        if template_window < 1:
+            raise ConfigurationError("template_window must be >= 1")
+        self.num_replicas = int(num_replicas)
+        self.template_window = int(template_window)
+
+    def rank(self, prompt: np.ndarray) -> List[int]:
+        """Replica ids in placement-preference order for ``prompt``."""
+        key = np.ascontiguousarray(
+            np.asarray(prompt, dtype=np.int64)[: self.template_window]
+        ).tobytes()
+        weights = [
+            (zlib.crc32(key + bytes([replica_id % 256])), -replica_id)
+            for replica_id in range(self.num_replicas)
+        ]
+        order = sorted(range(self.num_replicas), key=lambda r: weights[r], reverse=True)
+        return order
+
+    def place(self, prompt: np.ndarray, healthy: List[int]) -> int:
+        """The sticky choice among ``healthy`` replica ids for ``prompt``.
+
+        Raises
+        ------
+        ResourceExhaustedError
+            If no replica is healthy.
+        """
+        if not healthy:
+            raise ResourceExhaustedError("no healthy replica to route to")
+        available = set(healthy)
+        for replica_id in self.rank(prompt):
+            if replica_id in available:
+                return replica_id
+        raise ResourceExhaustedError("no healthy replica to route to")
+
+
+@dataclass
+class ClusterStats:
+    """Pool-level accounting of one :class:`ReplicaPool` run."""
+
+    #: Pool iterations executed (each steps every healthy replica once).
+    iterations: int = 0
+    #: Replica failures handled (kills plus watchdog trips).
+    failures: int = 0
+    #: Checkpointed requests successfully re-admitted on a healthy replica.
+    recoveries: int = 0
+    #: Requests shed with ``finish_reason="degraded"`` (memory pressure or
+    #: an exhausted retry budget).
+    degraded_requests: int = 0
+    #: Iterations replicas sat out while stalled or in breaker cooldown.
+    stalled_iterations: int = 0
+    #: Watchdog trips (zero-progress detections), a subset of ``failures``.
+    watchdog_trips: int = 0
+    #: Circuit-breaker opens (replica marked unhealthy for a cooldown).
+    breaker_opens: int = 0
+
+    def merged_generated_tokens(self, replicas: List["_Replica"]) -> int:
+        """Total committed tokens across every replica's scheduler."""
+        return sum(replica.scheduler.stats.generated_tokens for replica in replicas)
+
+
+class _Replica:
+    """One pool member: a scheduler plus its health/progress book-keeping."""
+
+    __slots__ = (
+        "replica_id",
+        "scheduler",
+        "alive",
+        "healthy",
+        "consecutive_failures",
+        "cooldown_until",
+        "stall_remaining",
+        "last_progress",
+        "no_progress_steps",
+    )
+
+    def __init__(self, replica_id: int, scheduler: Scheduler) -> None:
+        self.replica_id = replica_id
+        self.scheduler = scheduler
+        #: False once the engine object crashed (it must be rebuilt).
+        self.alive = True
+        #: False while the circuit breaker holds the replica out of rotation.
+        self.healthy = True
+        self.consecutive_failures = 0
+        #: Pool iteration at which an unhealthy replica is re-probed.
+        self.cooldown_until = 0
+        #: Remaining iterations of an injected stall.
+        self.stall_remaining = 0
+        #: Progress signature after the last step (watchdog input).
+        self.last_progress: Tuple[float, int, int] = (-1.0, -1, -1)
+        self.no_progress_steps = 0
+
+    def progress_signature(self) -> Tuple[float, int, int]:
+        """A value that must change whenever the replica does useful work."""
+        stats = self.scheduler.stats
+        return (self.scheduler.now, stats.total_iterations, stats.generated_tokens)
+
+
+class ReplicaPool:
+    """N fault-isolated scheduler replicas behind one submission surface.
+
+    The pool owns pool-level request ids (stable across recoveries — a
+    request keeps its id no matter how many replicas it survives), steps
+    every healthy replica once per :meth:`step` in replica-id order, and
+    runs the whole robustness stack described in the module docstring.
+
+    The pool deliberately mirrors the driving surface of
+    :class:`~repro.serve.scheduler.Scheduler` (``submit`` / ``step`` /
+    ``run`` / ``cancel`` / ``has_pending`` / ``num_waiting`` / ``stats``),
+    so :class:`~repro.serve.async_engine.AsyncEngine` can serve from a pool
+    exactly as it serves from a single engine (``AsyncEngine(pool=...)``).
+
+    Parameters
+    ----------
+    runner : TransformerRunner
+        The executor-backed model, shared by every replica (schedulers
+        never mutate it; each replica owns a private KV pool).
+    num_replicas : int
+        Pool size.
+    config : GenerationConfig, optional
+        Decoding parameters, shared by every replica — recovery replays a
+        checkpoint under the *same* sampling rule, which is what keeps it
+        bit-identical.
+    fault_injector : FaultInjector, optional
+        The chaos schedule (``None`` serves fault-free).
+    max_retries : int
+        Recovery attempts per request before it degrades.
+    backoff_base : float
+        First-retry backoff in scheduler ticks; retry ``k`` waits
+        ``backoff_base * 2**(k-1)`` ticks (exponential).
+    breaker_threshold : int
+        Consecutive failures that open a replica's circuit breaker.
+    breaker_cooldown : int
+        Pool iterations an opened breaker holds the replica out; doubles
+        with each consecutive open.
+    watchdog_patience : int
+        Zero-progress iterations (with pending work) before the watchdog
+        declares the replica stalled and recovers its requests.
+    template_window : int
+        Prompt tokens the router hashes for sticky placement.
+    record_logits : bool
+        Forwarded to every replica (checkpoints carry recorded logits, so
+        recovery preserves committed-position logits when enabled).
+    max_batch_size, block_size, num_blocks, prefix_cache, prefill_chunk, \
+speculation, preemption
+        Forwarded to every replica's :class:`Scheduler` unchanged.
+
+    Examples
+    --------
+    >>> pool = ReplicaPool(runner, num_replicas=3,
+    ...                    fault_injector=FaultInjector(seed=0, kill_at={4: 1}))
+    >>> pool.submit(prompt)
+    0
+    >>> outputs = pool.run()
+    >>> pool.cluster_stats.recoveries
+    2
+    """
+
+    def __init__(
+        self,
+        runner: TransformerRunner,
+        num_replicas: int = 2,
+        config: Optional[GenerationConfig] = None,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+        max_retries: int = 3,
+        backoff_base: float = 1.0,
+        breaker_threshold: int = 2,
+        breaker_cooldown: int = 4,
+        watchdog_patience: int = 3,
+        template_window: int = 16,
+        max_batch_size: int = 8,
+        block_size: int = 16,
+        num_blocks: Optional[int] = None,
+        record_logits: bool = True,
+        prefix_cache: bool = True,
+        prefill_chunk: Optional[int] = None,
+        speculation=None,
+        preemption: bool = False,
+        on_token: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ConfigurationError("num_replicas must be >= 1")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if backoff_base < 0.0:
+            raise ConfigurationError("backoff_base must be >= 0")
+        if breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if breaker_cooldown < 1:
+            raise ConfigurationError("breaker_cooldown must be >= 1")
+        if watchdog_patience < 1:
+            raise ConfigurationError("watchdog_patience must be >= 1")
+        self.runner = runner
+        self.config = config or GenerationConfig()
+        self.injector = fault_injector
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = int(breaker_cooldown)
+        self.watchdog_patience = int(watchdog_patience)
+        self.router = Router(num_replicas, template_window=template_window)
+        self.on_token = on_token
+        self.cluster_stats = ClusterStats()
+        self._scheduler_kwargs = dict(
+            max_batch_size=max_batch_size,
+            block_size=block_size,
+            num_blocks=num_blocks,
+            record_logits=record_logits,
+            prefix_cache=prefix_cache,
+            prefill_chunk=prefill_chunk,
+            speculation=speculation,
+            preemption=preemption,
+        )
+        self.replicas: List[_Replica] = [
+            _Replica(replica_id, self._build_scheduler(replica_id))
+            for replica_id in range(num_replicas)
+        ]
+        #: Pool request id -> (replica_id, local request id).
+        self._placements: Dict[int, Tuple[int, int]] = {}
+        #: (replica_id, local id) -> pool id (outputs/tokens translate back).
+        self._local_to_pool: Dict[Tuple[int, int], int] = {}
+        #: Retries already spent per pool id.
+        self._retries: Dict[int, int] = {}
+        self._next_pool_id = 0
+        #: Counters folded in from schedulers discarded by crash rebuilds,
+        #: so pool totals never silently lose pre-crash work.
+        self._retired_stats: Dict[str, int] = dict.fromkeys(_POOL_STAT_KEYS, 0)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_scheduler(self, replica_id: int) -> Scheduler:
+        """A fresh replica engine wired into the pool's token hook."""
+        return Scheduler(
+            self.runner,
+            self.config,
+            on_token=lambda local_id, token, rid=replica_id: self._route_token(
+                rid, local_id, token
+            ),
+            **self._scheduler_kwargs,
+        )
+
+    def _route_token(self, replica_id: int, local_id: int, token: int) -> None:
+        """Translate a replica-local token event to the pool id space."""
+        if self.on_token is None:
+            return
+        pool_id = self._local_to_pool.get((replica_id, local_id))
+        if pool_id is not None:
+            self.on_token(pool_id, token)
+
+    # ------------------------------------------------------------------
+    # Submission surface (Scheduler-shaped)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The pool clock: the furthest-ahead live replica's tick."""
+        live = [r.scheduler.now for r in self.replicas if r.alive]
+        return max(live) if live else 0.0
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any replica holds waiting, prefilling, or active work."""
+        return any(
+            replica.alive and replica.scheduler.has_pending for replica in self.replicas
+        )
+
+    @property
+    def num_waiting(self) -> int:
+        """Queued-but-unadmitted requests across the pool."""
+        return sum(
+            replica.scheduler.num_waiting for replica in self.replicas if replica.alive
+        )
+
+    @property
+    def stats(self):
+        """Scheduler stats of replica 0 plus pool totals — see ``replica_stats``.
+
+        :class:`~repro.serve.async_engine.AsyncEngine` exposes
+        ``engine.stats`` for a single engine; for a pool the per-replica
+        breakdown is ``replica_stats`` and the robustness accounting is
+        :attr:`cluster_stats`.  This property returns the merged view used
+        by benchmarks: a dict of aggregate counters, including the work of
+        schedulers that were discarded by crash rebuilds (pre-crash tokens
+        are part of what the trace paid for, so they stay in the totals).
+        """
+        totals = dict(self._retired_stats)
+        for replica in self.replicas:
+            stats = replica.scheduler.stats
+            for key in totals:
+                totals[key] += getattr(stats, key)
+        return totals
+
+    def replica_stats(self) -> List:
+        """Each replica's :class:`~repro.serve.scheduler.SchedulerStats`."""
+        return [replica.scheduler.stats for replica in self.replicas]
+
+    def healthy_ids(self) -> List[int]:
+        """Replica ids currently accepting traffic."""
+        return [
+            replica.replica_id
+            for replica in self.replicas
+            if replica.alive and replica.healthy
+        ]
+
+    def submit(
+        self,
+        request: Union[Request, np.ndarray],
+        *,
+        max_new_tokens: Optional[int] = None,
+        arrival_time: float = 0.0,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Route one request to its sticky replica; return its *pool* id.
+
+        The signature mirrors :meth:`Scheduler.submit` so callers (and
+        :class:`AsyncEngine`) can treat a pool as a bigger scheduler.
+        ``arrival_time`` and ``deadline`` are in scheduler ticks, applied on
+        the routed replica's clock.
+
+        Raises
+        ------
+        ResourceExhaustedError
+            If no replica is healthy.
+        ConfigurationError
+            Anything :meth:`Scheduler.submit` rejects.
+        """
+        if isinstance(request, Request):
+            prompt = request.prompt
+            if (
+                max_new_tokens is not None
+                or arrival_time != 0.0
+                or priority != 0
+                or deadline is not None
+            ):
+                raise ConfigurationError(
+                    "pass max_new_tokens/arrival_time/priority/deadline on the "
+                    "Request itself, not as submit() keywords alongside one"
+                )
+            max_new_tokens = request.max_new_tokens
+            arrival_time = request.arrival_time
+            priority = request.priority
+            deadline = request.deadline
+        else:
+            prompt = np.asarray(request, dtype=np.int64).reshape(-1)
+        replica_id = self.router.place(prompt, self.healthy_ids())
+        local_id = self.replicas[replica_id].scheduler.submit(
+            prompt,
+            max_new_tokens=max_new_tokens,
+            arrival_time=arrival_time,
+            priority=priority,
+            deadline=deadline,
+        )
+        pool_id = self._next_pool_id
+        self._next_pool_id += 1
+        self._placements[pool_id] = (replica_id, local_id)
+        self._local_to_pool[(replica_id, local_id)] = pool_id
+        self._retries[pool_id] = 0
+        return pool_id
+
+    def cancel(self, request_id: int) -> RequestOutput:
+        """Withdraw a pool request wherever it lives (pool-id output).
+
+        Raises
+        ------
+        ConfigurationError
+            If the pool id is unknown or already finished.
+        """
+        placement = self._placements.get(int(request_id))
+        if placement is None:
+            raise ConfigurationError(
+                f"request {request_id} is not in flight (already finished, "
+                "or never submitted to this pool)"
+            )
+        replica_id, local_id = placement
+        output = self.replicas[replica_id].scheduler.cancel(local_id)
+        return self._translate(replica_id, output)
+
+    def expire(self, request_id: int) -> RequestOutput:
+        """Expire a pool request through the deadline path (pool-id output).
+
+        Raises
+        ------
+        ConfigurationError
+            If the pool id is unknown or already finished.
+        """
+        placement = self._placements.get(int(request_id))
+        if placement is None:
+            raise ConfigurationError(
+                f"request {request_id} is not in flight (already finished, "
+                "or never submitted to this pool)"
+            )
+        replica_id, local_id = placement
+        output = self.replicas[replica_id].scheduler.expire(local_id)
+        return self._translate(replica_id, output)
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    def step(self) -> List[RequestOutput]:
+        """One pool iteration: chaos, recovery, health, then replica steps.
+
+        Per healthy replica, in replica-id order: consult the injector (a
+        kill fails the replica before it can step — its in-flight requests
+        are checkpointed mid-state; an exhaust sheds under memory pressure;
+        a stall makes the step loop skip), step the scheduler, and feed the
+        watchdog.  Breaker cooldowns are re-probed first, so a recovered
+        replica serves in the same iteration it re-enters rotation.
+
+        Returns
+        -------
+        list of RequestOutput
+            Requests that finished this iteration, with pool-level ids.
+        """
+        iteration = self.cluster_stats.iterations
+        self.cluster_stats.iterations += 1
+        finished: List[RequestOutput] = []
+        self._reprobe(iteration)
+        for replica in self.replicas:
+            if not (replica.alive and replica.healthy):
+                self.cluster_stats.stalled_iterations += 1
+                continue
+            action = (
+                self.injector.draw(iteration, replica.replica_id)
+                if self.injector is not None
+                else None
+            )
+            if action == "kill":
+                self._fail_replica(
+                    replica,
+                    iteration,
+                    finished,
+                    error=ReplicaFailureError(
+                        f"replica {replica.replica_id} chaos-killed at pool "
+                        f"iteration {iteration}"
+                    ),
+                )
+                continue
+            if action == "exhaust":
+                self._shed_lowest_priority(replica, finished)
+            if action == "stall":
+                replica.stall_remaining = self.injector.stall_steps
+            if replica.stall_remaining > 0:
+                replica.stall_remaining -= 1
+                self.cluster_stats.stalled_iterations += 1
+                self._watch(replica, iteration, finished, stepped=False)
+                continue
+            if not replica.scheduler.has_pending:
+                replica.no_progress_steps = 0
+                continue
+            try:
+                outputs = replica.scheduler.step()
+            except ReplicaFailureError as error:
+                self._fail_replica(replica, iteration, finished, error=error)
+                continue
+            replica.consecutive_failures = 0
+            for output in outputs:
+                finished.append(self._translate(replica.replica_id, output))
+            self._watch(replica, iteration, finished, stepped=True)
+        return finished
+
+    def run(self) -> List[RequestOutput]:
+        """Serve until every surviving request finished; outputs carry pool ids.
+
+        Raises
+        ------
+        ResourceExhaustedError
+            If the pool stops making progress with work still pending and
+            no replica left to recover onto (the cluster-level livelock
+            guard, mirroring :meth:`Scheduler.run`).
+        """
+        outputs: List[RequestOutput] = []
+        idle_iterations = 0
+        while self.has_pending:
+            before = self._pool_signature()
+            outputs.extend(self.step())
+            if self._pool_signature() == before:
+                idle_iterations += 1
+                # Breaker cooldowns legitimately idle the pool for a bounded
+                # run of iterations; anything longer is a livelock.
+                limit = 2 * self.breaker_cooldown * max(1, len(self.replicas)) + 8
+                if idle_iterations > limit:  # pragma: no cover - defensive
+                    raise ResourceExhaustedError(
+                        "replica pool made no progress; all replicas are "
+                        "unhealthy or the KV pools are too small"
+                    )
+            else:
+                idle_iterations = 0
+        return outputs
+
+    def _pool_signature(self) -> Tuple:
+        """Progress signature of the whole pool (for the livelock guard)."""
+        return tuple(
+            (replica.alive, replica.healthy, replica.stall_remaining)
+            + replica.progress_signature()
+            for replica in self.replicas
+        )
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _translate(self, replica_id: int, output: RequestOutput) -> RequestOutput:
+        """Rewrite a replica-local output into the pool id space."""
+        pool_id = self._local_to_pool.pop((replica_id, output.request_id), None)
+        if pool_id is None:  # pragma: no cover - defensive
+            return output
+        self._placements.pop(pool_id, None)
+        self._retries.pop(pool_id, None)
+        return replace(output, request_id=pool_id)
+
+    def _fail_replica(
+        self,
+        replica: _Replica,
+        iteration: int,
+        finished: List[RequestOutput],
+        *,
+        error: Exception,
+        rebuild: bool = True,
+    ) -> None:
+        """Checkpoint a failed replica's requests and re-admit them elsewhere.
+
+        The recovery sweep: every in-flight request is exported as a
+        :class:`RequestCheckpoint` (tokens + logits + RNG state), the
+        replica's breaker accounting is bumped (opening it when
+        ``breaker_threshold`` consecutive failures accumulate), and each
+        checkpoint is re-routed to a healthy replica with exponential
+        backoff — or degraded when its retry budget is spent.  ``rebuild``
+        replaces a crashed engine with a fresh scheduler (a watchdog-tripped
+        engine is intact and keeps its object, only its requests move).
+        """
+        self.cluster_stats.failures += 1
+        checkpoints = replica.scheduler.checkpoint_all()
+        replica.consecutive_failures += 1
+        replica.healthy = False
+        replica.no_progress_steps = 0
+        replica.stall_remaining = 0
+        opens = max(0, replica.consecutive_failures - self.breaker_threshold + 1)
+        cooldown = self.breaker_cooldown * (2 ** max(0, opens - 1))
+        replica.cooldown_until = iteration + 1 + cooldown
+        self.cluster_stats.breaker_opens += 1
+        if rebuild:
+            replica.alive = False
+        for checkpoint in checkpoints:
+            self._recover(replica.replica_id, checkpoint, finished, error)
+
+    def _recover(
+        self,
+        failed_id: int,
+        checkpoint: RequestCheckpoint,
+        finished: List[RequestOutput],
+        error: Exception,
+    ) -> None:
+        """Re-admit one checkpoint on a healthy replica (or degrade it)."""
+        pool_id = self._local_to_pool.pop((failed_id, checkpoint.request_id), None)
+        if pool_id is None:  # pragma: no cover - defensive
+            return
+        self._placements.pop(pool_id, None)
+        retries = self._retries.get(pool_id, 0)
+        healthy = self.healthy_ids()
+        if retries >= self.max_retries or not healthy:
+            finished.append(
+                replace(self._checkpoint_output(checkpoint), request_id=pool_id)
+            )
+            self._retries.pop(pool_id, None)
+            self.cluster_stats.degraded_requests += 1
+            return
+        self._retries[pool_id] = retries + 1
+        delay = self.backoff_base * (2**retries) if retries else 0.0
+        target_id = self.router.place(np.asarray(checkpoint.prompt), healthy)
+        local_id = self.replicas[target_id].scheduler.submit_checkpoint(
+            checkpoint, delay=delay
+        )
+        self._placements[pool_id] = (target_id, local_id)
+        self._local_to_pool[(target_id, local_id)] = pool_id
+        self.cluster_stats.recoveries += 1
+
+    def _checkpoint_output(self, checkpoint: RequestCheckpoint) -> RequestOutput:
+        """Terminal ``"degraded"`` output for an unrecoverable checkpoint."""
+        generated = np.asarray(checkpoint.generated, dtype=np.int64)
+        vocab = self.runner.config.vocab_size
+        step_logits = (
+            np.stack([np.asarray(row, dtype=np.float64) for row in checkpoint.step_logits])
+            if checkpoint.step_logits
+            else np.zeros((0, vocab), dtype=np.float64)
+        )
+        return RequestOutput(
+            request_id=int(checkpoint.request_id),
+            prompt=checkpoint.prompt,
+            sequence=np.concatenate(
+                [np.asarray(checkpoint.prompt, dtype=np.int64), generated]
+            ),
+            generated=generated,
+            prompt_length=len(checkpoint.prompt),
+            step_logits=step_logits,
+            num_steps=len(generated),
+            finish_reason="degraded",
+            admitted_at=-1.0,
+            finished_at=self.now,
+            prefix_hit_tokens=checkpoint.prefix_hit_tokens,
+            priority=checkpoint.priority,
+            arrival_time=checkpoint.arrival_time,
+            first_token_at=checkpoint.first_token_at,
+            preemptions=checkpoint.preemptions,
+        )
+
+    def _shed_lowest_priority(
+        self, replica: _Replica, finished: List[RequestOutput]
+    ) -> None:
+        """Degrade the least valuable *waiting* request under memory pressure.
+
+        The victim is the highest priority value (least urgent), latest
+        submission — mirroring the preemption victim rule — and only
+        waiting requests are shed: admitted requests hold committed work
+        the degradation policy must not destroy.  With nothing waiting the
+        pressure event is a no-op (there is nothing to shed).
+        """
+        waiting = replica.scheduler.waiting_requests()
+        if not waiting:
+            return
+        victim = max(waiting, key=lambda request: (request.priority, request.request_id))
+        output = replica.scheduler.shed(victim.request_id)
+        self.cluster_stats.degraded_requests += 1
+        finished.append(self._translate(replica.replica_id, output))
+
+    def _watch(
+        self,
+        replica: _Replica,
+        iteration: int,
+        finished: List[RequestOutput],
+        *,
+        stepped: bool,
+    ) -> None:
+        """Feed the zero-progress watchdog; trip it past the patience bound."""
+        signature = replica.progress_signature()
+        if not replica.scheduler.has_pending:
+            replica.no_progress_steps = 0
+            replica.last_progress = signature
+            return
+        if signature == replica.last_progress:
+            replica.no_progress_steps += 1
+        else:
+            replica.no_progress_steps = 0
+            replica.last_progress = signature
+        if replica.no_progress_steps >= self.watchdog_patience:
+            self.cluster_stats.watchdog_trips += 1
+            # The engine object is intact (merely stalled), so its requests
+            # are checkpointed and moved without rebuilding the scheduler.
+            self._fail_replica(
+                replica,
+                iteration,
+                finished,
+                error=ReplicaFailureError(
+                    f"replica {replica.replica_id} made no progress for "
+                    f"{replica.no_progress_steps} iterations"
+                ),
+                rebuild=False,
+            )
+
+    def _reprobe(self, iteration: int) -> None:
+        """Return cooled-down replicas to rotation (fresh engine if crashed)."""
+        for replica in self.replicas:
+            if replica.healthy or iteration < replica.cooldown_until:
+                continue
+            if not replica.alive:
+                for key in _POOL_STAT_KEYS:
+                    self._retired_stats[key] += getattr(replica.scheduler.stats, key)
+                replica.scheduler = self._build_scheduler(replica.replica_id)
+                replica.alive = True
+            replica.healthy = True
+            replica.no_progress_steps = 0
+            replica.last_progress = (-1.0, -1, -1)

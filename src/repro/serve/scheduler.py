@@ -63,9 +63,10 @@ per-chunk quantization schedule — the same scoped exception
 
 from __future__ import annotations
 
+import copy
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -182,7 +183,9 @@ class RequestOutput:
     #: Decode steps this request took (``len(generated)``).
     num_steps: int
     #: ``"eos"``, ``"length"``, ``"expired"`` (deadline passed while still
-    #: waiting), or ``"cancelled"`` (caller withdrew the request).
+    #: waiting), ``"cancelled"`` (caller withdrew the request), or
+    #: ``"degraded"`` (shed under resource pressure instead of crashing the
+    #: serving loop — see :meth:`Scheduler.shed` and ``repro.serve.cluster``).
     finish_reason: str
     #: Scheduler-clock ticks at admission (prefill start) and completion.
     #: ``admitted_at`` is ``-1.0`` for requests that expired unadmitted.
@@ -240,6 +243,8 @@ class SchedulerStats:
     expired_requests: int = 0
     #: Requests withdrawn via :meth:`Scheduler.cancel`.
     cancelled_requests: int = 0
+    #: Requests shed under resource pressure via :meth:`Scheduler.shed`.
+    degraded_requests: int = 0
     #: Per-priority-class time-to-first-token samples, in scheduler ticks
     #: (``first_token_at - arrival_time``), appended as requests finish.
     ttft_by_class: Dict[int, List[float]] = field(default_factory=dict)
@@ -312,6 +317,59 @@ class SchedulerStats:
         if not values:
             return 0.0
         return float(np.mean(values))
+
+
+@dataclass
+class RequestCheckpoint:
+    """Resumable snapshot of one in-flight request, exported at release time.
+
+    A checkpoint is everything another :class:`Scheduler` needs to continue
+    the request *bit-identically*: the prompt, the tokens committed so far,
+    the recorded per-step logits behind them, and the exact state of the
+    request's private sampling generator.  Re-admission
+    (:meth:`Scheduler.submit_checkpoint`) rides the same free-then-replay
+    path preemption uses — re-prefill ``prompt + generated[:-1]``, keep the
+    final sampled token pending, never re-sample — so a request recovered
+    onto a healthy replica after a crash produces exactly the tokens (and
+    committed-position logits) an uninterrupted run would have.
+
+    Checkpoints are the recovery primitive of ``repro.serve.cluster``; the
+    fields mirror what :class:`Request` and :class:`_ActiveRequest` carry.
+    """
+
+    #: The prompt, as originally submitted.
+    prompt: np.ndarray
+    #: Tokens committed before the checkpoint (possibly empty).
+    generated: List[int]
+    #: Exported state of the per-request sampling generator
+    #: (``rng.bit_generator.state``) at checkpoint time.
+    rng_state: Dict[str, Any]
+    #: Recorded logits behind each committed token (empty when the source
+    #: scheduler ran with ``record_logits=False``).
+    step_logits: List[np.ndarray]
+    #: Per-request budget override carried from the original submission.
+    max_new_tokens: Optional[int]
+    #: Priority class, arrival tick, and admission deadline, as submitted.
+    priority: int
+    arrival_time: float
+    deadline: Optional[float]
+    #: Request id on the *source* scheduler (for caller-side bookkeeping;
+    #: re-admission assigns a fresh id on the target).
+    request_id: int
+    #: Preemptions the request survived before the checkpoint.
+    preemptions: int
+    #: Prefix-cache hits accumulated before the checkpoint.
+    prefix_hit_tokens: int = 0
+    #: Tick the first token was committed on the source (-1.0 if none).
+    first_token_at: float = -1.0
+    #: Recovery attempts already spent on this request (bumped by the
+    #: replica pool each time it re-admits the checkpoint after a failure).
+    retries: int = 0
+
+    @property
+    def started(self) -> bool:
+        """True once the request has committed at least one token."""
+        return bool(self.generated)
 
 
 class _ActiveRequest:
@@ -688,6 +746,19 @@ class Scheduler:
         """Requests queued (arrived or future) but not yet admitted."""
         return len(self._waiting) + len(self._future)
 
+    def waiting_requests(self) -> List[Request]:
+        """The queued (not yet admitted) requests, in submission order.
+
+        A read-only snapshot for policy layers — the replica-pool router
+        reads it to pick the lowest-priority victim when shedding load under
+        memory pressure.  Mutate the queue only through :meth:`cancel`,
+        :meth:`expire`, :meth:`shed`, or :meth:`checkpoint`.
+        """
+        entries = [item[-1].request for item in self._waiting] + [
+            item[-1].request for item in self._future
+        ]
+        return sorted(entries, key=lambda request: request.request_id)
+
     # ------------------------------------------------------------------
     # Serving loop
     # ------------------------------------------------------------------
@@ -876,6 +947,10 @@ class Scheduler:
             if entry.resume is not None:
                 state = entry.resume
                 state.slot = slot
+                if state.admitted_at < 0:
+                    # A recovered checkpoint's first admission on this
+                    # scheduler; preempted entries keep their original tick.
+                    state.admitted_at = self.now
             else:
                 state = _ActiveRequest(
                     head, slot, self._budget(head), self.config.seed, admitted_at=self.now
@@ -1049,6 +1124,48 @@ class Scheduler:
         ConfigurationError
             If the request is unknown or already finished.
         """
+        output = self._withdraw(request_id, "cancelled")
+        self.stats.cancelled_requests += 1
+        return output
+
+    def expire(self, request_id: int) -> RequestOutput:
+        """Retire a request through the deadline path, keeping partial work.
+
+        The caller-side twin of the admission-deadline sweep: the returned
+        output carries ``finish_reason="expired"`` plus whatever tokens were
+        committed before the expiry.  :class:`~repro.serve.async_engine.RequestStream`
+        uses it when a per-token ``timeout=`` elapses, so a stalled serving
+        loop can never hang a consumer.
+
+        Raises
+        ------
+        ConfigurationError
+            If the request is unknown or already finished.
+        """
+        output = self._withdraw(request_id, "expired")
+        self.stats.expired_requests += 1
+        return output
+
+    def shed(self, request_id: int) -> RequestOutput:
+        """Drop a request under resource pressure (``finish_reason="degraded"``).
+
+        Graceful degradation: instead of crashing (or livelocking) when the
+        pool cannot serve everyone, the caller — typically the replica-pool
+        router — sheds the least valuable request.  Committed tokens are
+        kept in the returned output, every block is freed, and the drop is
+        tallied in ``stats.degraded_requests``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the request is unknown or already finished.
+        """
+        output = self._withdraw(request_id, "degraded")
+        self.stats.degraded_requests += 1
+        return output
+
+    def _withdraw(self, request_id: int, reason: str) -> RequestOutput:
+        """Remove a request wherever it is; shared by cancel/expire/shed."""
         request_id = int(request_id)
         for queue in (self._waiting, self._future):
             for index, item in enumerate(queue):
@@ -1056,13 +1173,156 @@ class Scheduler:
                 if entry.request.request_id == request_id:
                     queue.pop(index)
                     heapq.heapify(queue)
-                    self.stats.cancelled_requests += 1
                     if entry.resume is not None:
-                        return self._build_output(entry.resume, "cancelled")
-                    return self._unstarted_output(entry.request, "cancelled")
+                        return self._build_output(entry.resume, reason)
+                    return self._unstarted_output(entry.request, reason)
         state = self.release_request(request_id)
-        self.stats.cancelled_requests += 1
-        return self._build_output(state, "cancelled")
+        return self._build_output(state, reason)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery interface
+    # ------------------------------------------------------------------
+    def checkpoint(self, request_id: int) -> RequestCheckpoint:
+        """Extract one request as a resumable :class:`RequestCheckpoint`.
+
+        An admitted request is released first (:meth:`release_request` — all
+        its KV blocks return to the pool); a waiting one is removed from its
+        queue.  The checkpoint carries the committed tokens, their recorded
+        logits, and the sampling generator's exported state, so
+        :meth:`submit_checkpoint` on *any* scheduler over the same model and
+        :class:`GenerationConfig` continues the request bit-identically.
+
+        Raises
+        ------
+        ConfigurationError
+            If the request is unknown or already finished.
+        """
+        request_id = int(request_id)
+        for queue in (self._waiting, self._future):
+            for index, item in enumerate(queue):
+                entry = item[-1]
+                if entry.request.request_id == request_id:
+                    queue.pop(index)
+                    heapq.heapify(queue)
+                    if entry.resume is not None:
+                        return self._export_checkpoint(entry.resume)
+                    return self._export_checkpoint(None, request=entry.request)
+        return self._export_checkpoint(self.release_request(request_id))
+
+    def checkpoint_all(self) -> List[RequestCheckpoint]:
+        """Checkpoint every in-flight request, in submission (id) order.
+
+        The replica pool's crash-recovery sweep: after this the scheduler
+        holds no requests and every KV block is free, while each returned
+        checkpoint can be re-admitted elsewhere via
+        :meth:`submit_checkpoint`.
+        """
+        ids = sorted(
+            [entry.request.request_id for *_, entry in self._waiting]
+            + [entry.request.request_id for *_, entry in self._future]
+            + [state.request.request_id for state in self._prefilling]
+            + [state.request.request_id for state in self._active.values()]
+        )
+        return [self.checkpoint(request_id) for request_id in ids]
+
+    def _export_checkpoint(
+        self, state: Optional[_ActiveRequest], request: Optional[Request] = None
+    ) -> RequestCheckpoint:
+        """Build a checkpoint from released book-keeping (or a fresh request)."""
+        if state is not None:
+            request = state.request
+        return RequestCheckpoint(
+            prompt=request.prompt,
+            generated=list(state.generated) if state is not None else [],
+            rng_state=(
+                copy.deepcopy(state.rng.bit_generator.state)
+                if state is not None
+                else {}
+            ),
+            step_logits=list(state.logits) if state is not None else [],
+            max_new_tokens=request.max_new_tokens,
+            priority=int(request.priority),
+            arrival_time=float(request.arrival_time),
+            deadline=request.deadline,
+            request_id=int(request.request_id),
+            preemptions=state.preemptions if state is not None else 0,
+            prefix_hit_tokens=state.prefix_hit_tokens if state is not None else 0,
+            first_token_at=state.first_token_at if state is not None else -1.0,
+        )
+
+    def submit_checkpoint(
+        self, checkpoint: RequestCheckpoint, *, delay: float = 0.0
+    ) -> int:
+        """Re-admit a checkpointed request on this scheduler; return its new id.
+
+        A started checkpoint is enqueued as a *resume* entry — admission
+        re-prefills ``prompt + generated[:-1]`` (riding prefix-cache hits
+        where templates overlap), restores the sampling generator to its
+        exported state, and continues without re-sampling, so the finished
+        output is bit-identical to an uninterrupted run.  An unstarted
+        checkpoint is enqueued fresh with its original deadline (it can
+        still expire — a crash does not extend an admission deadline).
+
+        Parameters
+        ----------
+        checkpoint : RequestCheckpoint
+            A snapshot from :meth:`checkpoint` on a compatible scheduler
+            (same model shape and :class:`GenerationConfig`).
+        delay : float
+            Extra scheduler ticks before the re-admitted request becomes
+            admissible — the replica pool's exponential-backoff knob.
+
+        Returns
+        -------
+        int
+            The request id assigned on *this* scheduler.
+        """
+        if delay < 0.0:
+            raise ConfigurationError("delay must be >= 0")
+        arrival = self.now + float(delay)
+        request = Request(
+            prompt=np.asarray(checkpoint.prompt, dtype=np.int64).reshape(-1),
+            max_new_tokens=checkpoint.max_new_tokens,
+            arrival_time=max(checkpoint.arrival_time, arrival) if checkpoint.started else arrival,
+            priority=int(checkpoint.priority),
+            deadline=checkpoint.deadline if not checkpoint.started else None,
+        )
+        if not checkpoint.started:
+            # Never-started requests re-enter the ordinary admission path
+            # (including deadline expiry) via submit's full validation.
+            restored = Request(
+                prompt=request.prompt,
+                max_new_tokens=request.max_new_tokens,
+                arrival_time=request.arrival_time,
+                priority=request.priority,
+                deadline=(
+                    None
+                    if request.deadline is None
+                    else max(request.deadline, request.arrival_time)
+                ),
+            )
+            return self.submit(restored)
+        request.request_id = self._next_request_id
+        self._next_request_id += 1
+        state = _ActiveRequest(
+            request,
+            slot=-1,
+            budget=self._budget(request),
+            seed=self.config.seed,
+            admitted_at=-1.0,
+        )
+        state.generated = list(checkpoint.generated)
+        state.logits = [np.asarray(row, dtype=np.float64) for row in checkpoint.step_logits]
+        if checkpoint.rng_state:
+            state.rng.bit_generator.state = copy.deepcopy(checkpoint.rng_state)
+        state.next_token = state.generated[-1]
+        state.preemptions = checkpoint.preemptions
+        state.prefix_hit_tokens = checkpoint.prefix_hit_tokens
+        state.first_token_at = checkpoint.first_token_at
+        if self.speculation is not None:
+            state.spec = _SpecState(draft_len=self.speculation.draft_tokens)
+        self._enqueue(_QueueEntry(request, state))
+        return request.request_id
 
     def _unstarted_output(self, request: Request, reason: str) -> RequestOutput:
         """Terminal output for a request that never produced a token."""

@@ -7,8 +7,11 @@ and speculative-rollback truncation.  Example-based tests pin each feature
 in isolation; this module drives *mixed* schedules of the operations the
 scheduler actually issues — admit (with prefix matching and the
 ``private_tail`` rule), decode writes, prefix forks, truncation, preemption
-(free-then-replay), and eviction — and asserts the global invariants after
-every single operation:
+(free-then-replay), eviction, and the replica-pool fault vocabulary
+(``replica_kill``: every live slot torn down at once, exactly the
+checkpoint-and-recover sweep a crashed replica triggers; ``replica_stall``:
+a zero-progress iteration the invariants must survive unchanged) — and
+asserts the global invariants after every single operation:
 
 * **Refcount duality** — every block's reference count equals its number of
   occurrences across live slot tables, and a block is on the LRU free-list
@@ -156,8 +159,9 @@ class ServingStressHarness:
     ``match_prefix`` → ``reserve`` (with the final-token ``private_tail``
     rule) → ``set_length`` → chunked ``write`` → ``publish_prefix`` for
     admission, per-token writes for decode, ``truncate`` for rollback,
-    ``free`` for eviction/preemption — and audits every invariant after
-    each op (see the module docstring).
+    ``free`` for eviction/preemption, an all-slots ``replica_kill`` crash
+    sweep, and a no-op ``replica_stall`` — and audits every invariant
+    after each op (see the module docstring).
 
     Parameters
     ----------
@@ -226,7 +230,11 @@ class ServingStressHarness:
                 choices += ["fork"] * 2
         if self.live:
             choices += ["decode"] * 6 + ["truncate"] * 2 + ["evict", "preempt"]
+            choices += ["replica_kill"]
+        choices += ["replica_stall"]
         kind = choices[int(rng.integers(len(choices)))]
+        if kind in ("replica_kill", "replica_stall"):
+            return {"kind": kind}
         if kind in ("admit", "fork"):
             if kind == "fork":
                 source = self._pick_handle()
@@ -302,6 +310,12 @@ class ServingStressHarness:
             self._apply_truncate(op)
         elif kind in ("evict", "preempt"):
             self._apply_release(op)
+        elif kind == "replica_kill":
+            self._apply_replica_kill(op)
+        elif kind == "replica_stall":
+            # A stalled step loop touches nothing; the audit below asserts
+            # the pool is bit-for-bit indifferent to zero-progress iterations.
+            pass
         else:
             raise InvariantViolation(f"unknown op kind {kind!r}")
         self.check()
@@ -414,6 +428,21 @@ class ServingStressHarness:
             # path (and hit the LRU-matchable published blocks).
             self.templates.append(np.asarray(model.tokens, dtype=np.int64))
         self.cache.free(model.slot)
+
+    def _apply_replica_kill(self, op: dict) -> None:
+        """Crash sweep: every live slot is torn down in one op.
+
+        Mirrors :meth:`Scheduler.checkpoint_all` on a chaos-killed replica —
+        all slots free at once (published blocks stay LRU-matchable), and
+        every sequence joins the template pool so later admissions replay
+        the recovered requests over prefix hits.  With nothing live the op
+        degrades to a no-op, keeping shrunk logs valid.
+        """
+        for handle in list(self.live):
+            model = self.live.pop(handle)
+            if model.tokens:
+                self.templates.append(np.asarray(model.tokens, dtype=np.int64))
+            self.cache.free(model.slot)
 
     # ------------------------------------------------------------------
     # Auditing

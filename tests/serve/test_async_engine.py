@@ -20,7 +20,14 @@ import pytest
 from repro.core import TenderConfig, TenderQuantizer
 from repro.errors import ConfigurationError, ResourceExhaustedError
 from repro.models import TransformerRunner
-from repro.serve import AsyncEngine, GenerationConfig, GenerationEngine, Request, serve_all
+from repro.serve import (
+    AsyncEngine,
+    GenerationConfig,
+    GenerationEngine,
+    Request,
+    Scheduler,
+    serve_all,
+)
 
 
 @pytest.fixture()
@@ -329,3 +336,141 @@ class TestClassStats:
         assert stats.mean_ttft() > 0.0
         assert stats.mean_tpot() > 0.0
         assert stats.mean_ttft(priority=0) <= stats.mean_ttft(priority=1)
+
+
+class TestErrorContainment:
+    def test_poisoned_executor_resolves_every_pending_stream(self, runner, prompt_pool):
+        """An escaping serve-loop error rejects all streams — nothing hangs."""
+
+        async def main():
+            engine = AsyncEngine(
+                runner, GenerationConfig(max_new_tokens=16), max_batch_size=2
+            )
+
+            def explode():
+                raise RuntimeError("executor exploded")
+
+            engine.scheduler.step = explode
+            streams = [await engine.submit(p) for p in prompt_pool[:2]]
+            for stream in streams:
+                with pytest.raises(RuntimeError, match="executor exploded"):
+                    await stream.result()
+            # Iterators surface the same error in place of StopAsyncIteration.
+            with pytest.raises(RuntimeError, match="executor exploded"):
+                async for _ in streams[0]:
+                    pass
+            # The engine is dead: later submissions report why, immediately.
+            with pytest.raises(RuntimeError, match="executor exploded"):
+                await engine.submit(prompt_pool[2])
+            await engine.close()
+
+        asyncio.run(main())
+
+
+class TestStreamTimeouts:
+    def test_result_timeout_leaves_the_request_untouched(self, runner, prompt_pool):
+        async def main():
+            async with AsyncEngine(
+                runner, GenerationConfig(max_new_tokens=48), max_batch_size=1
+            ) as engine:
+                stream = await engine.submit(prompt_pool[0])
+                with pytest.raises(asyncio.TimeoutError):
+                    await stream.result(timeout=0.0001)
+                assert not stream.finished
+                output = await stream.result()
+            return output
+
+        output = asyncio.run(main())
+        assert output.finish_reason == "length"
+        assert len(output.generated) == 48
+
+    def test_per_token_timeout_expires_through_the_deadline_path(
+        self, runner, prompt_pool
+    ):
+        async def main():
+            async with AsyncEngine(
+                runner, GenerationConfig(max_new_tokens=8), max_batch_size=1
+            ) as engine:
+                running = await engine.submit(prompt_pool[0], max_new_tokens=96)
+                starved = await engine.submit(prompt_pool[1])
+                with pytest.raises(asyncio.TimeoutError):
+                    await starved.next(timeout=0.02)
+                expired = await starved.result()
+                finished = await running.result()
+            return expired, finished
+
+        expired, finished = asyncio.run(main())
+        assert expired.finish_reason == "expired"
+        assert len(expired.generated) == 0
+        assert finished.finish_reason == "length"
+
+
+class TestSchedulerErrorPaths:
+    def test_exhaustion_during_resume_replay_defers_without_data_loss(
+        self, runner, prompt_pool
+    ):
+        """A failed block reservation on preemption-resume is retried, not fatal."""
+        scheduler = Scheduler(
+            runner,
+            GenerationConfig(max_new_tokens=10),
+            max_batch_size=1,
+            block_size=4,
+            preemption=True,
+        )
+        victim = scheduler.submit(prompt_pool[0], priority=5)
+        while scheduler.stats.generated_tokens < 2:
+            scheduler.step()
+        urgent = scheduler.submit(prompt_pool[1], priority=0, max_new_tokens=4)
+        scheduler.step()  # the urgent arrival evicts the victim
+
+        from repro.errors import ResourceExhaustedError as Exhausted
+
+        original = scheduler.cache.reserve
+
+        def refuse(*args, **kwargs):
+            raise Exhausted("injected: no blocks for the resume replay")
+
+        scheduler.cache.reserve = refuse
+        outputs = []
+        for _ in range(8):
+            outputs.extend(scheduler.step())
+        # The urgent request finished; the victim is deferred, not dropped.
+        assert {output.request_id for output in outputs} == {urgent}
+        assert scheduler.num_waiting == 1
+        scheduler.cache.reserve = original
+        outputs.extend(scheduler.run())
+        victim_out = next(o for o in outputs if o.request_id == victim)
+        np.testing.assert_array_equal(
+            victim_out.generated, solo_tokens(runner, prompt_pool[0], 10)
+        )
+
+    def test_cancel_after_finish_returns_the_same_output(self, runner, prompt_pool):
+        async def main():
+            async with AsyncEngine(
+                runner, GenerationConfig(max_new_tokens=4)
+            ) as engine:
+                stream = await engine.submit(prompt_pool[0])
+                output = await stream.result()
+                again = await stream.cancel()
+            return output, again
+
+        output, again = asyncio.run(main())
+        assert again is output
+        assert output.finish_reason == "length"
+
+    def test_double_release_from_the_async_layer_raises(self, runner, prompt_pool):
+        """The serve loop already released a finished request's slot — a
+        second release must refuse rather than corrupt the block pool."""
+
+        async def main():
+            async with AsyncEngine(
+                runner, GenerationConfig(max_new_tokens=8)
+            ) as engine:
+                stream = await engine.submit(prompt_pool[0])
+                output = await stream.result()
+                with pytest.raises(ConfigurationError, match="not admitted"):
+                    engine.scheduler.release_request(stream.request_id)
+            return output
+
+        output = asyncio.run(main())
+        assert output.finish_reason == "length"

@@ -1,0 +1,441 @@
+"""Tests of the fault-tolerant replica pool: chaos, recovery, degradation.
+
+The anchor is the strongest guarantee the cluster layer makes: a replica
+kill, stall, or breaker trip may move a request across engines, but it must
+never change what the request generates.  Recovery replays checkpoints
+``(prompt, generated, RNG state)`` through the same deterministic replay
+path preemption uses, so recovered outputs are bit-identical — tokens *and*
+committed-position logits — to a fault-free run for Tender's integer
+pipeline.  Around that sit the robustness mechanics: sticky rendezvous
+routing, the circuit breaker, the zero-progress watchdog, and graceful
+degradation under memory pressure or an exhausted retry budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import TenderConfig, TenderQuantizer
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.models import TransformerRunner
+from repro.serve import (
+    AsyncEngine,
+    FaultInjector,
+    GenerationConfig,
+    GenerationEngine,
+    ReplicaPool,
+    Request,
+    Router,
+)
+
+
+@pytest.fixture()
+def runner(tiny_weights):
+    return TransformerRunner(tiny_weights)
+
+
+@pytest.fixture(scope="module")
+def template_prompts(corpus_splits):
+    """Eight prompts over two shared 8-token templates (sticky-routable)."""
+    train_tokens, _ = corpus_splits
+    prompts = []
+    for index in range(8):
+        template = train_tokens[(index % 2) * 40 : (index % 2) * 40 + 8]
+        suffix = train_tokens[120 + index * 6 : 120 + index * 6 + 2 + index % 3]
+        prompts.append(np.concatenate([template, suffix]))
+    return prompts
+
+
+def tender_runner(weights, calibration, implicit):
+    config = TenderConfig(bits=8, num_groups=8, row_chunk_size=8)
+    return TenderQuantizer(config, implicit=implicit).quantize(weights, calibration)
+
+
+@pytest.fixture(scope="module")
+def parity_runners(outlier_weights, calibration):
+    return {
+        "tender-implicit": tender_runner(outlier_weights, calibration, implicit=True),
+        "tender-explicit": tender_runner(outlier_weights, calibration, implicit=False),
+    }
+
+
+def pool_outputs(runner, prompts, *, injector=None, **kwargs):
+    """Serve ``prompts`` through a fresh pool; outputs keyed by pool id."""
+    pool = ReplicaPool(runner, fault_injector=injector, **kwargs)
+    for prompt in prompts:
+        pool.submit(prompt)
+    outputs = {output.request_id: output for output in pool.run()}
+    return outputs, pool
+
+
+class TestRouter:
+    def test_equal_templates_rank_identically(self, template_prompts):
+        router = Router(num_replicas=4, template_window=8)
+        assert router.rank(template_prompts[0]) == router.rank(template_prompts[2])
+        assert router.place(template_prompts[0], [0, 1, 2, 3]) == router.place(
+            template_prompts[2], [0, 1, 2, 3]
+        )
+
+    def test_failover_moves_only_the_dead_winner_traffic(self, template_prompts):
+        router = Router(num_replicas=3, template_window=8)
+        all_ids = [0, 1, 2]
+        winner_a = router.place(template_prompts[0], all_ids)
+        survivors = [rid for rid in all_ids if rid != winner_a]
+        # Template A fails over to exactly its next-ranked replica.
+        next_ranked = router.rank(template_prompts[0])[1]
+        assert router.place(template_prompts[0], survivors) == next_ranked
+        # Any template whose winner survived keeps its placement — failover
+        # moves only the dead winner's traffic (no rehash storm).
+        winner_b = router.place(template_prompts[1], all_ids)
+        if winner_b != winner_a:
+            assert router.place(template_prompts[1], survivors) == winner_b
+
+    def test_no_healthy_replica_raises(self, template_prompts):
+        router = Router(num_replicas=2)
+        with pytest.raises(ResourceExhaustedError, match="no healthy replica"):
+            router.place(template_prompts[0], [])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="num_replicas"):
+            Router(num_replicas=0)
+        with pytest.raises(ConfigurationError, match="template_window"):
+            Router(num_replicas=1, template_window=0)
+
+
+class TestFaultInjector:
+    def test_scripted_events_win_over_random_draws(self):
+        injector = FaultInjector(seed=0, kill_rate=1.0, stall_at={3: 1})
+        assert injector.draw(3, 1) == "stall"
+        assert injector.draw(3, 0) == "kill"
+        kinds = [event.kind for event in injector.events]
+        assert kinds == ["stall", "kill"]
+
+    def test_randomized_schedule_is_seed_deterministic(self):
+        def schedule(seed):
+            injector = FaultInjector(seed, kill_rate=0.3, stall_rate=0.3)
+            return [injector.draw(i, r) for i in range(20) for r in range(3)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_max_kills_bounds_the_chaos(self):
+        injector = FaultInjector(seed=0, kill_rate=1.0, max_kills=2)
+        draws = [injector.draw(i, 0) for i in range(5)]
+        assert draws.count("kill") == 2
+        assert draws[2:] == [None, None, None]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="kill_rate"):
+            FaultInjector(kill_rate=1.5)
+        with pytest.raises(ConfigurationError, match="stall_steps"):
+            FaultInjector(stall_steps=0)
+
+
+@pytest.mark.parametrize("name", ["tender-implicit", "tender-explicit"])
+@pytest.mark.parametrize("prefix_cache", [True, False])
+@pytest.mark.parametrize("preemption", [True, False])
+class TestRecoveryParity:
+    def test_recovered_outputs_are_bit_identical(
+        self, name, prefix_cache, preemption, parity_runners, template_prompts
+    ):
+        """Seeded kills mid-trace change nothing a caller can observe.
+
+        Tokens *and* committed-position logits must equal the fault-free
+        pool run — recovery replays the checkpointed sampler state, it
+        never re-samples.
+        """
+        runner = parity_runners[name]
+        kwargs = dict(
+            num_replicas=3,
+            config=GenerationConfig(max_new_tokens=10),
+            max_batch_size=2,
+            block_size=4,
+            prefix_cache=prefix_cache,
+            preemption=preemption,
+        )
+        clean, _ = pool_outputs(runner, template_prompts, **kwargs)
+        chaos, pool = pool_outputs(
+            runner,
+            template_prompts,
+            injector=FaultInjector(seed=0, kill_at={2: 0, 5: 1}),
+            **kwargs,
+        )
+        assert pool.cluster_stats.recoveries >= 1
+        assert set(chaos) == set(clean)
+        for request_id, output in clean.items():
+            recovered = chaos[request_id]
+            np.testing.assert_array_equal(recovered.generated, output.generated)
+            np.testing.assert_array_equal(recovered.step_logits, output.step_logits)
+            assert recovered.finish_reason == output.finish_reason
+
+
+class TestRecoveryMechanics:
+    def test_pool_ids_survive_recovery(self, runner, template_prompts):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts,
+            injector=FaultInjector(seed=0, kill_at={2: 0}),
+            num_replicas=3,
+            config=GenerationConfig(max_new_tokens=6),
+            max_batch_size=2,
+            block_size=4,
+        )
+        assert pool.cluster_stats.recoveries >= 1
+        assert sorted(outputs) == list(range(len(template_prompts)))
+
+    def test_generated_tokens_survive_crash_rebuilds(self, runner, template_prompts):
+        kwargs = dict(
+            num_replicas=3,
+            config=GenerationConfig(max_new_tokens=6),
+            max_batch_size=2,
+            block_size=4,
+            breaker_cooldown=2,
+        )
+        _, clean_pool = pool_outputs(runner, template_prompts, **kwargs)
+        _, chaos_pool = pool_outputs(
+            runner,
+            template_prompts,
+            injector=FaultInjector(seed=0, kill_at={2: 0, 4: 1}),
+            **kwargs,
+        )
+        # Retained counters: the chaos run's totals keep the pre-crash work
+        # of rebuilt schedulers, so generated tokens are conserved and the
+        # recovery recompute shows up as extra prefill rows.
+        assert (
+            chaos_pool.stats["generated_tokens"]
+            == clean_pool.stats["generated_tokens"]
+        )
+        assert chaos_pool.stats["prefill_tokens"] >= clean_pool.stats["prefill_tokens"]
+
+    def test_recovery_rides_prefix_hits_on_the_failover_replica(
+        self, runner, template_prompts
+    ):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts,
+            injector=FaultInjector(seed=0, kill_at={3: 0}),
+            num_replicas=3,
+            config=GenerationConfig(max_new_tokens=8),
+            max_batch_size=4,
+            block_size=4,
+        )
+        assert pool.cluster_stats.recoveries >= 1
+        recovered_hits = sum(output.prefix_hit_tokens for output in outputs.values())
+        assert recovered_hits > 0
+
+    def test_watchdog_moves_requests_off_a_stalled_replica(
+        self, runner, template_prompts
+    ):
+        solo = GenerationEngine(runner).generate(
+            list(template_prompts), GenerationConfig(max_new_tokens=6)
+        )
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts,
+            injector=FaultInjector(seed=0, stall_at={1: 0}, stall_steps=10),
+            num_replicas=2,
+            config=GenerationConfig(max_new_tokens=6),
+            max_batch_size=4,
+            block_size=4,
+            watchdog_patience=2,
+            breaker_cooldown=2,
+        )
+        assert pool.cluster_stats.watchdog_trips >= 1
+        assert pool.cluster_stats.stalled_iterations >= 1
+        for request_id in range(len(template_prompts)):
+            np.testing.assert_array_equal(
+                outputs[request_id].generated, solo.generated[request_id]
+            )
+
+
+class TestCircuitBreaker:
+    def test_killed_replica_cools_down_then_rejoins(self, runner, template_prompts):
+        pool = ReplicaPool(
+            runner,
+            num_replicas=2,
+            config=GenerationConfig(max_new_tokens=4),
+            fault_injector=FaultInjector(seed=0, kill_at={1: 0}),
+            max_batch_size=4,
+            block_size=4,
+            breaker_cooldown=2,
+        )
+        for prompt in template_prompts:
+            pool.submit(prompt)
+        crashed = pool.replicas[0].scheduler
+        pool.step()
+        pool.step()
+        assert pool.healthy_ids() == [1]
+        assert pool.cluster_stats.breaker_opens >= 1
+        pool.run()
+        # Past the cooldown the replica re-probes with a *fresh* engine.
+        for _ in range(6):
+            pool.step()
+        assert 0 in pool.healthy_ids()
+        assert pool.replicas[0].alive
+        assert pool.replicas[0].scheduler is not crashed
+
+    def test_unhealthy_replica_takes_no_new_traffic(self, runner, template_prompts):
+        pool = ReplicaPool(
+            runner,
+            num_replicas=2,
+            config=GenerationConfig(max_new_tokens=4),
+            fault_injector=FaultInjector(seed=0, kill_at={0: 0}),
+            max_batch_size=4,
+            breaker_cooldown=50,
+        )
+        pool.submit(template_prompts[0])
+        pool.step()
+        assert pool.healthy_ids() == [1]
+        pool_id = pool.submit(template_prompts[1])
+        assert pool._placements[pool_id][0] == 1
+
+
+class TestDegradation:
+    def test_exhaustion_sheds_the_lowest_priority_waiting_request(
+        self, runner, template_prompts
+    ):
+        pool = ReplicaPool(
+            runner,
+            num_replicas=1,
+            config=GenerationConfig(max_new_tokens=5),
+            fault_injector=FaultInjector(seed=0, exhaust_at={1: 0}),
+            max_batch_size=1,
+            block_size=4,
+        )
+        ids = [
+            pool.submit(prompt, priority=priority)
+            for prompt, priority in zip(template_prompts[:3], (0, 1, 5))
+        ]
+        outputs = {output.request_id: output for output in pool.run()}
+        assert outputs[ids[2]].finish_reason == "degraded"
+        assert len(outputs[ids[2]].generated) == 0
+        assert outputs[ids[0]].finish_reason == "length"
+        assert outputs[ids[1]].finish_reason == "length"
+        assert pool.cluster_stats.degraded_requests == 1
+
+    def test_exhausted_retry_budget_degrades_with_partial_tokens(
+        self, runner, template_prompts
+    ):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts[:4],
+            injector=FaultInjector(seed=0, kill_at={2: 0}),
+            num_replicas=2,
+            config=GenerationConfig(max_new_tokens=6),
+            max_batch_size=4,
+            block_size=4,
+            max_retries=0,
+        )
+        degraded = [o for o in outputs.values() if o.finish_reason == "degraded"]
+        assert degraded
+        assert pool.cluster_stats.recoveries == 0
+        assert pool.cluster_stats.degraded_requests == len(degraded)
+        # The checkpointed progress is returned, not discarded.
+        assert any(len(output.generated) > 0 for output in degraded)
+
+    def test_no_surviving_replica_degrades_in_flight_requests(
+        self, runner, template_prompts
+    ):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts[:2],
+            injector=FaultInjector(seed=0, kill_at={1: 0}),
+            num_replicas=1,
+            config=GenerationConfig(max_new_tokens=8),
+            max_batch_size=2,
+            breaker_cooldown=50,
+        )
+        assert outputs
+        assert all(o.finish_reason == "degraded" for o in outputs.values())
+        assert pool.cluster_stats.degraded_requests == len(outputs)
+
+
+class TestPoolSurface:
+    def test_request_object_with_keywords_is_rejected(self, runner, template_prompts):
+        pool = ReplicaPool(runner, num_replicas=2)
+        request = Request(request_id=0, prompt=template_prompts[0])
+        with pytest.raises(ConfigurationError, match="not as submit"):
+            pool.submit(request, priority=1)
+        assert isinstance(pool.submit(request), int)
+
+    def test_cancel_and_expire_translate_pool_ids(self, runner, template_prompts):
+        pool = ReplicaPool(
+            runner, num_replicas=2, config=GenerationConfig(max_new_tokens=8)
+        )
+        first = pool.submit(template_prompts[0])
+        second = pool.submit(template_prompts[1])
+        pool.step()
+        cancelled = pool.cancel(first)
+        assert cancelled.request_id == first
+        assert cancelled.finish_reason == "cancelled"
+        expired = pool.expire(second)
+        assert expired.request_id == second
+        assert expired.finish_reason == "expired"
+        with pytest.raises(ConfigurationError, match="not in flight"):
+            pool.cancel(first)
+        with pytest.raises(ConfigurationError, match="not in flight"):
+            pool.expire(99)
+
+    def test_stats_merge_replicas(self, runner, template_prompts):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts,
+            num_replicas=3,
+            config=GenerationConfig(max_new_tokens=4),
+            max_batch_size=2,
+        )
+        stats = pool.stats
+        assert stats["completed_requests"] == len(template_prompts)
+        assert stats["generated_tokens"] == sum(
+            len(output.generated) for output in outputs.values()
+        )
+        assert stats["generated_tokens"] == pool.cluster_stats.merged_generated_tokens(
+            pool.replicas
+        )
+
+    def test_validation(self, runner):
+        with pytest.raises(ConfigurationError, match="num_replicas"):
+            ReplicaPool(runner, num_replicas=0)
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            ReplicaPool(runner, max_retries=-1)
+
+
+class TestPoolBackedAsyncEngine:
+    def test_streams_chaos_run_to_solo_parity(self, runner, template_prompts):
+        solo = GenerationEngine(runner).generate(
+            list(template_prompts[:4]), GenerationConfig(max_new_tokens=6)
+        )
+
+        async def main():
+            pool = ReplicaPool(
+                runner,
+                num_replicas=2,
+                config=GenerationConfig(max_new_tokens=6),
+                fault_injector=FaultInjector(seed=0, kill_at={2: 0}),
+                max_batch_size=2,
+                block_size=4,
+                breaker_cooldown=2,
+            )
+            async with AsyncEngine(pool=pool) as engine:
+                streams = [await engine.submit(p) for p in template_prompts[:4]]
+                collected = [[token async for token in s] for s in streams]
+                outputs = [await s.result() for s in streams]
+            return collected, outputs, pool
+
+        collected, outputs, pool = asyncio.run(main())
+        assert pool.cluster_stats.failures >= 1
+        for index, (tokens, output) in enumerate(zip(collected, outputs)):
+            np.testing.assert_array_equal(np.asarray(tokens), output.generated)
+            np.testing.assert_array_equal(output.generated, solo.generated[index])
+
+    def test_constructor_rejects_ambiguous_engines(self, runner):
+        pool = ReplicaPool(runner, num_replicas=1)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            AsyncEngine(runner, pool=pool)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            AsyncEngine()
+        with pytest.raises(ConfigurationError, match="config"):
+            AsyncEngine(pool=pool, config=GenerationConfig())

@@ -1,11 +1,14 @@
 """Seeded randomized stress suite over the paged-KV invariant web.
 
 ``ServingStressHarness`` drives mixed admit/fork/decode/truncate/preempt/
-evict schedules against a deliberately tiny ``PagedKVCache`` and audits the
-global invariants after *every* op — refcount duality, radix consistency,
-version monotonicity, and exact shadow-model content.  Tier-1 runs 3 seeds
-(the ``stress_seed`` fixture, parametrized in ``tests/conftest.py``); set
-``REPRO_STRESS_SEEDS=50`` for a deeper soak.
+evict/replica-kill/replica-stall schedules against a deliberately tiny
+``PagedKVCache`` and audits the global invariants after *every* op —
+refcount duality, radix consistency, version monotonicity, and exact
+shadow-model content.  The replica ops mirror what ``ReplicaPool`` does to
+an engine under chaos: a kill tears down every live slot at once (the
+checkpoint-and-recover sweep), a stall is a progress no-op.  Tier-1 runs 3
+seeds (the ``stress_seed`` fixture, parametrized in ``tests/conftest.py``);
+set ``REPRO_STRESS_SEEDS=40`` for the nightly soak.
 
 The suite also pins the tooling contract around the harness: logs replay
 deterministically, injected corruption is caught and shrinks to a minimal
@@ -39,8 +42,9 @@ class TestRandomizedSchedules:
         ops = harness.run(NUM_OPS)
         assert len(ops) == NUM_OPS
         kinds = {op["kind"] for op in ops}
-        # A healthy schedule exercises the whole op vocabulary.
-        assert {"admit", "decode"} <= kinds
+        # A healthy schedule exercises the whole op vocabulary, including
+        # the replica-crash sweep and stall the cluster layer leans on.
+        assert {"admit", "decode", "replica_kill", "replica_stall"} <= kinds
 
     def test_replay_is_deterministic(self, stress_seed):
         first = ServingStressHarness(seed=stress_seed)

@@ -39,3 +39,4 @@ class TestPerfSmoke:
         assert "perf smoke ok (fused paged attention" in result.stdout
         assert "perf smoke ok (preemption token-identical" in result.stdout
         assert "perf smoke ok (serving stress clean" in result.stdout
+        assert "perf smoke ok (fault tolerance token-identical" in result.stdout

@@ -15,7 +15,10 @@ Checks, in order:
    (``src/repro/experiments/table*.py`` / ``figure*.py``) — a new paper
    artifact cannot land without its row in the reproducing table;
 3. ``docs/reproducing.md`` mentions every benchmark entry
-   (``benchmarks/bench_*.py``) for the same reason.
+   (``benchmarks/bench_*.py``) for the same reason;
+4. ``docs/architecture.md`` mentions every serving-layer module
+   (``src/repro/serve/*.py``) — a new subsystem (``cluster.py`` being the
+   latest) cannot land without its architecture-doc section.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -73,9 +76,27 @@ def check_reproducing_coverage(root: Path) -> list:
     return errors
 
 
+def check_architecture_coverage(root: Path) -> list:
+    architecture = root / "docs" / "architecture.md"
+    if not architecture.exists():
+        return ["docs/architecture.md: file missing"]
+    text = architecture.read_text()
+    errors = []
+    for module in sorted((root / "src" / "repro" / "serve").glob("*.py")):
+        if module.name != "__init__.py" and module.name not in text:
+            errors.append(
+                f"docs/architecture.md: serve module {module.name} not mentioned"
+            )
+    return errors
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
-    errors = check_links(root) + check_reproducing_coverage(root)
+    errors = (
+        check_links(root)
+        + check_reproducing_coverage(root)
+        + check_architecture_coverage(root)
+    )
     for error in errors:
         print(error)
     if not errors:

@@ -13,8 +13,9 @@ the handful of ``D`` rules the serving API is held to, over the AST:
 * D419  docstring is non-empty
 
 Scope defaults to the public serving API (``src/repro/serve``, which
-includes the speculative-decoding subsystem ``serve/spec.py``), the GPU
-latency models (``src/repro/gpu``), and the fast kernel layer
+includes the speculative-decoding subsystem ``serve/spec.py`` and the
+fault-tolerant replica pool ``serve/cluster.py``), the GPU latency models
+(``src/repro/gpu``), and the fast kernel layer
 (``src/repro/core/kernels.py``); pass paths to override:
 
     python tools/check_docstrings.py [path ...]

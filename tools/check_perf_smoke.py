@@ -5,7 +5,7 @@ Run from the repository root (tier-1 runs it via ``tests/tools``):
 
     PYTHONPATH=src python tools/check_perf_smoke.py
 
-Six checks run back to back:
+Seven checks run back to back:
 
 1. **Fast kernels** — builds the shared synthetic decode workload from
    ``repro.core.perf`` (no model training, no checkpoint cache — the same
@@ -57,10 +57,22 @@ Six checks run back to back:
    replay that re-samples fails parity.
 
 6. **Serving stress** — replays short ``ServingStressHarness`` schedules
-   (mixed admit/fork/decode/truncate/preempt/evict against a tiny paged
-   pool) and fails on any ``InvariantViolation`` — the same invariant web
-   tier-1 exercises, kept in the standalone gate so external CI without
-   pytest still audits the pool.
+   (mixed admit/fork/decode/truncate/preempt/evict/replica_kill/
+   replica_stall against a tiny paged pool) and fails on any
+   ``InvariantViolation`` — the same invariant web tier-1 exercises, kept
+   in the standalone gate so external CI without pytest still audits the
+   pool.
+
+7. **Fault tolerance** — serves the same trace through a 3-replica
+   ``repro.serve.cluster.ReplicaPool`` fault-free and under scripted
+   mid-trace replica kills, and gates on the deterministic accounting:
+   every surviving request's tokens must be bit-identical to the
+   fault-free pool (checkpoint/replay recovery must not perturb a token),
+   at least one recovery must actually fire, and chaos goodput (generated
+   tokens per forwarded row) must stay within ``REQUIRED_FT_GOODPUT`` of
+   fault-free — a recovery path that recomputes whole contexts instead of
+   riding prefix hits fails the goodput floor, and one that re-samples
+   fails parity.
 
 Exit status 0 when clean; 1 with a one-line diagnosis otherwise.
 """
@@ -98,6 +110,11 @@ REQUIRED_WORK_RATIO = 0.95
 #: runs the deeper parametrized suite in ``tests/serve``).
 STRESS_SEEDS = 2
 STRESS_OPS = 120
+#: A chaos run with scripted replica kills must keep at least this fraction
+#: of the fault-free pool's goodput (generated tokens per forwarded row) —
+#: measured well above 0.9 because recovery replays ride prefix-cache hits;
+#: a recovery path that recomputes whole contexts from scratch lands below.
+REQUIRED_FT_GOODPUT = 0.8
 
 
 def _tiny_serving_runner():
@@ -546,6 +563,71 @@ def check_serving_stress() -> int:
     return 0
 
 
+def check_fault_tolerance() -> int:
+    """Deterministic chaos gate: kill replicas mid-trace, require parity."""
+    from repro.serve import FaultInjector, GenerationConfig, ReplicaPool
+
+    runner = _tiny_serving_runner()
+    rng = np.random.default_rng(17)
+    # Template-heavy prompts so recovered requests replay over prefix hits
+    # on their failover replica (sticky routing keeps templates together).
+    templates = [rng.integers(0, 64, size=10) for _ in range(2)]
+    prompts = [
+        np.concatenate([templates[i % 2], rng.integers(0, 64, size=2 + i % 3)])
+        for i in range(8)
+    ]
+
+    def serve(injector):
+        pool = ReplicaPool(
+            runner,
+            num_replicas=3,
+            config=GenerationConfig(max_new_tokens=16),
+            fault_injector=injector,
+            max_batch_size=2,
+            block_size=4,
+            record_logits=False,
+        )
+        for prompt in prompts:
+            pool.submit(prompt)
+        outputs = {output.request_id: output for output in pool.run()}
+        stats = pool.stats
+        goodput = stats["generated_tokens"] / (
+            stats["prefill_tokens"] + stats["generated_tokens"]
+        )
+        return outputs, pool, goodput
+
+    outputs_clean, _, goodput_clean = serve(None)
+    injector = FaultInjector(seed=0, kill_at={2: 0, 4: 1})
+    outputs_chaos, chaos_pool, goodput_chaos = serve(injector)
+    for request_id, output in outputs_clean.items():
+        if not np.array_equal(output.generated, outputs_chaos[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"after replica-kill recovery — checkpoint/replay is not bit-exact"
+            )
+            return 1
+    recoveries = chaos_pool.cluster_stats.recoveries
+    if recoveries < 1:
+        print(
+            "perf smoke FAILED: the scripted kills triggered no recovery — "
+            "the chaos schedule never exercised the replay path"
+        )
+        return 1
+    ratio = goodput_chaos / goodput_clean
+    if ratio < REQUIRED_FT_GOODPUT:
+        print(
+            f"perf smoke FAILED: chaos goodput fell to {ratio:.0%} of fault-free "
+            f"(required >= {REQUIRED_FT_GOODPUT:.0%}) — recovery is recomputing "
+            f"whole contexts instead of riding prefix hits"
+        )
+        return 1
+    print(
+        f"perf smoke ok (fault tolerance token-identical across {recoveries} "
+        f"recoveries, goodput {ratio:.0%} of fault-free)"
+    )
+    return 0
+
+
 def main() -> int:
     """Run every smoke gate; first failure wins."""
     return (
@@ -555,6 +637,7 @@ def main() -> int:
         or check_fused_attention()
         or check_preemption_smoke()
         or check_serving_stress()
+        or check_fault_tolerance()
     )
 
 
