@@ -39,3 +39,21 @@ class ResourceExhaustedError(ReproError):
 
 class ReplicaFailureError(ReproError):
     """Raised when a serving replica crashes (or is chaos-killed) mid-iteration."""
+
+
+class ShardFailureError(ReplicaFailureError):
+    """Raised when a tensor-parallel shard dies, taking its whole group down.
+
+    Subclasses :class:`ReplicaFailureError` on purpose: a shard group is one
+    fault unit to the replica pool, so a dead shard rides the same
+    checkpoint-and-recover sweep as a whole-replica crash.
+    """
+
+
+class CollectiveTransportError(ReplicaFailureError):
+    """Raised when a collective call cannot complete within its retry budget.
+
+    Dropped or endlessly-corrupted messages exhaust the bounded retries of
+    :class:`repro.serve.collective.CollectiveGroup`; the group then counts as
+    failed and the pool recovers its in-flight requests elsewhere.
+    """

@@ -13,7 +13,11 @@ KV copy the fused kernel avoids, versus context length),
 of evicting a victim versus the recompute its resume pays), and
 :class:`FaultToleranceWorkload` to replica-pool fault tolerance (the
 goodput kept under failures when recovery replays checkpoints over
-prefix-cache hits instead of recomputing whole contexts).
+prefix-cache hits instead of recomputing whole contexts), and
+:class:`TensorParallelWorkload` to column-parallel tensor sharding (the
+compute divided across shards versus the per-layer all-gathers added
+back, and the goodput a shard group keeps when any shard's death fails
+the whole group).
 """
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
@@ -26,6 +30,7 @@ from repro.gpu.latency import (
     PreemptionWorkload,
     PrefixCacheWorkload,
     SpeculativeWorkload,
+    TensorParallelWorkload,
     continuous_batch_throughput,
     decode_step_latencies,
     decode_throughput_tokens_per_s,
@@ -39,6 +44,7 @@ from repro.gpu.latency import (
     prefix_cache_throughput,
     speculative_throughput,
     tender_software_latency_ms,
+    tensor_parallel_speedup,
 )
 
 __all__ = [
@@ -53,12 +59,14 @@ __all__ = [
     "PreemptionWorkload",
     "PrefixCacheWorkload",
     "SpeculativeWorkload",
+    "TensorParallelWorkload",
     "continuous_batch_throughput",
     "fault_tolerance_goodput",
     "paged_attention_throughput",
     "preemption_tradeoff",
     "prefix_cache_throughput",
     "speculative_throughput",
+    "tensor_parallel_speedup",
     "fp16_latency_ms",
     "int8_latency_ms",
     "per_channel_latency_ms",

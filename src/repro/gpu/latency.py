@@ -1181,3 +1181,187 @@ def fault_tolerance_goodput(
             "tokens_per_s": fleet_rows / (effective_ms * 1e-3),
         }
     return results
+
+
+@dataclass
+class TensorParallelWorkload:
+    """Speedup and chaos goodput of column-parallel tensor sharding.
+
+    Models what ``repro.serve.shard.ShardedRunner`` pays and gains: every
+    projection's output columns (and the attention heads) split across
+    ``num_shards`` workers, so per-step compute divides by the shard count,
+    but the shards must meet at explicit all-gathers — six per layer (K, V,
+    attention context, attention output, FC1 hidden, FC2 output) plus the
+    LM-head logits gather, each priced as a ring collective over the
+    inter-shard link.  The question the model answers: at what model size,
+    batch, and link quality does sharding pay, and how much goodput a
+    sharded group keeps when shard failures trigger whole-group
+    checkpoint/replay recovery (a shard group is one fault unit — any
+    shard's death fails the group).
+
+    Parameters
+    ----------
+    num_shards : int
+        Tensor-parallel width (1 = solo, no collectives).
+    batch : int
+        Active decode rows per step.
+    context : int
+        Mean committed tokens per row (KV length, and the recovery
+        re-prefill bound).
+    link_latency_us : float
+        Per-hop launch latency of one collective message, microseconds.
+    link_bandwidth_gb_s : float
+        Inter-shard link bandwidth (NVLink-ish defaults).
+    shard_failure_rate : float
+        Per-decode-step probability that a given *shard* dies; the group
+        fails when any of its shards does.
+    resume_hit_rate : float
+        Fraction of a recovered request's replay served from prefix-cache
+        hits on the rebuilt group (as in :class:`FaultToleranceWorkload`).
+    retry_backoff_steps : float
+        Mean decode steps recovered requests wait out in backoff.
+    d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    """
+
+    num_shards: int
+    batch: int
+    context: int
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+    link_latency_us: float = 5.0
+    link_bandwidth_gb_s: float = 100.0
+    shard_failure_rate: float = 0.0
+    resume_hit_rate: float = 0.0
+    retry_backoff_steps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if self.num_shards > self.num_heads:
+            raise ConfigurationError("num_shards must not exceed num_heads")
+        if self.link_latency_us < 0.0 or self.link_bandwidth_gb_s <= 0.0:
+            raise ConfigurationError("link latency/bandwidth must be sane")
+        if not 0.0 <= self.shard_failure_rate < 1.0:
+            raise ConfigurationError("shard_failure_rate must lie in [0, 1)")
+        if not 0.0 <= self.resume_hit_rate <= 1.0:
+            raise ConfigurationError("resume_hit_rate must lie in [0, 1]")
+        if self.retry_backoff_steps < 0.0:
+            raise ConfigurationError("retry_backoff_steps must be >= 0")
+        self.decode_workload()
+
+    def decode_workload(self) -> DecodeWorkload:
+        """The unsharded per-step GEMMs (the solo baseline)."""
+        return DecodeWorkload(
+            batch=self.batch,
+            context=self.context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def group_failure_rate(self) -> float:
+        """Per-step probability that *any* shard dies (one fault unit)."""
+        return 1.0 - (1.0 - self.shard_failure_rate) ** self.num_shards
+
+    def recompute_tokens(self) -> int:
+        """Replayed tokens actually recomputed per recovered request."""
+        return max(1, int(round(self.context * (1.0 - self.resume_hit_rate))))
+
+    def recovery_workload(self) -> DecodeWorkload:
+        """The GEMMs of re-prefilling the whole batch on a rebuilt group."""
+        return DecodeWorkload(
+            batch=max(1, self.batch * self.recompute_tokens()),
+            context=self.context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def _all_gather_ms(self, row_bytes: float, rows: int) -> float:
+        """Ring all-gather cost for ``rows`` activation rows of ``row_bytes``."""
+        if self.num_shards == 1:
+            return 0.0
+        hops = self.num_shards - 1
+        wire_bytes = rows * row_bytes * hops / self.num_shards
+        return hops * self.link_latency_us * 1e-3 + wire_bytes / (
+            self.link_bandwidth_gb_s * 1e6
+        )
+
+    def comm_ms(self, rows: Optional[int] = None) -> float:
+        """Per-step collective time: six gathers per layer plus the LM head.
+
+        Matches the simulated runner's meet points exactly — K, V,
+        attention context, attention output, FC1 hidden, and FC2 output per
+        layer (each ``rows x width`` activations in FP16 on the wire), plus
+        one logits gather when the model has an LM head.
+        """
+        rows = self.batch if rows is None else rows
+        act = 2.0  # FP16 activation bytes on the wire
+        per_layer = 5 * self._all_gather_ms(self.d_model * act, rows) + self._all_gather_ms(
+            self.d_ff * act, rows
+        )
+        total = self.num_layers * per_layer
+        if self.vocab:
+            total += self._all_gather_ms(self.vocab * act, self.batch)
+        return total
+
+
+def tensor_parallel_speedup(
+    workload: TensorParallelWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Communication-inclusive sharding speedup and chaos goodput, per scheme.
+
+    Column-parallel sharding divides every GEMM's output axis (and the
+    attention heads) by ``num_shards``, so per-shard compute is the solo
+    step over the shard count; the collectives priced by
+    :meth:`TensorParallelWorkload.comm_ms` are added back, giving
+    ``sharded_step = solo_step / S + comm``.  Recovery under chaos is the
+    group-level version of :func:`fault_tolerance_goodput`: any shard death
+    fails the whole group, which re-prefills the uncached context of every
+    in-flight request on a rebuilt group (itself sharded, itself paying
+    collectives on the replay rows).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"solo_step_ms", "sharded_step_ms", "comm_ms",
+        "speedup", "recovery_ms", "effective_step_ms", "goodput_ratio",
+        "tokens_per_s"}}`` per scheme of :func:`decode_step_latencies`.
+    """
+    solo = decode_step_latencies(workload.decode_workload(), device_name, num_groups)
+    recovery = decode_step_latencies(workload.recovery_workload(), device_name, num_groups)
+    shards = workload.num_shards
+    step_comm = workload.comm_ms()
+    recovery_comm = workload.comm_ms(
+        rows=max(1, workload.batch * workload.recompute_tokens())
+    )
+    group_rate = workload.group_failure_rate()
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme in solo:
+        solo_ms = solo[scheme].milliseconds
+        sharded_ms = solo_ms / shards + step_comm
+        recovery_ms = recovery[scheme].milliseconds / shards + recovery_comm
+        effective_ms = sharded_ms + group_rate * (
+            recovery_ms + workload.retry_backoff_steps * sharded_ms
+        )
+        results[scheme] = {
+            "solo_step_ms": solo_ms,
+            "sharded_step_ms": sharded_ms,
+            "comm_ms": step_comm,
+            "speedup": solo_ms / sharded_ms,
+            "recovery_ms": recovery_ms,
+            "effective_step_ms": effective_ms,
+            "goodput_ratio": sharded_ms / effective_ms,
+            "tokens_per_s": workload.batch / (effective_ms * 1e-3),
+        }
+    return results

@@ -58,6 +58,83 @@ class KVCacheLike(Protocol):
         ...
 
 
+def neutralize_padding(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    valid: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Keep ragged-prefill padding rows out of dynamic quantization statistics.
+
+    Masking already keeps padding out of every attention *output*; this also
+    keeps it out of executors that quantize attention operands dynamically
+    (Tender "all"), whose per-head statistics would otherwise see the garbage
+    rows: padded queries are replaced by a duplicate of the sequence's first
+    row (duplicates never widen a max/min range) and padded keys/values are
+    zeroed (zeros never widen an absmax).  Purely elementwise, so applying it
+    to a column slice of the projections equals slicing its full-width result
+    — the property the tensor-parallel runner relies on.
+    """
+    if valid is None or valid.all():
+        return queries, keys, values
+    row_valid = valid[..., None]
+    queries = np.where(row_valid, queries, queries[:, :1])
+    keys = keys * row_valid
+    values = values * row_valid
+    return queries, keys, values
+
+
+def fused_attention_ready(executor, cache) -> bool:
+    """Whether cached attention may read K/V straight from paged block storage.
+
+    True when both attention products are plain matmuls (the executor's
+    ``plain_attention``) and the cache exposes block-table operands
+    (``supports_paged_attention``) — the gate shared by the solo runner and
+    the tensor-parallel façade.
+    """
+    return bool(
+        getattr(executor, "plain_attention", False)
+        and getattr(cache, "supports_paged_attention", False)
+    )
+
+
+def dense_cached_attention(
+    executor: "MatmulExecutor",
+    prefix: str,
+    queries: np.ndarray,
+    cached_keys: np.ndarray,
+    cached_values: np.ndarray,
+    positions: np.ndarray,
+    valid: Optional[np.ndarray],
+    d_head: int,
+) -> np.ndarray:
+    """Masked-softmax attention over densely gathered cache views.
+
+    The reference (gather-then-dense) cached-attention core: scores through
+    the executor's ``attention_matmul``, slot-visibility masking (a slot
+    ``s`` is visible to a query at position ``p`` iff ``s <= p``), softmax,
+    padded-probability-row replacement, and the ``X_S @ X_V`` product.
+    Every step is independent per attention head, so calling it on a
+    contiguous head slice of the operands returns exactly that slice of the
+    full result — the solo runner passes all heads, the tensor-parallel
+    runner each shard's own.  Returns ``(batch, heads, new_len, d_head)``.
+    """
+    attended = cached_keys.shape[-2]
+    scores = executor.attention_matmul(
+        f"{prefix}.qk", queries, np.swapaxes(cached_keys, -1, -2)
+    ) / np.sqrt(d_head)
+    hidden_slots = np.arange(attended)[None, None, None, :] > positions[:, None, :, None]
+    scores = np.where(hidden_slots, -1e9, scores)
+    attention = softmax(scores, axis=-1)
+    if valid is not None and not valid.all():
+        # Padded probability rows see a wider causal window than the row
+        # they were duplicated from; replace them with the first (valid)
+        # row's probabilities so dynamically-quantized X_S X_V statistics
+        # stay independent of batching.
+        attention = np.where(valid[:, None, :, None], attention, attention[:, :, :1, :])
+    return executor.attention_matmul(f"{prefix}.sv", attention, cached_values)
+
+
 class MatmulExecutor(Protocol):
     """Interface every quantization scheme implements."""
 
@@ -297,22 +374,14 @@ class TransformerRunner:
         queries = self._project(f"{prefix}.q_proj", x, block.attn.wq, block.attn.bq, positions)
         keys = self._project(f"{prefix}.k_proj", x, block.attn.wk, block.attn.bk, positions)
         values = self._project(f"{prefix}.v_proj", x, block.attn.wv, block.attn.bv, positions)
-        if valid is not None and not valid.all():
-            row_valid = valid[..., None]
-            queries = np.where(row_valid, queries, queries[:, :1])
-            keys = keys * row_valid
-            values = values * row_valid
+        queries, keys, values = neutralize_padding(queries, keys, values, valid)
 
         def split(t: np.ndarray) -> np.ndarray:
             return t.reshape(batch, new_len, config.num_heads, config.d_head).transpose(0, 2, 1, 3)
 
         queries, keys, values = split(queries), split(keys), split(values)
         cache.write(index, keys, values, positions)
-        if (
-            self.fused_paged_attention
-            and getattr(self.executor, "plain_attention", False)
-            and getattr(cache, "supports_paged_attention", False)
-        ):
+        if self.fused_paged_attention and fused_attention_ready(self.executor, cache):
             # Both attention products are plain matmuls, so read K/V straight
             # from block storage — no dense gather.  Operands are fetched
             # *after* the write: any copy-on-write fork the write triggered is
@@ -324,21 +393,16 @@ class TransformerRunner:
         else:
             attended = int(positions.max()) + 1
             cached_keys, cached_values = cache.view(index, attended)
-            scores = self.executor.attention_matmul(
-                f"{prefix}.qk", queries, np.swapaxes(cached_keys, -1, -2)
-            ) / np.sqrt(config.d_head)
-            hidden_slots = np.arange(attended)[None, None, None, :] > positions[:, None, :, None]
-            scores = np.where(hidden_slots, -1e9, scores)
-            attention = softmax(scores, axis=-1)
-            if valid is not None and not valid.all():
-                # Padded probability rows see a wider causal window than the
-                # row they were duplicated from; replace them with the first
-                # (valid) row's probabilities so dynamically-quantized X_S X_V
-                # statistics stay independent of batching.
-                attention = np.where(
-                    valid[:, None, :, None], attention, attention[:, :, :1, :]
-                )
-            context = self.executor.attention_matmul(f"{prefix}.sv", attention, cached_values)
+            context = dense_cached_attention(
+                self.executor,
+                prefix,
+                queries,
+                cached_keys,
+                cached_values,
+                positions,
+                valid,
+                config.d_head,
+            )
         context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, config.d_model)
         return self._project(f"{prefix}.out_proj", context, block.attn.wo, block.attn.bo, positions)
 

@@ -25,7 +25,13 @@ Three layers, bottom up:
   scheduler replicas behind a prefix-cache-aware sticky :class:`Router`,
   with seeded chaos injection (:class:`FaultInjector`), checkpoint/replay
   recovery (:class:`RequestCheckpoint`), a circuit breaker + zero-progress
-  watchdog, and graceful ``"degraded"`` shedding under memory pressure.
+  watchdog, and graceful ``"degraded"`` shedding under memory pressure;
+* :class:`ShardedRunner` (:mod:`repro.serve.shard`) — column-parallel
+  tensor sharding behind the ``TransformerRunner`` surface, meeting at
+  checksummed, retrying :class:`CollectiveGroup` collectives
+  (:mod:`repro.serve.collective`) with seeded message chaos
+  (:class:`CollectiveFaultInjector`); a replica of the pool may be a whole
+  shard group, recovered as one fault unit.
 
 Speculative decoding (:mod:`repro.serve.spec`) plugs a
 :class:`DraftProposer` — :class:`PromptLookupDraft` n-gram lookup or a
@@ -37,6 +43,11 @@ while k sequential decode forwards collapse into one verification forward.
 
 from repro.serve.async_engine import AsyncEngine, RequestStream, serve_all
 from repro.serve.cluster import ClusterStats, FaultInjector, ReplicaPool, Router
+from repro.serve.collective import (
+    CollectiveFaultInjector,
+    CollectiveGroup,
+    CollectiveStats,
+)
 from repro.serve.engine import GenerationEngine, GenerationResult, generate
 from repro.serve.kv_cache import KVCache
 from repro.serve.paged_kv_cache import PagedKVCache, SlotBatchView
@@ -48,6 +59,7 @@ from repro.serve.scheduler import (
     Scheduler,
     SchedulerStats,
 )
+from repro.serve.shard import ShardedRunner
 from repro.serve.spec import DraftProposer, ModelDraft, PromptLookupDraft, SpecConfig
 from repro.serve.stress import (
     InvariantViolation,
@@ -59,6 +71,9 @@ from repro.serve.stress import (
 __all__ = [
     "AsyncEngine",
     "ClusterStats",
+    "CollectiveFaultInjector",
+    "CollectiveGroup",
+    "CollectiveStats",
     "FaultInjector",
     "KVCache",
     "PagedKVCache",
@@ -80,6 +95,7 @@ __all__ = [
     "Scheduler",
     "SchedulerStats",
     "ServingStressHarness",
+    "ShardedRunner",
     "SpecConfig",
     "check_pool_invariants",
     "generate",

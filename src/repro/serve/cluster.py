@@ -50,7 +50,7 @@ committed-position logits) to a fault-free run, which is what
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -261,6 +261,9 @@ class ClusterStats:
     watchdog_trips: int = 0
     #: Circuit-breaker opens (replica marked unhealthy for a cooldown).
     breaker_opens: int = 0
+    #: ``"degraded"`` finishes tallied by structured failure cause
+    #: (``"shed"``, ``"retry_budget_exhausted"``, ``"no_healthy_replica"``).
+    degraded_causes: Dict[str, int] = field(default_factory=dict)
 
     def merged_generated_tokens(self, replicas: List["_Replica"]) -> int:
         """Total committed tokens across every replica's scheduler."""
@@ -325,6 +328,19 @@ class ReplicaPool:
         never mutate it; each replica owns a private KV pool).
     num_replicas : int
         Pool size.
+    runner_factory : callable, optional
+        ``replica_id -> TransformerRunner`` override used whenever a
+        replica engine is (re)built.  This is how a replica becomes a
+        *shard group*: pass a factory returning a fresh
+        :class:`~repro.serve.shard.ShardedRunner` over a fresh
+        :class:`~repro.serve.collective.CollectiveGroup`, and a dead shard
+        or exhausted collective (both ``ReplicaFailureError`` subclasses)
+        trips the whole group through the same checkpoint-and-recover
+        sweep as a replica crash — the rebuild then gets a healthy group.
+        ``runner`` stays the reference model (config/vocab lookups).
+    seed : int
+        Seed of the pool's deterministic backoff-jitter stream (see
+        ``backoff_base``).
     config : GenerationConfig, optional
         Decoding parameters, shared by every replica — recovery replays a
         checkpoint under the *same* sampling rule, which is what keeps it
@@ -335,7 +351,10 @@ class ReplicaPool:
         Recovery attempts per request before it degrades.
     backoff_base : float
         First-retry backoff in scheduler ticks; retry ``k`` waits
-        ``backoff_base * 2**(k-1)`` ticks (exponential).
+        ``backoff_base * 2**(k-1)`` ticks (exponential), scaled by a
+        deterministic jitter factor in ``[0.5, 1.5)`` drawn from the pool
+        ``seed`` — simultaneous failures de-synchronize instead of
+        retrying in lockstep, while runs stay reproducible.
     breaker_threshold : int
         Consecutive failures that open a replica's circuit breaker.
     breaker_cooldown : int
@@ -370,6 +389,8 @@ speculation, preemption
         num_replicas: int = 2,
         config: Optional[GenerationConfig] = None,
         *,
+        runner_factory: Optional[Callable[[int], TransformerRunner]] = None,
+        seed: int = 0,
         fault_injector: Optional[FaultInjector] = None,
         max_retries: int = 3,
         backoff_base: float = 1.0,
@@ -400,8 +421,12 @@ speculation, preemption
         if watchdog_patience < 1:
             raise ConfigurationError("watchdog_patience must be >= 1")
         self.runner = runner
+        self.runner_factory = runner_factory
         self.config = config or GenerationConfig()
         self.injector = fault_injector
+        #: Deterministic jitter stream for retry backoff (satellite of the
+        #: recovery path: lockstep retries re-collide without it).
+        self._backoff_rng = np.random.default_rng(seed)
         self.max_retries = int(max_retries)
         self.backoff_base = float(backoff_base)
         self.breaker_threshold = int(breaker_threshold)
@@ -439,9 +464,19 @@ speculation, preemption
     # Construction helpers
     # ------------------------------------------------------------------
     def _build_scheduler(self, replica_id: int) -> Scheduler:
-        """A fresh replica engine wired into the pool's token hook."""
+        """A fresh replica engine wired into the pool's token hook.
+
+        With a ``runner_factory`` every (re)build gets a *fresh* runner —
+        for shard groups that means a new :class:`CollectiveGroup` with no
+        dead shards, which is what makes shard-kill recovery converge.
+        """
+        runner = (
+            self.runner_factory(replica_id)
+            if self.runner_factory is not None
+            else self.runner
+        )
         return Scheduler(
-            self.runner,
+            runner,
             self.config,
             on_token=lambda local_id, token, rid=replica_id: self._route_token(
                 rid, local_id, token
@@ -709,13 +744,17 @@ speculation, preemption
     # Failure handling
     # ------------------------------------------------------------------
     def _translate(self, replica_id: int, output: RequestOutput) -> RequestOutput:
-        """Rewrite a replica-local output into the pool id space."""
+        """Rewrite a replica-local output into the pool id space.
+
+        Also stamps the pool-level retry count: a request that survived
+        recoveries reports how many it consumed, whatever its finish reason.
+        """
         pool_id = self._local_to_pool.pop((replica_id, output.request_id), None)
         if pool_id is None:  # pragma: no cover - defensive
             return output
         self._placements.pop(pool_id, None)
-        self._retries.pop(pool_id, None)
-        return replace(output, request_id=pool_id)
+        retries = self._retries.pop(pool_id, 0)
+        return replace(output, request_id=pool_id, retries=retries)
 
     def _fail_replica(
         self,
@@ -767,14 +806,28 @@ speculation, preemption
         retries = self._retries.get(pool_id, 0)
         healthy = self.healthy_ids()
         if retries >= self.max_retries or not healthy:
+            cause = (
+                "retry_budget_exhausted" if retries >= self.max_retries
+                else "no_healthy_replica"
+            )
             finished.append(
-                replace(self._checkpoint_output(checkpoint), request_id=pool_id)
+                replace(
+                    self._checkpoint_output(checkpoint, cause=cause, retries=retries),
+                    request_id=pool_id,
+                )
             )
             self._retries.pop(pool_id, None)
             self.cluster_stats.degraded_requests += 1
+            self.cluster_stats.degraded_causes[cause] = (
+                self.cluster_stats.degraded_causes.get(cause, 0) + 1
+            )
             return
         self._retries[pool_id] = retries + 1
         delay = self.backoff_base * (2**retries) if retries else 0.0
+        if delay:
+            # Deterministic jitter in [0.5, 1.5): simultaneous failures fan
+            # out instead of retrying in lockstep, reproducibly per pool seed.
+            delay *= 0.5 + self._backoff_rng.random()
         target_id = self.router.place(np.asarray(checkpoint.prompt), healthy)
         local_id = self.replicas[target_id].scheduler.submit_checkpoint(
             checkpoint, delay=delay
@@ -783,7 +836,13 @@ speculation, preemption
         self._local_to_pool[(target_id, local_id)] = pool_id
         self.cluster_stats.recoveries += 1
 
-    def _checkpoint_output(self, checkpoint: RequestCheckpoint) -> RequestOutput:
+    def _checkpoint_output(
+        self,
+        checkpoint: RequestCheckpoint,
+        *,
+        cause: str = "retry_budget_exhausted",
+        retries: int = 0,
+    ) -> RequestOutput:
         """Terminal ``"degraded"`` output for an unrecoverable checkpoint."""
         generated = np.asarray(checkpoint.generated, dtype=np.int64)
         vocab = self.runner.config.vocab_size
@@ -810,6 +869,8 @@ speculation, preemption
             arrival_time=checkpoint.arrival_time,
             first_token_at=checkpoint.first_token_at,
             preemptions=checkpoint.preemptions,
+            failure_cause=cause,
+            retries=retries,
         )
 
     def _shed_lowest_priority(
@@ -829,6 +890,9 @@ speculation, preemption
         victim = max(waiting, key=lambda request: (request.priority, request.request_id))
         output = replica.scheduler.shed(victim.request_id)
         self.cluster_stats.degraded_requests += 1
+        self.cluster_stats.degraded_causes["shed"] = (
+            self.cluster_stats.degraded_causes.get("shed", 0) + 1
+        )
         finished.append(self._translate(replica.replica_id, output))
 
     def _watch(

@@ -1,0 +1,405 @@
+"""Simulated collective transport for tensor-parallel shard groups.
+
+A :class:`ShardedRunner <repro.serve.shard.ShardedRunner>` partitions one
+model across N simulated shards that must meet at explicit collectives
+(all-gather of attention context, FFN activations, LM-head logits).  On real
+multi-GPU stacks those collectives ride NCCL over NVLink/PCIe — a transport
+that loses, corrupts, delays, and duplicates messages, and whose robustness
+(timeouts, retries, integrity checks) decides whether a shard group is a
+usable serving unit.  This module reproduces that contract in simulation:
+
+* :class:`CollectiveGroup` executes ``all_gather`` / ``all_reduce`` calls
+  whose per-shard messages carry **sequence numbers** and **CRC32
+  checksums**.  Every message delivery runs under a per-call timeout with
+  bounded exponential-backoff retry; deliveries that arrive late trip the
+  straggler detector, which either *hedges* (resends and takes the faster
+  copy) or *waits*, governed by configuration.  Duplicate deliveries are
+  deduplicated by sequence number.
+* :class:`CollectiveFaultInjector` decides, per message attempt, whether the
+  wire drops, corrupts, delays, or duplicates it — or kills the sending
+  shard outright.  Like the replica-level ``FaultInjector`` it supports both
+  scripted faults (exact collective sequence numbers, for deterministic
+  gates) and seeded random rates (for chaos soaks), and logs every fired
+  fault.
+
+The fault semantics are chosen so that *numerics never degrade*: a corrupted
+message is caught by its checksum and retried from the pristine payload, so
+the value a collective returns is bit-identical to the fault-free run or the
+call raises.  When retries are exhausted the group raises
+:class:`repro.errors.CollectiveTransportError`, and a killed shard raises
+:class:`repro.errors.ShardFailureError`; both subclass
+``ReplicaFailureError`` so the replica pool's checkpoint-and-recover sweep
+treats the whole shard group as one fault unit.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import CollectiveTransportError, ConfigurationError, ShardFailureError
+
+__all__ = [
+    "CollectiveFaultEvent",
+    "CollectiveFaultInjector",
+    "CollectiveGroup",
+    "CollectiveStats",
+]
+
+
+@dataclass(frozen=True)
+class CollectiveFaultEvent:
+    """One fired collective fault, for post-run audits.
+
+    Attributes
+    ----------
+    seq:
+        Sequence number of the collective whose message was hit.
+    shard_id:
+        The sending shard whose message (or life) was affected.
+    kind:
+        ``"drop"``, ``"corrupt"``, ``"delay"``, ``"duplicate"`` or ``"kill"``.
+    attempt:
+        Zero-based retry attempt the fault landed on.
+    """
+
+    seq: int
+    shard_id: int
+    kind: str
+    attempt: int
+
+
+class CollectiveFaultInjector:
+    """Seeded scripted + randomized fault source for collective messages.
+
+    Mirrors the replica-level ``FaultInjector``: scripted faults (exact
+    ``{collective_seq: shard_id}`` maps) fire deterministically on a
+    message's first attempt and win over random draws; random faults fire
+    per attempt at the configured rates from one seeded generator, drawn in
+    a fixed order so schedules replay deterministically.  ``max_kills``
+    bounds shard kills across the injector's lifetime — shared across
+    rebuilt groups, it guarantees chaos runs terminate.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the random-rate generator.
+    drop_rate, corrupt_rate, delay_rate, duplicate_rate, kill_rate:
+        Per-message-attempt probabilities of each fault kind.
+    max_kills:
+        Lifetime cap on ``"kill"`` faults (scripted and random combined).
+    drop_at, corrupt_at, delay_at, duplicate_at, kill_at:
+        Scripted ``{collective_seq: shard_id}`` maps; each fires once, on
+        the victim message's first attempt.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        kill_rate: float = 0.0,
+        max_kills: int = 1,
+        drop_at: Optional[Dict[int, int]] = None,
+        corrupt_at: Optional[Dict[int, int]] = None,
+        delay_at: Optional[Dict[int, int]] = None,
+        duplicate_at: Optional[Dict[int, int]] = None,
+        kill_at: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.drop_rate = drop_rate
+        self.corrupt_rate = corrupt_rate
+        self.delay_rate = delay_rate
+        self.duplicate_rate = duplicate_rate
+        self.kill_rate = kill_rate
+        self.max_kills = max_kills
+        self.drop_at = dict(drop_at or {})
+        self.corrupt_at = dict(corrupt_at or {})
+        self.delay_at = dict(delay_at or {})
+        self.duplicate_at = dict(duplicate_at or {})
+        self.kill_at = dict(kill_at or {})
+        self.events: List[CollectiveFaultEvent] = []
+
+    def _kills_fired(self) -> int:
+        return sum(1 for event in self.events if event.kind == "kill")
+
+    def draw(self, seq: int, shard_id: int, attempt: int) -> Optional[str]:
+        """Decide the fate of one message attempt.
+
+        Scripted faults fire only on ``attempt == 0`` (so the retry path can
+        actually succeed); random rates apply to every attempt.  Exactly
+        five random draws happen per call regardless of outcome, keeping the
+        generator stream — and therefore the whole chaos schedule —
+        deterministic for a given event sequence.
+        """
+        kind: Optional[str] = None
+        if attempt == 0:
+            if self.kill_at.get(seq) == shard_id and self._kills_fired() < self.max_kills:
+                kind = "kill"
+            elif self.drop_at.get(seq) == shard_id:
+                kind = "drop"
+            elif self.corrupt_at.get(seq) == shard_id:
+                kind = "corrupt"
+            elif self.delay_at.get(seq) == shard_id:
+                kind = "delay"
+            elif self.duplicate_at.get(seq) == shard_id:
+                kind = "duplicate"
+        draws = self.rng.random(5)
+        if kind is None:
+            if draws[0] < self.kill_rate and self._kills_fired() < self.max_kills:
+                kind = "kill"
+            elif draws[1] < self.drop_rate:
+                kind = "drop"
+            elif draws[2] < self.corrupt_rate:
+                kind = "corrupt"
+            elif draws[3] < self.delay_rate:
+                kind = "delay"
+            elif draws[4] < self.duplicate_rate:
+                kind = "duplicate"
+        if kind is not None:
+            self.events.append(CollectiveFaultEvent(seq, shard_id, kind, attempt))
+        return kind
+
+
+@dataclass
+class CollectiveStats:
+    """Counters a :class:`CollectiveGroup` accumulates over its lifetime.
+
+    Attributes
+    ----------
+    collectives:
+        Completed collective calls (``all_gather`` + ``all_reduce``).
+    messages:
+        Successfully delivered per-shard messages (first copies only).
+    bytes_moved:
+        Simulated wire bytes: each shard's payload crosses the link once
+        per *other* shard in a gather/reduce ring.
+    retries:
+        Resends after a timeout or checksum failure.
+    timeouts:
+        Per-message timeouts (dropped messages that never arrived).
+    corruption_caught:
+        Deliveries whose CRC32 checksum mismatched and were discarded.
+    duplicates_ignored:
+        Redundant copies discarded by sequence-number dedup.
+    stragglers:
+        Deliveries that exceeded the straggler threshold.
+    hedges:
+        Stragglers cut short by a hedged resend (``hedge=True``).
+    simulated_ms:
+        Total simulated transport time, the analytic model's counterpart.
+    """
+
+    collectives: int = 0
+    messages: int = 0
+    bytes_moved: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    corruption_caught: int = 0
+    duplicates_ignored: int = 0
+    stragglers: int = 0
+    hedges: int = 0
+    simulated_ms: float = 0.0
+
+
+class CollectiveGroup:
+    """A shard group's message transport with integrity and retry semantics.
+
+    Every collective call assigns a fresh sequence number and moves one
+    checksummed message per shard.  A message delivery may be dropped
+    (timeout, then exponential-backoff retry), corrupted (CRC32 mismatch —
+    caught, discarded, retried from the pristine payload), delayed (the
+    straggler detector hedges or waits), or duplicated (deduplicated by
+    sequence number).  Retries are bounded: a message that cannot be
+    delivered within ``max_retries`` resends raises
+    :class:`repro.errors.CollectiveTransportError`, and a killed shard
+    raises :class:`repro.errors.ShardFailureError` and leaves the group
+    unhealthy — both are ``ReplicaFailureError`` subclasses the replica
+    pool recovers from by rebuilding the whole group.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards meeting at every collective.
+    fault_injector:
+        Optional :class:`CollectiveFaultInjector`; ``None`` means a
+        fault-free wire.
+    latency_ms:
+        Base per-message link latency (simulated milliseconds).
+    bandwidth_gb_s:
+        Simulated link bandwidth pricing each message's payload bytes.
+    timeout_ms:
+        How long a receiver waits before declaring a message dropped.
+    max_retries:
+        Resend budget per message beyond the first attempt.
+    backoff_ms:
+        Base of the exponential retry backoff (``backoff_ms * 2**attempt``).
+    straggler_ms:
+        Arrival-time threshold beyond which a delivery counts as a
+        straggler.
+    delay_ms:
+        Extra arrival time a ``"delay"`` fault adds to a message.
+    hedge:
+        Straggler policy: ``True`` resends and takes the faster copy,
+        ``False`` waits out the slow delivery.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        fault_injector: Optional[CollectiveFaultInjector] = None,
+        latency_ms: float = 0.05,
+        bandwidth_gb_s: float = 100.0,
+        timeout_ms: float = 0.5,
+        max_retries: int = 3,
+        backoff_ms: float = 0.1,
+        straggler_ms: float = 0.3,
+        delay_ms: float = 0.6,
+        hedge: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("a collective group needs at least one shard")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        self.num_shards = num_shards
+        self.fault_injector = fault_injector
+        self.latency_ms = latency_ms
+        self.bandwidth_gb_s = bandwidth_gb_s
+        self.timeout_ms = timeout_ms
+        self.max_retries = max_retries
+        self.backoff_ms = backoff_ms
+        self.straggler_ms = straggler_ms
+        self.delay_ms = delay_ms
+        self.hedge = hedge
+        self.stats = CollectiveStats()
+        self.dead_shards: Set[int] = set()
+        self._seq = 0
+        self._delivered: Set[Tuple[int, int]] = set()
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every shard is alive; a dead shard fails the whole group."""
+        return not self.dead_shards
+
+    def fail_shard(self, shard_id: int) -> None:
+        """Mark one shard dead, tripping the group unhealthy."""
+        self.dead_shards.add(shard_id)
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+    def _cost_ms(self, nbytes: int) -> float:
+        return self.latency_ms + nbytes / (self.bandwidth_gb_s * 1e6)
+
+    def _deliver(self, seq: int, shard_id: int, payload: np.ndarray) -> np.ndarray:
+        """Move one shard's checksummed message, riding out injected faults.
+
+        Returns the pristine payload on success (corrupted copies are
+        discarded at the checksum, duplicates at the dedup set), raises
+        ``ShardFailureError`` on a kill and ``CollectiveTransportError``
+        when the retry budget runs dry.
+        """
+        wire_bytes = np.ascontiguousarray(payload).tobytes()
+        checksum = zlib.crc32(wire_bytes)
+        cost = self._cost_ms(len(wire_bytes))
+        for attempt in range(self.max_retries + 1):
+            fault = (
+                self.fault_injector.draw(seq, shard_id, attempt)
+                if self.fault_injector is not None
+                else None
+            )
+            if fault == "kill":
+                self.fail_shard(shard_id)
+                raise ShardFailureError(
+                    f"shard {shard_id} died during collective #{seq}"
+                )
+            if fault == "drop":
+                self.stats.timeouts += 1
+                self.stats.retries += 1
+                self.stats.simulated_ms += self.timeout_ms + self.backoff_ms * 2**attempt
+                continue
+            if fault == "corrupt":
+                tampered = bytearray(wire_bytes)
+                tampered[0] ^= 0xFF
+                if zlib.crc32(bytes(tampered)) == checksum:  # pragma: no cover
+                    raise CollectiveTransportError("checksum failed to catch corruption")
+                self.stats.corruption_caught += 1
+                self.stats.retries += 1
+                self.stats.simulated_ms += cost + self.backoff_ms * 2**attempt
+                continue
+            if fault == "delay":
+                self.stats.stragglers += 1
+                if self.hedge:
+                    # The hedged resend overtakes the slow copy: pay the
+                    # straggler threshold plus a clean resend.
+                    self.stats.hedges += 1
+                    self.stats.simulated_ms += self.straggler_ms + cost
+                else:
+                    self.stats.simulated_ms += cost + self.delay_ms
+            elif fault == "duplicate":
+                # Two copies cross the wire; the second finds (seq, shard)
+                # already in the dedup set and is discarded.
+                self.stats.simulated_ms += 2 * cost
+                self.stats.duplicates_ignored += 1
+            else:
+                self.stats.simulated_ms += cost
+            self._delivered.add((seq, shard_id))
+            self.stats.messages += 1
+            self.stats.bytes_moved += len(wire_bytes) * max(1, self.num_shards - 1)
+            return payload
+        raise CollectiveTransportError(
+            f"collective #{seq} message from shard {shard_id} exceeded "
+            f"{self.max_retries} retries"
+        )
+
+    def _exchange(self, payloads: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(payloads) != self.num_shards:
+            raise ConfigurationError(
+                f"collective expects {self.num_shards} payloads, got {len(payloads)}"
+            )
+        if not self.healthy:
+            raise ShardFailureError(
+                f"collective group has dead shards: {sorted(self.dead_shards)}"
+            )
+        seq = self._seq
+        self._seq += 1
+        delivered = [
+            self._deliver(seq, shard_id, np.asarray(payload))
+            for shard_id, payload in enumerate(payloads)
+        ]
+        self.stats.collectives += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def all_gather(self, payloads: Sequence[np.ndarray], axis: int = -1) -> np.ndarray:
+        """Concatenate every shard's payload along ``axis``, in shard order.
+
+        The concatenation order is the shard order, so a column-partitioned
+        tensor reassembles bit-identically to its unsharded original.
+        """
+        return np.concatenate(self._exchange(payloads), axis=axis)
+
+    def all_reduce(self, payloads: Sequence[np.ndarray]) -> np.ndarray:
+        """Sum every shard's payload elementwise, accumulated in shard order.
+
+        The deterministic left-to-right accumulation keeps the result
+        reproducible across runs, but floating-point partial-sum reduction
+        is still order-sensitive relative to an unsharded matmul — which is
+        why the sharded runner meets at :meth:`all_gather` points instead
+        (see architecture.md); ``all_reduce`` serves the analytic model and
+        non-bit-exact consumers.
+        """
+        delivered = self._exchange(payloads)
+        total = np.array(delivered[0], dtype=np.result_type(*delivered), copy=True)
+        for payload in delivered[1:]:
+            total += payload
+        return total

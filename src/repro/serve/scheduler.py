@@ -65,7 +65,7 @@ from __future__ import annotations
 
 import copy
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -205,6 +205,15 @@ class RequestOutput:
     first_token_at: float = -1.0
     #: Times the request was preempted and replayed before finishing.
     preemptions: int = 0
+    #: Structured terminal reason behind a ``"degraded"`` finish —
+    #: ``"shed"`` (dropped under resource pressure),
+    #: ``"retry_budget_exhausted"`` (recovery attempts ran out), or
+    #: ``"no_healthy_replica"`` (nowhere left to recover to).  ``None`` for
+    #: every healthy finish.
+    failure_cause: Optional[str] = None
+    #: Recovery attempts the request consumed before this output (pool
+    #: replays after replica/shard failures; 0 on an undisturbed path).
+    retries: int = 0
 
 
 @dataclass
@@ -245,6 +254,9 @@ class SchedulerStats:
     cancelled_requests: int = 0
     #: Requests shed under resource pressure via :meth:`Scheduler.shed`.
     degraded_requests: int = 0
+    #: ``"degraded"`` finishes tallied by structured failure cause
+    #: (``"shed"`` here; the replica pool adds its recovery causes).
+    degraded_causes: Dict[str, int] = field(default_factory=dict)
     #: Per-priority-class time-to-first-token samples, in scheduler ticks
     #: (``first_token_at - arrival_time``), appended as requests finish.
     ttft_by_class: Dict[int, List[float]] = field(default_factory=dict)
@@ -1146,14 +1158,16 @@ class Scheduler:
         self.stats.expired_requests += 1
         return output
 
-    def shed(self, request_id: int) -> RequestOutput:
+    def shed(self, request_id: int, cause: str = "shed") -> RequestOutput:
         """Drop a request under resource pressure (``finish_reason="degraded"``).
 
         Graceful degradation: instead of crashing (or livelocking) when the
         pool cannot serve everyone, the caller — typically the replica-pool
         router — sheds the least valuable request.  Committed tokens are
         kept in the returned output, every block is freed, and the drop is
-        tallied in ``stats.degraded_requests``.
+        tallied in ``stats.degraded_requests`` and, by structured ``cause``,
+        in ``stats.degraded_causes``; the output carries the cause in its
+        ``failure_cause`` field.
 
         Raises
         ------
@@ -1162,7 +1176,8 @@ class Scheduler:
         """
         output = self._withdraw(request_id, "degraded")
         self.stats.degraded_requests += 1
-        return output
+        self.stats.degraded_causes[cause] = self.stats.degraded_causes.get(cause, 0) + 1
+        return replace(output, failure_cause=cause)
 
     def _withdraw(self, request_id: int, reason: str) -> RequestOutput:
         """Remove a request wherever it is; shared by cancel/expire/shed."""

@@ -7,11 +7,15 @@ and speculative-rollback truncation.  Example-based tests pin each feature
 in isolation; this module drives *mixed* schedules of the operations the
 scheduler actually issues — admit (with prefix matching and the
 ``private_tail`` rule), decode writes, prefix forks, truncation, preemption
-(free-then-replay), eviction, and the replica-pool fault vocabulary
-(``replica_kill``: every live slot torn down at once, exactly the
-checkpoint-and-recover sweep a crashed replica triggers; ``replica_stall``:
-a zero-progress iteration the invariants must survive unchanged) — and
-asserts the global invariants after every single operation:
+(free-then-replay), eviction, and the cluster fault vocabulary
+(``replica_kill``/``shard_kill``: every live slot torn down at once —
+exactly the checkpoint-and-recover sweep a crashed replica or a dead
+tensor-parallel shard triggers, a shard group being one fault unit;
+``replica_stall``/``shard_stall``: a zero-progress iteration the invariants
+must survive unchanged; ``link_drop``: a collective message lost on the
+wire, retried inside the transport with a checksummed pristine payload, so
+the pool must be bit-for-bit indifferent) — and asserts the global
+invariants after every single operation:
 
 * **Refcount duality** — every block's reference count equals its number of
   occurrences across live slot tables, and a block is on the LRU free-list
@@ -230,10 +234,10 @@ class ServingStressHarness:
                 choices += ["fork"] * 2
         if self.live:
             choices += ["decode"] * 6 + ["truncate"] * 2 + ["evict", "preempt"]
-            choices += ["replica_kill"]
-        choices += ["replica_stall"]
+            choices += ["replica_kill", "shard_kill"]
+        choices += ["replica_stall", "link_drop", "shard_stall"]
         kind = choices[int(rng.integers(len(choices)))]
-        if kind in ("replica_kill", "replica_stall"):
+        if kind in ("replica_kill", "replica_stall", "shard_kill", "link_drop", "shard_stall"):
             return {"kind": kind}
         if kind in ("admit", "fork"):
             if kind == "fork":
@@ -310,11 +314,16 @@ class ServingStressHarness:
             self._apply_truncate(op)
         elif kind in ("evict", "preempt"):
             self._apply_release(op)
-        elif kind == "replica_kill":
+        elif kind in ("replica_kill", "shard_kill"):
+            # A shard death fails its whole group — one fault unit — so the
+            # pool-side sweep is identical to a whole-replica crash.
             self._apply_replica_kill(op)
-        elif kind == "replica_stall":
-            # A stalled step loop touches nothing; the audit below asserts
-            # the pool is bit-for-bit indifferent to zero-progress iterations.
+        elif kind in ("replica_stall", "link_drop", "shard_stall"):
+            # A stalled step loop touches nothing; a dropped or delayed
+            # collective message is retried/hedged inside the transport and
+            # the delivered payload is pristine (checksummed), so the KV
+            # pool must be bit-for-bit indifferent to all three — the audit
+            # below asserts exactly that.
             pass
         else:
             raise InvariantViolation(f"unknown op kind {kind!r}")

@@ -439,3 +439,182 @@ class TestPoolBackedAsyncEngine:
             AsyncEngine()
         with pytest.raises(ConfigurationError, match="config"):
             AsyncEngine(pool=pool, config=GenerationConfig())
+
+
+class TestRouterShortPrompts:
+    """Prompts shorter than ``template_window`` must route first-class.
+
+    The rendezvous key is the first ``template_window`` tokens; a shorter
+    prompt's key is simply the whole prompt, so determinism, stickiness,
+    and failover must hold all the way down to the empty prompt.
+    """
+
+    def test_short_prompt_routing_is_deterministic(self):
+        prompt = np.array([5, 9, 2], dtype=np.int64)
+        first = Router(num_replicas=4, template_window=16)
+        second = Router(num_replicas=4, template_window=16)
+        assert first.rank(prompt) == second.rank(prompt)
+        assert first.place(prompt, [0, 1, 2, 3]) == first.place(prompt, [0, 1, 2, 3])
+        # A short prompt and its window-truncated self share a key.
+        assert first.rank(prompt) == first.rank(np.array([5, 9, 2]))
+
+    def test_short_prompt_failover_is_stable(self):
+        prompt = np.array([7, 7], dtype=np.int64)
+        router = Router(num_replicas=3, template_window=16)
+        all_ids = [0, 1, 2]
+        winner = router.place(prompt, all_ids)
+        survivors = [rid for rid in all_ids if rid != winner]
+        failover = router.place(prompt, survivors)
+        assert failover == router.rank(prompt)[1]
+        # Recovery restores the original winner (no rehash drift).
+        assert router.place(prompt, all_ids) == winner
+
+    def test_empty_prompt_routes_without_crashing(self):
+        empty = np.array([], dtype=np.int64)
+        router = Router(num_replicas=3, template_window=8)
+        ranked = router.rank(empty)
+        assert sorted(ranked) == [0, 1, 2]
+        assert router.place(empty, [0, 1, 2]) == ranked[0]
+        assert router.place(empty, [0, 1, 2]) == router.place(empty, [0, 1, 2])
+
+    def test_distinct_short_prompts_can_spread(self):
+        router = Router(num_replicas=4, template_window=16)
+        placements = {
+            router.place(np.array([token], dtype=np.int64), [0, 1, 2, 3])
+            for token in range(32)
+        }
+        assert len(placements) > 1
+
+
+class TestBackoffJitter:
+    def test_jitter_stream_is_seed_deterministic(self, runner):
+        same_a = ReplicaPool(runner, num_replicas=1, seed=3)._backoff_rng.random(8)
+        same_b = ReplicaPool(runner, num_replicas=1, seed=3)._backoff_rng.random(8)
+        other = ReplicaPool(runner, num_replicas=1, seed=4)._backoff_rng.random(8)
+        np.testing.assert_array_equal(same_a, same_b)
+        assert not np.array_equal(same_a, other)
+
+    def test_chaos_run_replays_identically_under_one_seed(self, runner, template_prompts):
+        """Jittered backoff must not cost reproducibility: same seed, same run."""
+
+        def run():
+            return pool_outputs(
+                runner,
+                template_prompts[:4],
+                injector=FaultInjector(seed=0, kill_at={2: 0, 5: 1}, max_kills=2),
+                num_replicas=3,
+                seed=9,
+                config=GenerationConfig(max_new_tokens=6),
+                max_batch_size=2,
+                block_size=4,
+            )
+
+        first, first_pool = run()
+        second, second_pool = run()
+        assert first_pool.cluster_stats.recoveries >= 1
+        assert set(first) == set(second)
+        for request_id, output in first.items():
+            np.testing.assert_array_equal(second[request_id].generated, output.generated)
+            assert second[request_id].finished_at == output.finished_at
+            assert second[request_id].retries == output.retries
+
+
+class TestFailureCauses:
+    """Degraded finishes carry a structured terminal cause and retry count."""
+
+    def test_retry_budget_exhaustion_is_named(self, runner, template_prompts):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts[:4],
+            injector=FaultInjector(seed=0, kill_at={2: 0}),
+            num_replicas=2,
+            config=GenerationConfig(max_new_tokens=6),
+            max_batch_size=4,
+            block_size=4,
+            max_retries=0,
+        )
+        degraded = [o for o in outputs.values() if o.finish_reason == "degraded"]
+        assert degraded
+        for output in degraded:
+            assert output.failure_cause == "retry_budget_exhausted"
+        healthy = [o for o in outputs.values() if o.finish_reason != "degraded"]
+        assert all(o.failure_cause is None for o in healthy)
+        assert pool.cluster_stats.degraded_causes == {
+            "retry_budget_exhausted": len(degraded)
+        }
+
+    def test_no_healthy_replica_is_named(self, runner, template_prompts):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts[:2],
+            injector=FaultInjector(seed=0, kill_at={1: 0}),
+            num_replicas=1,
+            config=GenerationConfig(max_new_tokens=8),
+            max_batch_size=2,
+            breaker_cooldown=50,
+        )
+        assert outputs
+        for output in outputs.values():
+            assert output.failure_cause == "no_healthy_replica"
+        assert pool.cluster_stats.degraded_causes.get("no_healthy_replica") == len(outputs)
+
+    def test_shed_requests_are_named_and_tallied_per_replica(
+        self, runner, template_prompts
+    ):
+        pool = ReplicaPool(
+            runner,
+            num_replicas=1,
+            config=GenerationConfig(max_new_tokens=5),
+            fault_injector=FaultInjector(seed=0, exhaust_at={1: 0}),
+            max_batch_size=1,
+            block_size=4,
+        )
+        ids = [
+            pool.submit(prompt, priority=priority)
+            for prompt, priority in zip(template_prompts[:3], (0, 1, 5))
+        ]
+        outputs = {output.request_id: output for output in pool.run()}
+        assert outputs[ids[2]].failure_cause == "shed"
+        assert pool.cluster_stats.degraded_causes.get("shed") == 1
+        # The replica-local scheduler tallies the same cause.
+        merged = {}
+        for stats in pool.replica_stats():
+            for cause, count in stats.degraded_causes.items():
+                merged[cause] = merged.get(cause, 0) + count
+        assert merged.get("shed") == 1
+
+    def test_recovered_outputs_report_their_retry_count(self, runner, template_prompts):
+        outputs, pool = pool_outputs(
+            runner,
+            template_prompts[:4],
+            injector=FaultInjector(seed=0, kill_at={2: 0}),
+            num_replicas=2,
+            config=GenerationConfig(max_new_tokens=6),
+            max_batch_size=2,
+            block_size=4,
+        )
+        assert pool.cluster_stats.recoveries >= 1
+        assert any(output.retries >= 1 for output in outputs.values())
+        for output in outputs.values():
+            assert output.finish_reason != "degraded"
+            assert output.failure_cause is None
+
+    def test_cause_surfaces_through_the_async_stream(self, runner, template_prompts):
+        pool = ReplicaPool(
+            runner,
+            num_replicas=1,
+            config=GenerationConfig(max_new_tokens=6),
+            fault_injector=FaultInjector(seed=0, kill_at={1: 0}),
+            max_retries=0,
+            max_batch_size=2,
+            breaker_cooldown=50,
+        )
+
+        async def main():
+            async with AsyncEngine(pool=pool) as engine:
+                stream = await engine.submit(template_prompts[0])
+                return await stream.result()
+
+        output = asyncio.run(main())
+        assert output.finish_reason == "degraded"
+        assert output.failure_cause in {"retry_budget_exhausted", "no_healthy_replica"}

@@ -1,12 +1,14 @@
 """Seeded randomized stress suite over the paged-KV invariant web.
 
 ``ServingStressHarness`` drives mixed admit/fork/decode/truncate/preempt/
-evict/replica-kill/replica-stall schedules against a deliberately tiny
-``PagedKVCache`` and audits the global invariants after *every* op —
-refcount duality, radix consistency, version monotonicity, and exact
-shadow-model content.  The replica ops mirror what ``ReplicaPool`` does to
-an engine under chaos: a kill tears down every live slot at once (the
-checkpoint-and-recover sweep), a stall is a progress no-op.  Tier-1 runs 3
+evict/replica-kill/replica-stall/shard-kill/shard-stall/link-drop schedules
+against a deliberately tiny ``PagedKVCache`` and audits the global
+invariants after *every* op — refcount duality, radix consistency, version
+monotonicity, and exact shadow-model content.  The replica and shard ops
+mirror what ``ReplicaPool`` does to an engine under chaos: a kill (of a
+replica, or of one shard — which fails its whole group) tears down every
+live slot at once (the checkpoint-and-recover sweep), while stalls and
+dropped-then-retried collective links are progress no-ops.  Tier-1 runs 3
 seeds (the ``stress_seed`` fixture, parametrized in ``tests/conftest.py``);
 set ``REPRO_STRESS_SEEDS=40`` for the nightly soak.
 
@@ -43,8 +45,19 @@ class TestRandomizedSchedules:
         assert len(ops) == NUM_OPS
         kinds = {op["kind"] for op in ops}
         # A healthy schedule exercises the whole op vocabulary, including
-        # the replica-crash sweep and stall the cluster layer leans on.
-        assert {"admit", "decode", "replica_kill", "replica_stall"} <= kinds
+        # the replica-crash sweep and stall the cluster layer leans on and
+        # the collective-transport faults the shard layer adds (a dropped
+        # link retries to a pristine payload; a dead shard sweeps its whole
+        # group exactly like a replica crash).
+        assert {
+            "admit",
+            "decode",
+            "replica_kill",
+            "replica_stall",
+            "link_drop",
+            "shard_stall",
+            "shard_kill",
+        } <= kinds
 
     def test_replay_is_deterministic(self, stress_seed):
         first = ServingStressHarness(seed=stress_seed)

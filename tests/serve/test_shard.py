@@ -1,0 +1,444 @@
+"""Tests of tensor-parallel sharding: parity, transport faults, recovery.
+
+The anchor is the tentpole guarantee of the shard layer: a
+``ShardedRunner`` over N shards serves **bit-identical** tokens and
+committed-position logits to the solo runner for Tender implicit and
+explicit requantization — including while the collective transport is
+dropping, corrupting, delaying, and duplicating messages — because
+column-parallel sharding never splits the channel (reduction) axis the
+calibration tables index, and every surviving collective delivers a
+pristine payload (corruption is *caught* by the CRC32 checksum and
+retried, never silently reduced).  Around that sit the transport
+mechanics (sequence-number dedup, bounded exponential-backoff retry,
+straggler hedging, kill → group-unhealthy) and the cluster integration:
+a replica that is a whole shard group dies as one fault unit and its
+in-flight requests replay, bit-identically, onto a rebuilt group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TenderConfig, TenderQuantizer
+from repro.errors import (
+    CollectiveTransportError,
+    ConfigurationError,
+    ShardFailureError,
+)
+from repro.gpu import TensorParallelWorkload, tensor_parallel_speedup
+from repro.models.inference import TransformerRunner
+from repro.models.weights import (
+    AttentionWeights,
+    BlockWeights,
+    FeedForwardWeights,
+    LayerNormWeights,
+    ModelWeights,
+)
+from repro.nn import TransformerConfig
+from repro.serve import (
+    CollectiveFaultInjector,
+    CollectiveGroup,
+    GenerationConfig,
+    ReplicaPool,
+    Scheduler,
+    ShardedRunner,
+)
+from repro.serve.shard import partition_bounds
+
+
+def _four_head_weights():
+    """A random-weight 4-head model (no training) so N=4 sharding is legal."""
+    config = TransformerConfig(
+        vocab_size=64, d_model=32, num_heads=4, num_layers=2, d_ff=64, max_seq_len=128, seed=0
+    )
+    rng = np.random.default_rng(7)
+
+    def dense(shape):
+        return rng.normal(scale=0.25, size=shape)
+
+    def norm():
+        return LayerNormWeights(gain=np.ones(config.d_model), bias=np.zeros(config.d_model))
+
+    blocks = [
+        BlockWeights(
+            ln_attn=norm(),
+            attn=AttentionWeights(
+                wq=dense((config.d_model, config.d_model)), bq=np.zeros(config.d_model),
+                wk=dense((config.d_model, config.d_model)), bk=np.zeros(config.d_model),
+                wv=dense((config.d_model, config.d_model)), bv=np.zeros(config.d_model),
+                wo=dense((config.d_model, config.d_model)), bo=np.zeros(config.d_model),
+            ),
+            ln_ffn=norm(),
+            ffn=FeedForwardWeights(
+                w1=dense((config.d_model, config.d_ff)), b1=np.zeros(config.d_ff),
+                w2=dense((config.d_ff, config.d_model)), b2=np.zeros(config.d_model),
+            ),
+        )
+        for _ in range(config.num_layers)
+    ]
+    return ModelWeights(
+        config=config,
+        token_embedding=dense((config.vocab_size, config.d_model)),
+        position_embedding=dense((config.max_seq_len, config.d_model)),
+        blocks=blocks,
+        ln_final=norm(),
+        lm_head=dense((config.d_model, config.vocab_size)),
+    )
+
+
+@pytest.fixture(scope="module")
+def four_head_runners():
+    """Solo runners over the 4-head model: FP plus Tender implicit/explicit."""
+    weights = _four_head_weights()
+    rng = np.random.default_rng(3)
+    calibration = [rng.integers(0, 64, size=40) for _ in range(6)]
+    config = TenderConfig(bits=8, num_groups=8, row_chunk_size=8)
+    return {
+        "fp": TransformerRunner(weights),
+        "tender-implicit": TenderQuantizer(config, implicit=True).quantize(weights, calibration),
+        "tender-explicit": TenderQuantizer(config, implicit=False).quantize(weights, calibration),
+    }
+
+
+@pytest.fixture(scope="module")
+def shard_prompts():
+    """Eight short prompts, two sharing a template (prefix-cache pressure)."""
+    rng = np.random.default_rng(11)
+    template = rng.integers(0, 64, size=6)
+    prompts = [rng.integers(0, 64, size=4 + i % 5) for i in range(6)]
+    prompts += [np.concatenate([template, rng.integers(0, 64, size=3)]) for _ in range(2)]
+    return prompts
+
+
+def _serve(runner, prompts, max_new_tokens=6):
+    """One scheduler run with logit recording; outputs keyed by request id."""
+    scheduler = Scheduler(
+        runner,
+        GenerationConfig(max_new_tokens=max_new_tokens),
+        max_batch_size=3,
+        block_size=8,
+        record_logits=True,
+    )
+    for prompt in prompts:
+        scheduler.submit(prompt)
+    return {output.request_id: output for output in scheduler.run()}
+
+
+def _assert_outputs_identical(actual, expected):
+    assert set(actual) == set(expected)
+    for request_id, output in expected.items():
+        np.testing.assert_array_equal(actual[request_id].generated, output.generated)
+        np.testing.assert_array_equal(actual[request_id].step_logits, output.step_logits)
+        assert actual[request_id].finish_reason == output.finish_reason
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        assert partition_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_to_leading_parts(self):
+        assert partition_bounds(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_slices_reassemble_exactly(self):
+        data = np.arange(23)
+        parts = [data[a:b] for a, b in partition_bounds(23, 5)]
+        np.testing.assert_array_equal(np.concatenate(parts), data)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="fewer than one"):
+            partition_bounds(8, 0)
+
+
+class TestCollectiveTransport:
+    def payload(self, shard_id):
+        return np.full((2, 3), float(shard_id))
+
+    def test_fault_free_gather_concatenates_in_shard_order(self):
+        group = CollectiveGroup(3)
+        out = group.all_gather([self.payload(s) for s in range(3)], axis=-1)
+        np.testing.assert_array_equal(
+            out, np.concatenate([self.payload(s) for s in range(3)], axis=-1)
+        )
+        assert group.stats.collectives == 1
+        assert group.stats.messages == 3
+        assert group.stats.bytes_moved > 0
+
+    def test_scripted_corruption_is_caught_and_retried(self):
+        injector = CollectiveFaultInjector(corrupt_at={0: 1})
+        group = CollectiveGroup(2, fault_injector=injector)
+        out = group.all_gather([self.payload(0), self.payload(1)])
+        np.testing.assert_array_equal(
+            out, np.concatenate([self.payload(0), self.payload(1)], axis=-1)
+        )
+        assert group.stats.corruption_caught == 1
+        assert group.stats.retries == 1
+
+    def test_scripted_drop_times_out_then_retries(self):
+        injector = CollectiveFaultInjector(drop_at={0: 0})
+        group = CollectiveGroup(2, fault_injector=injector)
+        out = group.all_gather([self.payload(0), self.payload(1)])
+        np.testing.assert_array_equal(out[:, :3], self.payload(0))
+        assert group.stats.timeouts == 1
+        assert group.stats.retries == 1
+
+    def test_straggler_policy_hedges_or_waits(self):
+        for hedge in (True, False):
+            injector = CollectiveFaultInjector(delay_at={0: 0})
+            group = CollectiveGroup(2, fault_injector=injector, hedge=hedge)
+            group.all_gather([self.payload(0), self.payload(1)])
+            assert group.stats.stragglers == 1
+            assert group.stats.hedges == (1 if hedge else 0)
+
+    def test_duplicates_are_deduplicated(self):
+        injector = CollectiveFaultInjector(duplicate_at={0: 1})
+        group = CollectiveGroup(2, fault_injector=injector)
+        out = group.all_gather([self.payload(0), self.payload(1)])
+        assert out.shape == (2, 6)
+        assert group.stats.duplicates_ignored == 1
+
+    def test_retry_budget_exhaustion_raises(self):
+        injector = CollectiveFaultInjector(drop_rate=1.0)
+        group = CollectiveGroup(2, fault_injector=injector, max_retries=2)
+        with pytest.raises(CollectiveTransportError, match="exceeded 2 retries"):
+            group.all_gather([self.payload(0), self.payload(1)])
+
+    def test_kill_trips_the_group_unhealthy(self):
+        injector = CollectiveFaultInjector(kill_at={1: 0})
+        group = CollectiveGroup(2, fault_injector=injector)
+        group.all_gather([self.payload(0), self.payload(1)])
+        with pytest.raises(ShardFailureError, match="died during collective"):
+            group.all_gather([self.payload(0), self.payload(1)])
+        assert not group.healthy
+        # Once unhealthy, every further collective refuses outright.
+        with pytest.raises(ShardFailureError, match="dead shards"):
+            group.all_gather([self.payload(0), self.payload(1)])
+
+    def test_all_reduce_sums_deterministically(self):
+        group = CollectiveGroup(3)
+        out = group.all_reduce([self.payload(s) for s in range(3)])
+        np.testing.assert_array_equal(out, np.full((2, 3), 3.0))
+
+    def test_payload_count_mismatch_raises(self):
+        group = CollectiveGroup(3)
+        with pytest.raises(ConfigurationError, match="expects 3 payloads"):
+            group.all_gather([self.payload(0)])
+
+    def test_injector_schedule_is_seed_deterministic(self):
+        def schedule(seed):
+            injector = CollectiveFaultInjector(
+                seed, drop_rate=0.2, corrupt_rate=0.2, delay_rate=0.2, duplicate_rate=0.2
+            )
+            return [injector.draw(seq, shard, 0) for seq in range(30) for shard in range(2)]
+
+        assert schedule(5) == schedule(5)
+        assert schedule(5) != schedule(6)
+
+    def test_scripted_faults_fire_only_on_first_attempt(self):
+        injector = CollectiveFaultInjector(drop_at={0: 0})
+        assert injector.draw(0, 0, attempt=0) == "drop"
+        assert injector.draw(0, 0, attempt=1) is None
+
+    def test_max_kills_bounds_the_chaos(self):
+        injector = CollectiveFaultInjector(kill_rate=1.0, max_kills=1)
+        assert injector.draw(0, 0, 0) == "kill"
+        assert injector.draw(1, 0, 0) is None
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+@pytest.mark.parametrize("name", ["tender-implicit", "tender-explicit", "fp"])
+class TestShardedParity:
+    """The acceptance gate: sharded output must be bit-identical to solo."""
+
+    def test_serving_parity(self, num_shards, name, four_head_runners, shard_prompts):
+        solo = four_head_runners[name]
+        expected = _serve(solo, shard_prompts)
+        sharded = ShardedRunner(solo, num_shards)
+        actual = _serve(sharded, shard_prompts)
+        _assert_outputs_identical(actual, expected)
+        assert sharded.group.stats.collectives > 0
+
+    def test_serving_parity_under_chaos(self, num_shards, name, four_head_runners, shard_prompts):
+        """Drop/corrupt/delay/duplicate faults must not perturb one bit."""
+        solo = four_head_runners[name]
+        expected = _serve(solo, shard_prompts)
+        injector = CollectiveFaultInjector(
+            seed=2,
+            drop_rate=0.01,
+            corrupt_rate=0.01,
+            delay_rate=0.01,
+            duplicate_rate=0.01,
+            kill_rate=0.0,
+        )
+        group = CollectiveGroup(num_shards, fault_injector=injector, max_retries=4)
+        sharded = ShardedRunner(solo, num_shards, group=group)
+        actual = _serve(sharded, shard_prompts)
+        _assert_outputs_identical(actual, expected)
+        # The chaos actually ran: faults fired and were ridden out.
+        assert group.stats.retries > 0
+        assert group.stats.corruption_caught > 0
+        assert group.stats.duplicates_ignored > 0
+        assert group.stats.stragglers > 0
+
+    def test_full_forward_logits_parity(self, num_shards, name, four_head_runners):
+        """The uncached ``logits()`` path shards bit-identically too."""
+        solo = four_head_runners[name]
+        tokens = np.arange(24).reshape(2, 12) % 60
+        sharded = ShardedRunner(solo, num_shards)
+        np.testing.assert_array_equal(sharded.logits(tokens), solo.logits(tokens))
+
+
+class TestShardedRunnerConstruction:
+    def test_calibration_tables_are_shared_replicas(self, four_head_runners):
+        """Every shard executor holds the *same* calibration-table object.
+
+        Column-parallel sharding never splits the channel axis the tables
+        index, so the tables replicate by reference (the placement decision
+        in architecture.md); only the per-site weight caches are private.
+        """
+        solo = four_head_runners["tender-implicit"]
+        sharded = ShardedRunner(solo, 2)
+        for executor in sharded.executors:
+            assert executor.site_params is solo.executor.site_params
+            assert executor is not solo.executor
+
+    def test_head_bounds_cover_all_heads(self, four_head_runners):
+        sharded = ShardedRunner(four_head_runners["fp"], 4)
+        assert sharded.head_bounds == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_healthy_tracks_the_group(self, four_head_runners):
+        sharded = ShardedRunner(four_head_runners["fp"], 2)
+        assert sharded.healthy
+        sharded.group.fail_shard(1)
+        assert not sharded.healthy
+
+    def test_validation(self, four_head_runners):
+        solo = four_head_runners["fp"]
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            ShardedRunner(solo, 5)
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            ShardedRunner(solo, 0)
+        with pytest.raises(ConfigurationError, match="spans 3 shards"):
+            ShardedRunner(solo, 2, group=CollectiveGroup(3))
+
+
+class TestPoolIntegration:
+    """A shard group is one replica — one fault unit — of the pool."""
+
+    def pool_outputs(self, runner_or_factory, prompts, **kwargs):
+        if callable(runner_or_factory) and not isinstance(runner_or_factory, TransformerRunner):
+            solo = kwargs.pop("solo")
+            pool = ReplicaPool(solo, runner_factory=runner_or_factory, **kwargs)
+        else:
+            pool = ReplicaPool(runner_or_factory, **kwargs)
+        for prompt in prompts:
+            pool.submit(prompt)
+        return {output.request_id: output for output in pool.run()}, pool
+
+    def test_shard_kill_recovers_bit_identically(self, four_head_runners, shard_prompts):
+        solo = four_head_runners["tender-implicit"]
+        kwargs = dict(
+            num_replicas=2,
+            config=GenerationConfig(max_new_tokens=6),
+            max_batch_size=2,
+            block_size=8,
+        )
+        expected, _ = self.pool_outputs(solo, shard_prompts, **kwargs)
+        # One injector shared across rebuilds: the scripted kill fires once,
+        # the rebuilt group then runs clean (max_kills bounds the chaos).
+        injector = CollectiveFaultInjector(seed=0, kill_at={40: 1}, max_kills=1)
+        factory = lambda rid: ShardedRunner(  # noqa: E731
+            solo, 2, group=CollectiveGroup(2, fault_injector=injector)
+        )
+        actual, pool = self.pool_outputs(factory, shard_prompts, solo=solo, **kwargs)
+        assert pool.cluster_stats.failures >= 1
+        assert pool.cluster_stats.recoveries >= 1
+        assert any(event.kind == "kill" for event in injector.events)
+        _assert_outputs_identical(actual, expected)
+
+    def test_exhausted_transport_retries_degrade_with_cause(
+        self, four_head_runners, shard_prompts
+    ):
+        solo = four_head_runners["fp"]
+        injector = CollectiveFaultInjector(seed=0, drop_rate=1.0, max_kills=0)
+        factory = lambda rid: ShardedRunner(  # noqa: E731
+            solo, 2, group=CollectiveGroup(2, fault_injector=injector, max_retries=1)
+        )
+        outputs, pool = self.pool_outputs(
+            factory,
+            shard_prompts[:3],
+            solo=solo,
+            num_replicas=1,
+            config=GenerationConfig(max_new_tokens=4),
+            max_retries=0,
+            max_batch_size=2,
+            block_size=8,
+        )
+        degraded = [output for output in outputs.values() if output.finish_reason == "degraded"]
+        assert degraded
+        for output in degraded:
+            assert output.failure_cause == "retry_budget_exhausted"
+        assert pool.cluster_stats.degraded_causes.get("retry_budget_exhausted", 0) >= 1
+
+
+class TestTensorParallelModel:
+    def workload(self, num_shards, **overrides):
+        kwargs = dict(
+            num_shards=num_shards,
+            batch=16,
+            context=512,
+            d_model=4096,
+            d_ff=16384,
+            num_heads=32,
+            num_layers=32,
+            vocab=32000,
+        )
+        kwargs.update(overrides)
+        return TensorParallelWorkload(**kwargs)
+
+    def test_solo_has_no_communication(self):
+        result = tensor_parallel_speedup(self.workload(1), "A100")
+        for scheme in result.values():
+            assert scheme["comm_ms"] == 0.0
+            assert scheme["speedup"] == pytest.approx(1.0)
+
+    def test_sharding_a_large_model_pays(self):
+        result = tensor_parallel_speedup(self.workload(4), "A100")
+        assert result["Tender SW"]["speedup"] > 1.5
+
+    def test_communication_eventually_dominates(self):
+        """On a slow link, wider sharding loses: comm grows, compute shrinks."""
+        slow = dict(link_latency_us=50.0, link_bandwidth_gb_s=5.0)
+        two = tensor_parallel_speedup(self.workload(2, **slow), "A100")
+        eight = tensor_parallel_speedup(self.workload(8, **slow), "A100")
+        assert eight["Tender SW"]["comm_ms"] > two["Tender SW"]["comm_ms"]
+
+    def test_group_failure_rate_compounds_per_shard(self):
+        workload = self.workload(4, shard_failure_rate=0.01)
+        assert workload.group_failure_rate() == pytest.approx(1.0 - 0.99**4)
+
+    def test_goodput_degrades_with_chaos_and_recovers_with_cache_hits(self):
+        clean = tensor_parallel_speedup(self.workload(2), "A100")
+        chaotic = tensor_parallel_speedup(
+            self.workload(2, shard_failure_rate=0.002, retry_backoff_steps=2.0), "A100"
+        )
+        cached = tensor_parallel_speedup(
+            self.workload(
+                2, shard_failure_rate=0.002, retry_backoff_steps=2.0, resume_hit_rate=0.9
+            ),
+            "A100",
+        )
+        for scheme in clean:
+            assert clean[scheme]["goodput_ratio"] == pytest.approx(1.0)
+            assert chaotic[scheme]["goodput_ratio"] < 1.0
+            assert cached[scheme]["goodput_ratio"] > chaotic[scheme]["goodput_ratio"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            self.workload(0)
+        with pytest.raises(ConfigurationError, match="num_heads"):
+            self.workload(64)
+        with pytest.raises(ConfigurationError, match="shard_failure_rate"):
+            self.workload(2, shard_failure_rate=1.0)
+        with pytest.raises(ConfigurationError, match="latency/bandwidth"):
+            self.workload(2, link_bandwidth_gb_s=0.0)

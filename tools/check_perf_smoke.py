@@ -5,7 +5,7 @@ Run from the repository root (tier-1 runs it via ``tests/tools``):
 
     PYTHONPATH=src python tools/check_perf_smoke.py
 
-Seven checks run back to back:
+Eight checks run back to back:
 
 1. **Fast kernels** — builds the shared synthetic decode workload from
    ``repro.core.perf`` (no model training, no checkpoint cache — the same
@@ -73,6 +73,20 @@ Seven checks run back to back:
    fault-free — a recovery path that recomputes whole contexts instead of
    riding prefix hits fails the goodput floor, and one that re-samples
    fails parity.
+
+8. **Tensor parallel** — serves a Tender-quantized random-weight model
+   solo and as a 2-shard ``repro.serve.ShardedRunner`` whose collective
+   transport runs under scripted corruption/delay/duplication, then under
+   a scripted shard kill through a ``ReplicaPool`` of shard groups, and
+   gates on the deterministic accounting: sharded tokens must be
+   bit-identical to solo (column-parallel sharding never splits the
+   channel axis Tender's calibration tables index), at least one
+   corrupted collective must be *caught by its checksum and retried*, at
+   least one shard-kill recovery must fire through the checkpoint/replay
+   path, and chaos goodput must stay within ``REQUIRED_FT_GOODPUT`` of
+   fault-free — a transport that silently reduces a corrupted payload
+   fails parity, and a recovery that recomputes whole contexts fails the
+   goodput floor.
 
 Exit status 0 when clean; 1 with a one-line diagnosis otherwise.
 """
@@ -628,6 +642,156 @@ def check_fault_tolerance() -> int:
     return 0
 
 
+def _tiny_tender_shard_runner():
+    """A Tender-quantized 4-head random-weight runner (shardable at N=2/4)."""
+    from repro.core import TenderConfig, TenderQuantizer
+    from repro.models.weights import (
+        AttentionWeights,
+        BlockWeights,
+        FeedForwardWeights,
+        LayerNormWeights,
+        ModelWeights,
+    )
+    from repro.nn import TransformerConfig
+
+    config = TransformerConfig(
+        vocab_size=64, d_model=32, num_heads=4, num_layers=2, d_ff=64, max_seq_len=128, seed=0
+    )
+    rng = np.random.default_rng(7)
+
+    def dense(shape):
+        return rng.normal(scale=0.25, size=shape)
+
+    def norm():
+        return LayerNormWeights(gain=np.ones(config.d_model), bias=np.zeros(config.d_model))
+
+    blocks = [
+        BlockWeights(
+            ln_attn=norm(),
+            attn=AttentionWeights(
+                wq=dense((config.d_model, config.d_model)), bq=np.zeros(config.d_model),
+                wk=dense((config.d_model, config.d_model)), bk=np.zeros(config.d_model),
+                wv=dense((config.d_model, config.d_model)), bv=np.zeros(config.d_model),
+                wo=dense((config.d_model, config.d_model)), bo=np.zeros(config.d_model),
+            ),
+            ln_ffn=norm(),
+            ffn=FeedForwardWeights(
+                w1=dense((config.d_model, config.d_ff)), b1=np.zeros(config.d_ff),
+                w2=dense((config.d_ff, config.d_model)), b2=np.zeros(config.d_model),
+            ),
+        )
+        for _ in range(config.num_layers)
+    ]
+    weights = ModelWeights(
+        config=config,
+        token_embedding=dense((config.vocab_size, config.d_model)),
+        position_embedding=dense((config.max_seq_len, config.d_model)),
+        blocks=blocks,
+        ln_final=norm(),
+        lm_head=dense((config.d_model, config.vocab_size)),
+    )
+    calibration = [rng.integers(0, 64, size=40) for _ in range(6)]
+    return TenderQuantizer(
+        TenderConfig(bits=8, num_groups=8, row_chunk_size=8), implicit=True
+    ).quantize(weights, calibration)
+
+
+def check_tensor_parallel() -> int:
+    """Deterministic sharded-parity and collective-chaos gate."""
+    from repro.serve import (
+        CollectiveFaultInjector,
+        CollectiveGroup,
+        GenerationConfig,
+        ReplicaPool,
+        ShardedRunner,
+    )
+
+    solo = _tiny_tender_shard_runner()
+    rng = np.random.default_rng(23)
+    templates = [rng.integers(0, 64, size=10) for _ in range(2)]
+    prompts = [
+        np.concatenate([templates[i % 2], rng.integers(0, 64, size=2 + i % 3)])
+        for i in range(8)
+    ]
+
+    # --- Parity under scripted transport faults (solo scheduler path) ---
+    expected, _ = _serve(solo, prompts, prefix_cache=True, max_new_tokens=8)
+    injector = CollectiveFaultInjector(
+        corrupt_at={3: 1, 11: 0}, drop_at={5: 0}, delay_at={7: 1}, duplicate_at={9: 0}
+    )
+    group = CollectiveGroup(2, fault_injector=injector)
+    sharded = ShardedRunner(solo, 2, group=group)
+    actual, _ = _serve(sharded, prompts, prefix_cache=True, max_new_tokens=8)
+    for request_id, output in expected.items():
+        if not np.array_equal(output.generated, actual[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"on the 2-shard runner — column-parallel sharding is not bit-exact"
+            )
+            return 1
+    if group.stats.corruption_caught < 1 or group.stats.retries < 1:
+        print(
+            "perf smoke FAILED: the scripted corrupted collective was never "
+            "caught-and-retried — the checksum path is not being exercised"
+        )
+        return 1
+
+    # --- Shard-kill recovery and goodput through a pool of shard groups ---
+    def serve_pool(kill_injector):
+        def factory(replica_id):
+            group = CollectiveGroup(2, fault_injector=kill_injector)
+            return ShardedRunner(solo, 2, group=group)
+
+        pool = ReplicaPool(
+            solo,
+            num_replicas=2,
+            runner_factory=factory,
+            config=GenerationConfig(max_new_tokens=8),
+            max_batch_size=2,
+            block_size=4,
+            record_logits=False,
+        )
+        for prompt in prompts:
+            pool.submit(prompt)
+        outputs = {output.request_id: output for output in pool.run()}
+        stats = pool.stats
+        goodput = stats["generated_tokens"] / (
+            stats["prefill_tokens"] + stats["generated_tokens"]
+        )
+        return outputs, pool, goodput
+
+    outputs_clean, _, goodput_clean = serve_pool(None)
+    kill_injector = CollectiveFaultInjector(seed=0, kill_at={40: 1}, max_kills=1)
+    outputs_chaos, chaos_pool, goodput_chaos = serve_pool(kill_injector)
+    for request_id, output in outputs_clean.items():
+        if not np.array_equal(output.generated, outputs_chaos[request_id].generated):
+            print(
+                f"perf smoke FAILED: request {request_id} generated different tokens "
+                f"after shard-kill recovery — group replay is not bit-exact"
+            )
+            return 1
+    recoveries = chaos_pool.cluster_stats.recoveries
+    if recoveries < 1 or chaos_pool.cluster_stats.failures < 1:
+        print(
+            "perf smoke FAILED: the scripted shard kill triggered no group "
+            "recovery — the shard-group fault unit never tripped"
+        )
+        return 1
+    ratio = goodput_chaos / goodput_clean
+    if ratio < REQUIRED_FT_GOODPUT:
+        print(
+            f"perf smoke FAILED: shard-kill goodput fell to {ratio:.0%} of "
+            f"fault-free (required >= {REQUIRED_FT_GOODPUT:.0%})"
+        )
+        return 1
+    print(
+        f"perf smoke ok (tensor parallel bit-identical at 2 shards, "
+        f"{group.stats.corruption_caught} corruptions caught, {recoveries} "
+        f"shard-kill recoveries, goodput {ratio:.0%} of fault-free)"
+    )
+    return 0
+
+
 def main() -> int:
     """Run every smoke gate; first failure wins."""
     return (
@@ -638,6 +802,7 @@ def main() -> int:
         or check_preemption_smoke()
         or check_serving_stress()
         or check_fault_tolerance()
+        or check_tensor_parallel()
     )
 
 
