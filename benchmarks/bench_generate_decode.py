@@ -1,6 +1,6 @@
 """Benchmark: batched KV-cached generation, vectorized attention, scheduling.
 
-Eight measurements ride in one benchmark round:
+Nine measurements ride in one benchmark round:
 
 1. **End-to-end decode throughput** — the batched ``generate()`` loop over the
    FP baseline, Tender with implicit and explicit requantization, and two
@@ -48,7 +48,16 @@ Eight measurements ride in one benchmark round:
    5% of FIFO.  ``repro.gpu.PreemptionWorkload`` provides the
    analytic recompute-vs-wait expectation alongside the measurement.
 
-7. **Fault tolerance** — a Poisson arrival trace over a 3-replica
+7. **Observability** — the same two-class trace served untraced
+   (``tracer=None``) and under a wall-clocked ``repro.obs.Tracer``.  The
+   gates: generated tokens stay bit-identical (tracing is
+   observation-only), enabled tracing costs at most 5% of the untraced
+   serve, and the disabled path's residue — one ``is not None`` branch
+   per emit site, priced by measuring that branch — stays under 1%.
+   ``repro.gpu.ObservabilityOverheadWorkload`` provides the analytic
+   per-step-tax expectation alongside the measurement.
+
+8. **Fault tolerance** — a Poisson arrival trace over a 3-replica
    ``repro.serve.cluster.ReplicaPool`` (sticky-template routing), served
    fault-free and under seeded mid-trace replica kills.  The deterministic
    gates: every request's tokens stay bit-identical across the chaos run
@@ -59,7 +68,7 @@ Eight measurements ride in one benchmark round:
    ``repro.gpu.FaultToleranceWorkload`` provides the analytic
    recompute-cost-vs-failure-rate expectation alongside the measurement.
 
-8. **Tensor parallelism** — the same template-heavy trace served by a pool
+9. **Tensor parallelism** — the same template-heavy trace served by a pool
    whose replicas are 2-shard ``repro.serve.ShardedRunner`` groups meeting
    at checksummed ``CollectiveGroup`` all-gathers, fault-free and under a
    scripted collective corruption plus a scripted shard kill.  The
@@ -72,8 +81,8 @@ Eight measurements ride in one benchmark round:
    ``repro.gpu.TensorParallelWorkload`` provides the analytic
    communication-inclusive speedup/goodput curve over shard counts.
 
-The prefix-cache, speculative, preemption, fault-tolerance, and
-tensor-parallel results land in ``BENCH_serving.json`` when
+The prefix-cache, speculative, preemption, observability,
+fault-tolerance, and tensor-parallel results land in ``BENCH_serving.json`` when
 ``REPRO_WRITE_BENCH=1`` (or a full evaluation) asks for a fresh record.
 """
 
@@ -801,6 +810,126 @@ def run_preemption_bench() -> dict:
 
 
 # ----------------------------------------------------------------------
+# Observability: tracing-off vs tracing-on cost of the two-class serve
+# ----------------------------------------------------------------------
+OBS_ATTEMPTS = 4
+#: Enabled tracing must cost at most this fraction of the untraced serve.
+OBS_MAX_ENABLED_OVERHEAD = 0.05
+#: The disabled path's guard residue must cost at most this fraction.
+OBS_MAX_DISABLED_OVERHEAD = 0.01
+
+
+def run_observability_bench() -> dict:
+    """Wall-clock cost of request-lifecycle tracing on the preemption trace.
+
+    Serves the two-class preemption trace untraced (``tracer=None``) and
+    under a wall-clocked ``repro.obs.Tracer``, best of ``OBS_ATTEMPTS``.
+    Three gates: tokens stay bit-identical (tracing is observation-only),
+    the enabled run costs at most ``OBS_MAX_ENABLED_OVERHEAD`` of the
+    untraced serve, and the disabled path's residue — one ``is not None``
+    branch per emit site the enabled run proves hot, priced by measuring
+    that branch — stays under ``OBS_MAX_DISABLED_OVERHEAD``.
+    ``repro.gpu.ObservabilityOverheadWorkload`` provides the analytic
+    per-step-tax expectation alongside the measurement.
+    """
+    from repro.gpu import ObservabilityOverheadWorkload, observability_overhead
+    from repro.obs import Tracer, WallClock
+
+    weights = get_language_model(MODEL_NAME)
+    corpus_train, _ = load_corpus("wiki", vocab_size=weights.config.vocab_size).split()
+    calibration = calibration_samples(corpus_train, seq_len=48, num_samples=4, seed=7)
+    runner = TenderQuantizer(
+        TenderConfig(bits=8, num_groups=8, row_chunk_size=32), implicit=True
+    ).quantize(weights, calibration)
+    trace = build_two_class_trace(corpus_train, num_low=5, num_high=6, seed=31)
+
+    def serve(tracer):
+        scheduler = Scheduler(
+            runner,
+            GenerationConfig(max_new_tokens=max(r.budget for r in trace)),
+            max_batch_size=PREEMPT_BATCH,
+            block_size=PREEMPT_BLOCK,
+            prefix_cache=True,
+            preemption=True,
+            record_logits=False,
+            tracer=tracer,
+        )
+        for request in trace:
+            scheduler.submit(
+                request.prompt,
+                max_new_tokens=request.budget,
+                arrival_time=request.arrival,
+                priority=request.priority,
+            )
+        start = time.perf_counter()
+        outputs = {output.request_id: output.generated for output in scheduler.run()}
+        return outputs, scheduler.stats, time.perf_counter() - start
+
+    off_times, on_times = [], []
+    events = 0
+    steps = 0
+    for _ in range(OBS_ATTEMPTS):
+        outputs_off, _, off_s = serve(None)
+        tracer = Tracer(clock=WallClock())
+        outputs_on, stats_on, on_s = serve(tracer)
+        off_times.append(off_s)
+        on_times.append(on_s)
+        events = len(tracer.events)
+        steps = stats_on.total_iterations
+        # Tracing must never change what a request generates.
+        for request_id, generated in outputs_off.items():
+            assert np.array_equal(generated, outputs_on[request_id])
+
+    off_s, on_s = min(off_times), min(on_times)
+    enabled_overhead = max(0.0, on_s / off_s - 1.0)
+    assert enabled_overhead <= OBS_MAX_ENABLED_OVERHEAD, (
+        f"enabled tracing cost {enabled_overhead:.1%} of the serve "
+        f"(> {OBS_MAX_ENABLED_OVERHEAD:.0%})"
+    )
+
+    # The disabled path's only residue is one `is not None` branch per emit
+    # site; measure that branch and scale by the sites the enabled run hit.
+    sink = None
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        if sink is not None:
+            raise AssertionError
+    guard_s = (time.perf_counter() - start) / reps
+    disabled_overhead = events * guard_s / off_s
+    assert disabled_overhead <= OBS_MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing residue cost {disabled_overhead:.3%} of the serve "
+        f"(> {OBS_MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+    entry = get_zoo_entry(MODEL_NAME)
+    events_per_step = events / max(1, steps)
+    analytic = ObservabilityOverheadWorkload(
+        events_per_step=events_per_step,
+        d_model=entry.paper_d_model,
+        d_ff=entry.paper_d_ff,
+        num_heads=entry.paper_num_heads,
+        num_layers=entry.paper_num_layers,
+        batch=PREEMPT_BATCH,
+        context=PREEMPT_LOW_BUDGET + 10,
+        guard_sites_per_step=events_per_step,
+        guard_cost_ns=guard_s * 1e9,
+    )
+    modeled = observability_overhead(analytic, "rtx3090")["Tender SW"]
+    return {
+        "events": events,
+        "events_per_step": events_per_step,
+        "untraced_wall_s": off_s,
+        "traced_wall_s": on_s,
+        "enabled_overhead": enabled_overhead,
+        "disabled_overhead": disabled_overhead,
+        "guard_cost_ns": guard_s * 1e9,
+        "analytic_enabled_overhead_tender_sw": modeled["enabled_overhead_ratio"],
+        "analytic_disabled_overhead_tender_sw": modeled["disabled_overhead_ratio"],
+    }
+
+
+# ----------------------------------------------------------------------
 # Fault tolerance: seeded replica kills over a sticky-routed pool
 # ----------------------------------------------------------------------
 FT_REPLICAS = 3
@@ -1085,6 +1214,7 @@ def run_bench() -> dict:
         "prefix_cache": run_prefix_cache_bench(),
         "speculative": run_speculative_bench(),
         "preemption": run_preemption_bench(),
+        "observability": run_observability_bench(),
         "fault_tolerance": run_fault_tolerance_bench(),
         "tensor_parallel": run_tensor_parallel_bench(),
     }
@@ -1093,6 +1223,7 @@ def run_bench() -> dict:
             "prefix_cache": results["prefix_cache"],
             "speculative": results["speculative"],
             "preemption": results["preemption"],
+            "observability": results["observability"],
             "fault_tolerance": results["fault_tolerance"],
             "tensor_parallel": results["tensor_parallel"],
         }
@@ -1108,6 +1239,7 @@ def test_generate_decode(benchmark, render):
     prefix = results["prefix_cache"]
     spec = results["speculative"]
     preempt = results["preemption"]
+    obs = results["observability"]
     fault = results["fault_tolerance"]
     tensor = results["tensor_parallel"]
     render(
@@ -1211,6 +1343,25 @@ def test_generate_decode(benchmark, render):
         )
         + "\n\n"
         + format_table(
+            ["Metric", "Tracing off", "Tracing on"],
+            [
+                ["wall s (best of attempts)", obs["untraced_wall_s"], obs["traced_wall_s"]],
+                ["overhead (measured)", obs["disabled_overhead"], obs["enabled_overhead"]],
+                [
+                    "overhead (analytic, Tender SW)",
+                    obs["analytic_disabled_overhead_tender_sw"],
+                    obs["analytic_enabled_overhead_tender_sw"],
+                ],
+                ["trace events", 0, obs["events"]],
+                ["events / step", 0.0, obs["events_per_step"]],
+            ],
+            title=(
+                f"Observability: lifecycle tracing on the two-class trace "
+                f"(tokens bit-identical, guard {obs['guard_cost_ns']:.0f} ns/site)"
+            ),
+        )
+        + "\n\n"
+        + format_table(
             ["Metric", "Fault-free", "Chaos (seeded kills)"],
             [
                 ["replica kills", 0, fault["kills"]],
@@ -1289,6 +1440,11 @@ def test_generate_decode(benchmark, render):
     assert spec["control"]["speedup"] >= 0.7, (
         f"speculation regressed the control trace to {spec['control']['speedup']:.2f}x"
     )
+    # Observability: the overhead gates live inside the bench, next to the
+    # measurement; re-assert the recorded numbers so a stale record fails.
+    assert obs["enabled_overhead"] <= OBS_MAX_ENABLED_OVERHEAD
+    assert obs["disabled_overhead"] <= OBS_MAX_DISABLED_OVERHEAD
+    assert obs["events"] > 0
     # Tensor parallelism: the chaos run recovered and kept its goodput (the
     # bit-parity asserts live inside the bench, next to the measurement).
     assert tensor["recoveries"] >= 1

@@ -17,7 +17,9 @@ prefix-cache hits instead of recomputing whole contexts), and
 :class:`TensorParallelWorkload` to column-parallel tensor sharding (the
 compute divided across shards versus the per-layer all-gathers added
 back, and the goodput a shard group keeps when any shard's death fails
-the whole group).
+the whole group), and :class:`ObservabilityOverheadWorkload` to
+request-lifecycle tracing (the per-step emit tax with tracing enabled
+versus the guard-branch residue of the disabled path).
 """
 
 from repro.gpu.devices import GPU_SPECS, GPUSpec, get_gpu
@@ -26,6 +28,7 @@ from repro.gpu.latency import (
     DecodeWorkload,
     FaultToleranceWorkload,
     GemmLatency,
+    ObservabilityOverheadWorkload,
     PagedAttentionWorkload,
     PreemptionWorkload,
     PrefixCacheWorkload,
@@ -38,6 +41,7 @@ from repro.gpu.latency import (
     figure12_latencies,
     fp16_latency_ms,
     int8_latency_ms,
+    observability_overhead,
     paged_attention_throughput,
     per_channel_latency_ms,
     preemption_tradeoff,
@@ -55,6 +59,7 @@ __all__ = [
     "DecodeWorkload",
     "ContinuousBatchWorkload",
     "FaultToleranceWorkload",
+    "ObservabilityOverheadWorkload",
     "PagedAttentionWorkload",
     "PreemptionWorkload",
     "PrefixCacheWorkload",
@@ -62,6 +67,7 @@ __all__ = [
     "TensorParallelWorkload",
     "continuous_batch_throughput",
     "fault_tolerance_goodput",
+    "observability_overhead",
     "paged_attention_throughput",
     "preemption_tradeoff",
     "prefix_cache_throughput",

@@ -1365,3 +1365,144 @@ def tensor_parallel_speedup(
             "tokens_per_s": workload.batch / (effective_ms * 1e-3),
         }
     return results
+
+
+# ----------------------------------------------------------------------
+# Observability (tracing-overhead-vs-step-time) workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObservabilityOverheadWorkload:
+    """What request-lifecycle tracing costs a serving step, per scheme.
+
+    Models the two prices ``repro.obs.Tracer`` can charge a
+    ``repro.serve.Scheduler`` decode step.  **Enabled**, every emit site
+    pays a clock read, an attribute-dict build, and a ring/list append
+    (``event_cost_us`` each, ``events_per_step`` sites firing per batched
+    step — the decode span's begin/end pair plus the cache, speculation,
+    and lifecycle instants that step triggers).  **Disabled**
+    (``tracer=None``), the only residue is the branch itself: each
+    instrumented site still evaluates one ``is not None`` guard
+    (``guard_cost_ns`` × ``guard_sites_per_step``), which is the cost the
+    ≤1 % perf-smoke gate bounds.  Both are fixed per-step taxes, so their
+    *relative* overhead shrinks as the underlying GEMMs grow — the model
+    answers where tracing is free (big models) and where it bites (tiny
+    steps, exactly the regime the correctness suites run in).
+
+    Parameters
+    ----------
+    events_per_step : float
+        Mean trace events emitted per batched decode step with tracing
+        enabled (span endpoints count separately).
+    event_cost_us : float
+        Cost of one emit — clock read, attribute dict, append —
+        microseconds.
+    guard_sites_per_step : float
+        ``tracer is None`` checks evaluated per step on the disabled path.
+    guard_cost_ns : float
+        Cost of one evaluated guard, nanoseconds.
+    d_model, d_ff, num_heads, num_layers, vocab :
+        Model dimensions, as in :class:`DecodeWorkload`.
+    batch : int
+        Active decode rows per step.
+    context : int
+        Mean committed tokens per row (KV length).
+    """
+
+    events_per_step: float
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_layers: int = 1
+    vocab: int = 0
+    batch: int = 1
+    context: int = 256
+    event_cost_us: float = 1.0
+    guard_sites_per_step: float = 8.0
+    guard_cost_ns: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.events_per_step < 0.0:
+            raise ConfigurationError("events_per_step must be >= 0")
+        if self.event_cost_us < 0.0:
+            raise ConfigurationError("event_cost_us must be >= 0")
+        if self.guard_sites_per_step < 0.0:
+            raise ConfigurationError("guard_sites_per_step must be >= 0")
+        if self.guard_cost_ns < 0.0:
+            raise ConfigurationError("guard_cost_ns must be >= 0")
+        if self.batch < 1:
+            raise ConfigurationError("batch must be >= 1")
+        if self.context < 1:
+            raise ConfigurationError("context must be >= 1")
+        self.decode_workload()
+
+    def decode_workload(self) -> DecodeWorkload:
+        """The per-step GEMMs the tracing tax is measured against."""
+        return DecodeWorkload(
+            batch=self.batch,
+            context=self.context,
+            d_model=self.d_model,
+            d_ff=self.d_ff,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            vocab=self.vocab,
+        )
+
+    def enabled_overhead_ms(self) -> float:
+        """Per-step emit cost with tracing on (scheme-independent)."""
+        return self.events_per_step * self.event_cost_us * 1e-3
+
+    def disabled_overhead_ms(self) -> float:
+        """Per-step guard residue with tracing off (scheme-independent)."""
+        return self.guard_sites_per_step * self.guard_cost_ns * 1e-6
+
+
+def observability_overhead(
+    workload: ObservabilityOverheadWorkload,
+    device_name: str,
+    num_groups: int = 8,
+) -> Dict[str, Dict[str, float]]:
+    """Relative cost of tracing on a serving decode step, per scheme.
+
+    Adds the workload's fixed per-step taxes to the modeled GEMM step and
+    reports both absolute and relative overhead, which is what the
+    perf-smoke gate and the serving benchmark's ``observability`` section
+    bound empirically (≤5 % enabled, ≤1 % disabled on the tiny
+    correctness-suite model — both far below measurement noise at real
+    model sizes).
+
+    Parameters
+    ----------
+    workload : ObservabilityOverheadWorkload
+        The instrumentation scenario.
+    device_name : str
+        A key of :data:`repro.gpu.devices.GPU_SPECS`.
+    num_groups : int
+        Tender channel groups (forwarded to the per-scheme GEMM model).
+
+    Returns
+    -------
+    dict
+        ``{scheme: {"step_ms", "enabled_overhead_ms", "enabled_step_ms",
+        "enabled_overhead_ratio", "disabled_overhead_ms",
+        "disabled_overhead_ratio", "tokens_per_s",
+        "enabled_tokens_per_s"}}`` per scheme of
+        :func:`decode_step_latencies`.
+    """
+    step = decode_step_latencies(workload.decode_workload(), device_name, num_groups)
+    enabled_tax = workload.enabled_overhead_ms()
+    disabled_tax = workload.disabled_overhead_ms()
+    results: Dict[str, Dict[str, float]] = {}
+    for scheme in step:
+        step_ms = step[scheme].milliseconds
+        enabled_ms = step_ms + enabled_tax
+        results[scheme] = {
+            "step_ms": step_ms,
+            "enabled_overhead_ms": enabled_tax,
+            "enabled_step_ms": enabled_ms,
+            "enabled_overhead_ratio": enabled_tax / step_ms,
+            "disabled_overhead_ms": disabled_tax,
+            "disabled_overhead_ratio": disabled_tax / step_ms,
+            "tokens_per_s": workload.batch / (step_ms * 1e-3),
+            "enabled_tokens_per_s": workload.batch / (enabled_ms * 1e-3),
+        }
+    return results

@@ -1,0 +1,71 @@
+"""Injectable trace clocks: deterministic ticks for tests, wall time for benches.
+
+Every :class:`~repro.obs.trace.Tracer` timestamps its events by calling a
+*clock* — any zero-argument callable returning a number.  Which clock is
+injected decides what a trace means:
+
+* :class:`CountingClock` — a deterministic counter that advances by a fixed
+  ``step`` on every call.  Two identical runs produce byte-identical traces
+  (the tier-1 determinism gate in ``tests/serve/test_observability.py``
+  depends on this), and span durations count *trace events enclosed*, not
+  seconds — a useful causal measure in a simulator whose scheduler clock is
+  already tick-based.
+* :class:`WallClock` — ``time.perf_counter_ns`` scaled to microseconds, the
+  unit Chrome trace-event timestamps use.  Benchmarks inject it so exported
+  spans line up with measured latencies in Perfetto.
+
+Clocks are deliberately *not* read when tracing is disabled: the serving
+layers guard every trace site with ``if tracer is not None``, so a disabled
+run never pays even the counter increment.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CountingClock", "WallClock"]
+
+
+class CountingClock:
+    """A deterministic clock: every read returns ``start + reads_so_far * step``.
+
+    Parameters
+    ----------
+    start : int
+        Timestamp of the first read.
+    step : int
+        Increment applied after every read (must be >= 1 so successive
+        events never share a timestamp — Chrome's renderer collapses
+        zero-length spans).
+    """
+
+    __slots__ = ("_now", "_start", "_step")
+
+    def __init__(self, start: int = 0, step: int = 1) -> None:
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self._now = int(start)
+        self._start = int(start)
+        self._step = int(step)
+
+    def __call__(self) -> int:
+        now = self._now
+        self._now += self._step
+        return now
+
+    @property
+    def reads(self) -> int:
+        """How many timestamps have been handed out so far."""
+        return (self._now - self._start) // self._step
+
+
+class WallClock:
+    """Monotonic wall time in microseconds (Chrome trace-event units)."""
+
+    __slots__ = ("_origin",)
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter_ns()
+
+    def __call__(self) -> float:
+        return (time.perf_counter_ns() - self._origin) / 1000.0

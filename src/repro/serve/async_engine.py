@@ -220,6 +220,10 @@ class AsyncEngine:
     max_batch_size, block_size, num_blocks, policy, record_logits, \
 prefix_cache, prefill_chunk, speculation
         Forwarded to :class:`Scheduler` unchanged.
+    tracer : repro.obs.Tracer, optional
+        Opt-in request-lifecycle tracing, forwarded to the private
+        :class:`Scheduler` (see :mod:`repro.obs`).  Rejected alongside
+        ``pool`` — a pool carries its own tracer wiring.
 
     Raises
     ------
@@ -252,6 +256,7 @@ prefix_cache, prefill_chunk, speculation
         prefix_cache: bool = True,
         prefill_chunk: Optional[int] = None,
         speculation: Optional[SpecConfig] = None,
+        tracer=None,
     ) -> None:
         if max_waiting < 1:
             raise ConfigurationError("max_waiting must be >= 1")
@@ -266,6 +271,11 @@ prefix_cache, prefill_chunk, speculation
                 raise ConfigurationError(
                     "a pool carries its own GenerationConfig; do not pass "
                     "config alongside pool"
+                )
+            if tracer is not None:
+                raise ConfigurationError(
+                    "a pool carries its own tracer; pass tracer= to the "
+                    "ReplicaPool constructor instead"
                 )
             self.scheduler = pool
             pool.on_token = self._on_token
@@ -283,6 +293,7 @@ prefix_cache, prefill_chunk, speculation
                 speculation=speculation,
                 preemption=preemption,
                 on_token=self._on_token,
+                tracer=tracer,
             )
         self._streams: dict = {}
         self._task: Optional["asyncio.Task"] = None

@@ -269,6 +269,26 @@ class ClusterStats:
         """Total committed tokens across every replica's scheduler."""
         return sum(replica.scheduler.stats.generated_tokens for replica in replicas)
 
+    def publish(self, registry, prefix: str = "pool") -> None:
+        """Publish pool counters into a :class:`repro.obs.MetricsRegistry`.
+
+        Scalar fields become counters named ``<prefix>.<field>``; the
+        per-cause degradation tally becomes ``<prefix>.degraded.<cause>``.
+        Counters accumulate — snapshot/delta around each publish to diff.
+        """
+        for name in (
+            "iterations",
+            "failures",
+            "recoveries",
+            "degraded_requests",
+            "stalled_iterations",
+            "watchdog_trips",
+            "breaker_opens",
+        ):
+            registry.counter(f"{prefix}.{name}").inc(getattr(self, name))
+        for cause, count in sorted(self.degraded_causes.items()):
+            registry.counter(f"{prefix}.degraded.{cause}").inc(count)
+
 
 class _Replica:
     """One pool member: a scheduler plus its health/progress book-keeping."""
@@ -371,6 +391,17 @@ class ReplicaPool:
     max_batch_size, block_size, num_blocks, prefix_cache, prefill_chunk, \
 speculation, preemption
         Forwarded to every replica's :class:`Scheduler` unchanged.
+    tracer : repro.obs.Tracer, optional
+        Opt-in fleet tracing (see :mod:`repro.obs`).  One shared tracer is
+        handed to every replica scheduler (track ``"replica<i>"``, rebuilt
+        engines included) while the pool emits failover events —
+        ``replica.failed``, ``breaker.open``/``close``, ``replica.rebuilt``,
+        ``watchdog.trip``, ``request.recovered``/``degraded`` — onto a
+        ``"pool"`` track.  Requests carry their pool id (``"req<id>"``) as
+        trace correlation id across replica hops, so one request's whole
+        lifecycle is reconstructable from the export even when it migrates.
+        If the tracer has a :class:`~repro.obs.FlightRecorder`, the pool
+        snapshots the tape whenever a request degrades unrecovered.
 
     Examples
     --------
@@ -407,6 +438,7 @@ speculation, preemption
         speculation=None,
         preemption: bool = False,
         on_token: Optional[Callable[[int, int], None]] = None,
+        tracer=None,
     ) -> None:
         if num_replicas < 1:
             raise ConfigurationError("num_replicas must be >= 1")
@@ -434,6 +466,12 @@ speculation, preemption
         self.watchdog_patience = int(watchdog_patience)
         self.router = Router(num_replicas, template_window=template_window)
         self.on_token = on_token
+        #: Opt-in request-lifecycle tracing (see :mod:`repro.obs`).  The
+        #: pool emits failover events onto a ``"pool"`` track and gives each
+        #: replica's scheduler its own ``"replica<i>"`` track; requests are
+        #: correlated across replica hops by their pool id (``"req<id>"``).
+        self.tracer = tracer
+        self._pool_track = "pool"
         self.cluster_stats = ClusterStats()
         self._scheduler_kwargs = dict(
             max_batch_size=max_batch_size,
@@ -481,6 +519,8 @@ speculation, preemption
             on_token=lambda local_id, token, rid=replica_id: self._route_token(
                 rid, local_id, token
             ),
+            tracer=self.tracer,
+            trace_track=f"replica{replica_id}",
             **self._scheduler_kwargs,
         )
 
@@ -588,14 +628,17 @@ speculation, preemption
         else:
             prompt = np.asarray(request, dtype=np.int64).reshape(-1)
         replica_id = self.router.place(prompt, self.healthy_ids())
+        # The pool id is claimed *before* the local submit so the replica's
+        # trace events carry the pool-level correlation id from the start.
+        pool_id = self._next_pool_id
         local_id = self.replicas[replica_id].scheduler.submit(
             prompt,
             max_new_tokens=max_new_tokens,
             arrival_time=arrival_time,
             priority=priority,
             deadline=deadline,
+            trace_corr=f"req{pool_id}" if self.tracer is not None else None,
         )
-        pool_id = self._next_pool_id
         self._next_pool_id += 1
         self._placements[pool_id] = (replica_id, local_id)
         self._local_to_pool[(replica_id, local_id)] = pool_id
@@ -786,6 +829,21 @@ speculation, preemption
         cooldown = self.breaker_cooldown * (2 ** max(0, opens - 1))
         replica.cooldown_until = iteration + 1 + cooldown
         self.cluster_stats.breaker_opens += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "replica.failed",
+                self._pool_track,
+                replica=replica.replica_id,
+                iteration=iteration,
+                error=str(error),
+                checkpoints=len(checkpoints),
+            )
+            self.tracer.instant(
+                "breaker.open",
+                self._pool_track,
+                replica=replica.replica_id,
+                cooldown=cooldown,
+            )
         if rebuild:
             replica.alive = False
         for checkpoint in checkpoints:
@@ -821,6 +879,21 @@ speculation, preemption
             self.cluster_stats.degraded_causes[cause] = (
                 self.cluster_stats.degraded_causes.get(cause, 0) + 1
             )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "request.degraded",
+                    self._pool_track,
+                    f"req{pool_id}",
+                    cause=cause,
+                    retries=retries,
+                )
+                if self.tracer.recorder is not None:
+                    # An unrecovered request is the incident the flight
+                    # recorder exists for: snapshot the tape at the moment
+                    # of degradation, before later traffic overwrites it.
+                    self.tracer.recorder.mark_incident(
+                        f"request req{pool_id} degraded: {cause}"
+                    )
             return
         self._retries[pool_id] = retries + 1
         delay = self.backoff_base * (2**retries) if retries else 0.0
@@ -830,11 +903,22 @@ speculation, preemption
             delay *= 0.5 + self._backoff_rng.random()
         target_id = self.router.place(np.asarray(checkpoint.prompt), healthy)
         local_id = self.replicas[target_id].scheduler.submit_checkpoint(
-            checkpoint, delay=delay
+            checkpoint,
+            delay=delay,
+            trace_corr=f"req{pool_id}" if self.tracer is not None else None,
         )
         self._placements[pool_id] = (target_id, local_id)
         self._local_to_pool[(target_id, local_id)] = pool_id
         self.cluster_stats.recoveries += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "request.recovered",
+                self._pool_track,
+                f"req{pool_id}",
+                source=failed_id,
+                target=target_id,
+                retry=retries + 1,
+            )
 
     def _checkpoint_output(
         self,
@@ -916,6 +1000,13 @@ speculation, preemption
             replica.last_progress = signature
         if replica.no_progress_steps >= self.watchdog_patience:
             self.cluster_stats.watchdog_trips += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "watchdog.trip",
+                    self._pool_track,
+                    replica=replica.replica_id,
+                    stalled=replica.no_progress_steps,
+                )
             # The engine object is intact (merely stalled), so its requests
             # are checkpointed and moved without rebuilding the scheduler.
             self._fail_replica(
@@ -939,6 +1030,20 @@ speculation, preemption
                     self._retired_stats[key] += getattr(replica.scheduler.stats, key)
                 replica.scheduler = self._build_scheduler(replica.replica_id)
                 replica.alive = True
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "replica.rebuilt",
+                        self._pool_track,
+                        replica=replica.replica_id,
+                        iteration=iteration,
+                    )
             replica.healthy = True
             replica.no_progress_steps = 0
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "breaker.close",
+                    self._pool_track,
+                    replica=replica.replica_id,
+                    iteration=iteration,
+                )
             replica.last_progress = (-1.0, -1, -1)

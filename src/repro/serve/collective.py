@@ -207,6 +207,29 @@ class CollectiveStats:
     hedges: int = 0
     simulated_ms: float = 0.0
 
+    def __iadd__(self, other: "CollectiveStats") -> "CollectiveStats":
+        """Fold another group's counters in, field-wise.
+
+        Shard-group stats aggregate into pool-level totals with plain
+        ``total += group.stats`` — the same merge shape
+        ``ReplicaPool._retired_stats`` uses for scheduler counters, so a
+        rebuilt group's pre-crash transport work is never silently lost.
+        """
+        if not isinstance(other, CollectiveStats):
+            return NotImplemented
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def publish(self, registry, prefix: str = "collective") -> None:
+        """Publish transport counters into a :class:`repro.obs.MetricsRegistry`.
+
+        Every field becomes a counter named ``<prefix>.<field>``.  Counters
+        accumulate — snapshot/delta around each publish to diff phases.
+        """
+        for name in self.__dataclass_fields__:
+            registry.counter(f"{prefix}.{name}").inc(getattr(self, name))
+
 
 class CollectiveGroup:
     """A shard group's message transport with integrity and retry semantics.
@@ -248,6 +271,15 @@ class CollectiveGroup:
     hedge:
         Straggler policy: ``True`` resends and takes the faster copy,
         ``False`` waits out the slow delivery.
+    tracer:
+        Opt-in :class:`repro.obs.Tracer`: every transport fault the group
+        rides out (retry, caught corruption, straggler, duplicate, kill,
+        exhausted budget) emits a ``collective.*`` instant carrying the
+        collective's sequence number and the sending shard onto
+        ``trace_track``.  ``None`` (default) emits nothing.
+    trace_track:
+        Trace track the events land on (default ``"collective"``); the
+        sharded runner names one per shard group.
     """
 
     def __init__(
@@ -263,6 +295,8 @@ class CollectiveGroup:
         straggler_ms: float = 0.3,
         delay_ms: float = 0.6,
         hedge: bool = True,
+        tracer=None,
+        trace_track: str = "collective",
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("a collective group needs at least one shard")
@@ -278,6 +312,8 @@ class CollectiveGroup:
         self.straggler_ms = straggler_ms
         self.delay_ms = delay_ms
         self.hedge = hedge
+        self.tracer = tracer
+        self.trace_track = trace_track
         self.stats = CollectiveStats()
         self.dead_shards: Set[int] = set()
         self._seq = 0
@@ -317,6 +353,10 @@ class CollectiveGroup:
             )
             if fault == "kill":
                 self.fail_shard(shard_id)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "collective.kill", self.trace_track, seq=seq, shard=shard_id
+                    )
                 raise ShardFailureError(
                     f"shard {shard_id} died during collective #{seq}"
                 )
@@ -324,6 +364,15 @@ class CollectiveGroup:
                 self.stats.timeouts += 1
                 self.stats.retries += 1
                 self.stats.simulated_ms += self.timeout_ms + self.backoff_ms * 2**attempt
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "collective.retry",
+                        self.trace_track,
+                        seq=seq,
+                        shard=shard_id,
+                        attempt=attempt,
+                        cause="timeout",
+                    )
                 continue
             if fault == "corrupt":
                 tampered = bytearray(wire_bytes)
@@ -333,6 +382,14 @@ class CollectiveGroup:
                 self.stats.corruption_caught += 1
                 self.stats.retries += 1
                 self.stats.simulated_ms += cost + self.backoff_ms * 2**attempt
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "collective.corruption",
+                        self.trace_track,
+                        seq=seq,
+                        shard=shard_id,
+                        attempt=attempt,
+                    )
                 continue
             if fault == "delay":
                 self.stats.stragglers += 1
@@ -343,17 +400,36 @@ class CollectiveGroup:
                     self.stats.simulated_ms += self.straggler_ms + cost
                 else:
                     self.stats.simulated_ms += cost + self.delay_ms
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "collective.straggler",
+                        self.trace_track,
+                        seq=seq,
+                        shard=shard_id,
+                        hedged=self.hedge,
+                    )
             elif fault == "duplicate":
                 # Two copies cross the wire; the second finds (seq, shard)
                 # already in the dedup set and is discarded.
                 self.stats.simulated_ms += 2 * cost
                 self.stats.duplicates_ignored += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "collective.duplicate",
+                        self.trace_track,
+                        seq=seq,
+                        shard=shard_id,
+                    )
             else:
                 self.stats.simulated_ms += cost
             self._delivered.add((seq, shard_id))
             self.stats.messages += 1
             self.stats.bytes_moved += len(wire_bytes) * max(1, self.num_shards - 1)
             return payload
+        if self.tracer is not None:
+            self.tracer.instant(
+                "collective.exhausted", self.trace_track, seq=seq, shard=shard_id
+            )
         raise CollectiveTransportError(
             f"collective #{seq} message from shard {shard_id} exceeded "
             f"{self.max_retries} retries"

@@ -195,6 +195,13 @@ class PagedKVCache:
         self._block_key: Dict[int, Tuple[int, bytes]] = {}
         self._children: Dict[int, Set[int]] = {}
         self._table_version = 0
+        #: Opt-in trace sink (plain attributes, not constructor params, so
+        #: every existing construction site keeps working): the scheduler
+        #: points these at its own tracer and track right after building the
+        #: cache, and ``cache.*`` events render beside that replica's
+        #: requests.  ``None`` — the default — emits nothing.
+        self.tracer = None
+        self.trace_track = "cache"
 
     @classmethod
     def for_model(cls, config, max_active: int, block_size: int = 16) -> "PagedKVCache":
@@ -339,6 +346,13 @@ class PagedKVCache:
                 break
             matched.append(block)
             parent = block
+        if self.tracer is not None and matched:
+            self.tracer.instant(
+                "cache.prefix_hit",
+                self.trace_track,
+                blocks=len(matched),
+                tokens=len(matched) * self.block_size,
+            )
         return matched
 
     def publish_prefix(self, slot: int, tokens: np.ndarray) -> int:
@@ -468,6 +482,14 @@ class PagedKVCache:
         self._tables[slot] = blocks
         self._lengths[slot] = 0
         self._table_version += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cache.block_alloc",
+                self.trace_track,
+                slot=slot,
+                fresh=needed - len(shared),
+                shared=len(shared),
+            )
         if fork_needed:
             self._copy_on_write(slot, len(shared) - 1)
         elif private_tail and shared:
@@ -639,6 +661,10 @@ class PagedKVCache:
         if self._refcounts[source] == 0:
             self._release(source)
         self._table_version += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cache.cow", self.trace_track, slot=slot, source=source, copy=copy
+            )
         return copy
 
     def _fork_shared_targets(self, index: _BlockIndex, block_rows: np.ndarray, shared: np.ndarray) -> None:

@@ -307,11 +307,28 @@ class SchedulerStats:
         return merged
 
     def ttft_percentile(self, q: float, priority: Optional[int] = None) -> float:
-        """The ``q``-th percentile TTFT of a class in ticks (0.0 if no samples)."""
+        """The ``q``-th percentile TTFT of a class in ticks.
+
+        ``q`` is a fraction in [0, 1] (0 = minimum, 0.5 = median, 1 =
+        maximum, linear interpolation between samples).  Edge semantics are
+        explicit rather than inherited from numpy quirks: with **no
+        samples** — an empty class filter included — the result is ``0.0``
+        (matching :meth:`mean_ttft`); with a **single sample** every ``q``
+        returns that sample.
+
+        Raises
+        ------
+        ValueError
+            If ``q`` is outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction q must be in [0, 1], got {q}")
         values = self.ttft_values(priority)
         if not values:
             return 0.0
-        return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+        if len(values) == 1:
+            return float(values[0])
+        return float(np.percentile(np.asarray(values, dtype=np.float64), 100.0 * q))
 
     def mean_ttft(self, priority: Optional[int] = None) -> float:
         """Mean TTFT of a class in scheduler ticks (0.0 if no samples)."""
@@ -329,6 +346,46 @@ class SchedulerStats:
         if not values:
             return 0.0
         return float(np.mean(values))
+
+    #: Fixed TTFT histogram bounds (scheduler ticks) used by :meth:`publish`.
+    #: Shared across replicas so per-replica histograms merge exactly.
+    TTFT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+    def publish(self, registry, prefix: str = "scheduler") -> None:
+        """Publish these counters into a :class:`repro.obs.MetricsRegistry`.
+
+        Scalar fields become counters named ``<prefix>.<field>``, the
+        per-cause degradation tally becomes ``<prefix>.degraded.<cause>``,
+        and the TTFT samples feed a fixed-bucket ``<prefix>.ttft_ticks``
+        histogram (bounds :attr:`TTFT_BUCKETS`) so per-replica registries
+        merge into fleet totals without rebinning.  Counters accumulate:
+        publishing twice doubles them — snapshot/delta around each publish
+        (or use a fresh registry) when diffing phases.
+        """
+        for name in (
+            "prefill_iterations",
+            "prefill_tokens",
+            "prefix_hit_tokens",
+            "decode_iterations",
+            "decode_slot_steps",
+            "generated_tokens",
+            "spec_proposed_tokens",
+            "spec_accepted_tokens",
+            "spec_verify_iterations",
+            "completed_requests",
+            "preemptions",
+            "expired_requests",
+            "cancelled_requests",
+            "degraded_requests",
+        ):
+            registry.counter(f"{prefix}.{name}").inc(getattr(self, name))
+        registry.gauge(f"{prefix}.peak_active").set(self.peak_active)
+        registry.gauge(f"{prefix}.idle_time").set(self.idle_time)
+        for cause, count in sorted(self.degraded_causes.items()):
+            registry.counter(f"{prefix}.degraded.{cause}").inc(count)
+        histogram = registry.histogram(f"{prefix}.ttft_ticks", self.TTFT_BUCKETS)
+        for value in self.ttft_values():
+            histogram.observe(value)
 
 
 @dataclass
@@ -552,6 +609,18 @@ class Scheduler:
         committed token, in commit order — the streaming hook
         :class:`~repro.serve.async_engine.AsyncEngine` feeds per-request
         iterators from.
+    tracer : repro.obs.Tracer, optional
+        Opt-in request-lifecycle tracing (see :mod:`repro.obs`).  When set,
+        the scheduler emits ``request.*`` instants and ``prefill_chunk`` /
+        ``decode_step`` / ``verify_step`` spans onto ``trace_track``, and
+        shares the tracer with its :class:`PagedKVCache` for ``cache.*``
+        events.  The default ``None`` disables tracing completely — every
+        emit site is guarded, so the disabled path builds no spans and no
+        attribute dicts (measured and gated in ``tools/check_perf_smoke.py``).
+    trace_track : str, optional
+        Trace track (Perfetto process row) this scheduler emits onto;
+        defaults to ``"scheduler"``.  The replica pool names one track per
+        replica so fleet traces keep replicas on separate rows.
 
     Raises
     ------
@@ -582,6 +651,8 @@ class Scheduler:
         speculation: Optional[SpecConfig] = None,
         preemption: bool = False,
         on_token: Optional[Callable[[int, int], None]] = None,
+        tracer=None,
+        trace_track: Optional[str] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -617,6 +688,15 @@ class Scheduler:
                 block_size=block_size,
                 num_blocks=num_blocks,
             )
+        self.tracer = tracer
+        self.trace_track = trace_track if trace_track is not None else "scheduler"
+        #: Correlation ids by request id — populated only while tracing, so
+        #: the disabled path never touches the dict.
+        self._trace_corrs: Dict[int, str] = {}
+        # The cache reports prefix hits and block allocations onto the same
+        # track, so a replica's cache activity renders beside its requests.
+        self.cache.tracer = tracer
+        self.cache.trace_track = self.trace_track
         self.now = 0.0
         self.stats = SchedulerStats()
         #: Min-heap of (priority, arrival_time, request_id, entry) over
@@ -646,6 +726,7 @@ class Scheduler:
         arrival_time: float = 0.0,
         priority: int = 0,
         deadline: Optional[float] = None,
+        trace_corr: Optional[str] = None,
     ) -> int:
         """Enqueue a request (or a bare prompt) and return its request id.
 
@@ -657,6 +738,11 @@ class Scheduler:
             Conveniences for the bare-prompt form; passing any alongside
             a full :class:`Request` is rejected (set the fields on the
             request instead) so overrides can never be silently dropped.
+        trace_corr : str, optional
+            Correlation id stamped on every trace event this request emits
+            (default ``"r<request_id>"``).  The replica pool passes its
+            pool-level id here so one request's lifecycle stays traceable
+            across replica hops.  Ignored while tracing is disabled.
 
         Returns
         -------
@@ -719,8 +805,22 @@ class Scheduler:
             )
         admitted.request_id = self._next_request_id
         self._next_request_id += 1
+        if self.tracer is not None:
+            corr = trace_corr if trace_corr is not None else f"r{admitted.request_id}"
+            self._trace_corrs[admitted.request_id] = corr
+            self.tracer.instant(
+                "request.queued",
+                self.trace_track,
+                corr,
+                priority=admitted.priority,
+                prompt_len=int(prompt.size),
+            )
         self._enqueue(_QueueEntry(admitted))
         return admitted.request_id
+
+    def _corr_for(self, request_id: int) -> str:
+        """The correlation id stamped on this request's trace events."""
+        return self._trace_corrs.get(request_id, f"r{request_id}")
 
     def _enqueue(self, entry: _QueueEntry) -> None:
         """Push an entry onto the arrived or future queue, as appropriate."""
@@ -973,6 +1073,15 @@ class Scheduler:
             state.prefill_pos = start
             state.prefix_hit_tokens += start
             self.stats.prefix_hit_tokens += start
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "request.admitted",
+                    self.trace_track,
+                    self._corr_for(head.request_id),
+                    slot=slot,
+                    prefix_hit=start,
+                    replay=entry.resume is not None,
+                )
             self._prefilling.append(state)
             self.stats.peak_active = max(self.stats.peak_active, self.num_active)
             if self.prefill_chunk is None:
@@ -1070,6 +1179,14 @@ class Scheduler:
         state.replay = None
         state.preemptions += 1
         self.stats.preemptions += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "request.preempted",
+                self.trace_track,
+                self._corr_for(request.request_id),
+                committed=len(state.generated),
+                preemptions=state.preemptions,
+            )
         heapq.heappush(
             self._waiting,
             (request.priority, request.arrival_time, request.request_id, entry),
@@ -1266,7 +1383,11 @@ class Scheduler:
         )
 
     def submit_checkpoint(
-        self, checkpoint: RequestCheckpoint, *, delay: float = 0.0
+        self,
+        checkpoint: RequestCheckpoint,
+        *,
+        delay: float = 0.0,
+        trace_corr: Optional[str] = None,
     ) -> int:
         """Re-admit a checkpointed request on this scheduler; return its new id.
 
@@ -1286,6 +1407,11 @@ class Scheduler:
         delay : float
             Extra scheduler ticks before the re-admitted request becomes
             admissible — the replica pool's exponential-backoff knob.
+        trace_corr : str, optional
+            Correlation id for the re-admitted request's trace events (see
+            :meth:`submit`) — the pool passes the original pool-level id so
+            a recovery hop extends the request's existing lifecycle instead
+            of starting a fresh one.
 
         Returns
         -------
@@ -1316,9 +1442,20 @@ class Scheduler:
                     else max(request.deadline, request.arrival_time)
                 ),
             )
-            return self.submit(restored)
+            return self.submit(restored, trace_corr=trace_corr)
         request.request_id = self._next_request_id
         self._next_request_id += 1
+        if self.tracer is not None:
+            corr = trace_corr if trace_corr is not None else f"r{request.request_id}"
+            self._trace_corrs[request.request_id] = corr
+            self.tracer.instant(
+                "request.queued",
+                self.trace_track,
+                corr,
+                priority=request.priority,
+                prompt_len=int(request.prompt.size),
+                resumed=True,
+            )
         state = _ActiveRequest(
             request,
             slot=-1,
@@ -1341,6 +1478,14 @@ class Scheduler:
 
     def _unstarted_output(self, request: Request, reason: str) -> RequestOutput:
         """Terminal output for a request that never produced a token."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                "request.finished",
+                self.trace_track,
+                self._trace_corrs.pop(request.request_id, f"r{request.request_id}"),
+                reason=reason,
+                tokens=0,
+            )
         vocab = self.runner.config.vocab_size
         return RequestOutput(
             request_id=int(request.request_id),
@@ -1381,14 +1526,27 @@ class Scheduler:
         # replay, whose next token was sampled before the preemption — skip
         # the LM-head projection entirely.
         samples = end == len(tokens) and not state.generated
-        logits = self.runner.prefill(
-            chunk[None, :],
-            np.array([len(chunk)]),
-            view,
-            start_positions=np.array([begin]),
-            return_logits=samples,
-        )
-        view.commit()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(
+                "prefill_chunk",
+                self.trace_track,
+                self._corr_for(state.request.request_id),
+                start=begin,
+                tokens=int(end - begin),
+            )
+        try:
+            logits = self.runner.prefill(
+                chunk[None, :],
+                np.array([len(chunk)]),
+                view,
+                start_positions=np.array([begin]),
+                return_logits=samples,
+            )
+            view.commit()
+        finally:
+            if tracer is not None:
+                tracer.end(self.trace_track)
         state.prefill_pos = end
         self.stats.prefill_iterations += 1
         self.stats.prefill_tokens += len(chunk)
@@ -1434,8 +1592,15 @@ class Scheduler:
         slots = [state.slot for state in states]
         view = self._view_for(slots) if cached else self.cache.view(slots)
         tokens = np.array([state.next_token for state in states], dtype=np.int64)
-        logits = self.runner.decode_step(tokens, view)
-        view.commit()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("decode_step", self.trace_track, batch=len(states))
+        try:
+            logits = self.runner.decode_step(tokens, view)
+            view.commit()
+        finally:
+            if tracer is not None:
+                tracer.end(self.trace_track)
         self.stats.decode_iterations += 1
         self.stats.decode_slot_steps += len(states)
         self.now += 1.0
@@ -1547,12 +1712,19 @@ class Scheduler:
                 for state, draft in zip(capable, drafts)
             ]
         )
-        logits = self.runner.verify(tokens, view, starts)
-        # The runner advanced every row to start + depth + 1; commit that
-        # high-water mark first so truncate() knows how far the optimistic
-        # writes reached, then roll each row back to what its sampling rule
-        # actually committed.
-        view.commit()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("verify_step", self.trace_track, batch=len(capable), depth=depth)
+        try:
+            logits = self.runner.verify(tokens, view, starts)
+            # The runner advanced every row to start + depth + 1; commit that
+            # high-water mark first so truncate() knows how far the optimistic
+            # writes reached, then roll each row back to what its sampling rule
+            # actually committed.
+            view.commit()
+        finally:
+            if tracer is not None:
+                tracer.end(self.trace_track)
         outcomes = [
             self._commit_verified(
                 state,
@@ -1624,6 +1796,14 @@ class Scheduler:
         self.stats.spec_proposed_tokens += proposed
         self.stats.spec_accepted_tokens += accepted
         state.spec.observe(proposed, accepted, self.speculation)
+        if self.tracer is not None and proposed:
+            self.tracer.instant(
+                "spec.accept",
+                self.trace_track,
+                self._corr_for(state.request.request_id),
+                proposed=proposed,
+                accepted=accepted,
+            )
         return committed, reason
 
     def _commit_token(self, state: _ActiveRequest, token: int) -> None:
@@ -1633,6 +1813,12 @@ class Scheduler:
         self.stats.generated_tokens += 1
         if state.first_token_at < 0:
             state.first_token_at = self.now
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "request.first_token",
+                    self.trace_track,
+                    self._corr_for(state.request.request_id),
+                )
         if self.on_token is not None:
             self.on_token(int(state.request.request_id), int(token))
 
@@ -1668,6 +1854,15 @@ class Scheduler:
 
     def _build_output(self, state: _ActiveRequest, reason: str) -> RequestOutput:
         """Assemble the terminal :class:`RequestOutput` for one request."""
+        request_id = state.request.request_id
+        if self.tracer is not None:
+            self.tracer.instant(
+                "request.finished",
+                self.trace_track,
+                self._trace_corrs.pop(request_id, f"r{request_id}"),
+                reason=reason,
+                tokens=len(state.generated),
+            )
         continuation = np.array(state.generated, dtype=np.int64)
         vocab = self.runner.config.vocab_size
         step_logits = (

@@ -178,6 +178,13 @@ class ServingStressHarness:
         Live-slot ceiling (mirrors the scheduler's ``max_batch_size``).
     vocab : int
         Token alphabet size; small, so prompts collide and prefixes match.
+    tracer : repro.obs.Tracer, optional
+        Opt-in tracing: the cache's ``cache.*`` events are routed through
+        this tracer, and when it carries a
+        :class:`~repro.obs.FlightRecorder` an
+        :class:`InvariantViolation` snapshots the tape
+        (``mark_incident``) — the last N cache events before the violated
+        invariant, readable without replaying the schedule.
 
     Examples
     --------
@@ -197,6 +204,7 @@ class ServingStressHarness:
         num_blocks: int = 24,
         max_slots: int = 5,
         vocab: int = 12,
+        tracer=None,
     ) -> None:
         self.cache = PagedKVCache(
             num_layers=num_layers,
@@ -205,6 +213,10 @@ class ServingStressHarness:
             block_size=block_size,
             num_blocks=num_blocks,
         )
+        self.tracer = tracer
+        if tracer is not None:
+            self.cache.tracer = tracer
+            self.cache.trace_track = "stress"
         self.rng = np.random.default_rng(seed)
         self.block_size = block_size
         self.max_slots = max_slots
@@ -462,6 +474,10 @@ class ServingStressHarness:
             self._version = check_pool_invariants(self.cache, self._version)
             self._check_content()
         except InvariantViolation as error:
+            if self.tracer is not None and self.tracer.recorder is not None:
+                self.tracer.recorder.mark_incident(
+                    f"invariant violation after op {len(self.op_log)}: {error}"
+                )
             raise InvariantViolation(
                 f"{error} — after op {len(self.op_log)}: {self.op_log[-1]!r}"
             ) from error

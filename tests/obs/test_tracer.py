@@ -1,0 +1,167 @@
+"""Tracer semantics: spans, instants, clocks, the ring buffer, and export.
+
+The serving-layer integration (lifecycle reconstruction across replicas,
+byte-identical chaos exports) lives in ``tests/serve/test_observability.py``;
+this module pins the primitives those tests stand on — per-track span
+nesting, deterministic clock behavior, FlightRecorder wraparound, and the
+Chrome trace-event rows the exporter writes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import CountingClock, FlightRecorder, Tracer, WallClock
+
+
+class TestClocks:
+    def test_counting_clock_advances_by_step(self):
+        clock = CountingClock(start=10, step=3)
+        assert [clock() for _ in range(4)] == [10, 13, 16, 19]
+        assert clock.reads == 4
+
+    def test_counting_clock_rejects_zero_step(self):
+        with pytest.raises(ValueError):
+            CountingClock(step=0)
+
+    def test_wall_clock_is_monotone_microseconds(self):
+        clock = WallClock()
+        first = clock()
+        second = clock()
+        assert second >= first >= 0.0
+
+
+class TestSpans:
+    def test_span_pairs_begin_and_end_on_one_track(self):
+        tracer = Tracer()
+        with tracer.span("decode_step", "replica0", batch=3):
+            tracer.instant("request.first_token", "replica0", corr="req7")
+        phases = [(e.name, e.phase) for e in tracer.events]
+        assert phases == [
+            ("decode_step", "B"),
+            ("request.first_token", "i"),
+            ("decode_step", "E"),
+        ]
+
+    def test_spans_nest_per_track(self):
+        tracer = Tracer()
+        tracer.begin("outer", "a")
+        tracer.begin("inner", "a")
+        tracer.begin("other", "b")
+        tracer.end("a")  # closes inner, not other
+        tracer.end("b")
+        tracer.end("a")
+        ends = [e.name for e in tracer.events if e.phase == "E"]
+        assert ends == ["inner", "other", "outer"]
+
+    def test_end_without_open_span_raises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="no open span"):
+            tracer.end("replica0")
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("verify_step", "replica0"):
+                raise RuntimeError("shard died mid-forward")
+        assert [e.phase for e in tracer.events] == ["B", "E"]
+
+    def test_timestamps_come_from_injected_clock(self):
+        tracer = Tracer(clock=CountingClock(start=100, step=10))
+        tracer.instant("a", "t")
+        tracer.instant("b", "t")
+        assert [e.ts for e in tracer.events] == [100, 110]
+
+    def test_events_for_filters_by_correlation_id(self):
+        tracer = Tracer()
+        tracer.instant("request.queued", "replica0", corr="req1")
+        tracer.instant("request.queued", "replica0", corr="req2")
+        tracer.instant("request.finished", "replica1", corr="req1")
+        assert [e.track for e in tracer.events_for("req1")] == ["replica0", "replica1"]
+        assert [e.name for e in tracer.events_named("request.queued")] == [
+            "request.queued",
+            "request.queued",
+        ]
+
+
+class TestFlightRecorder:
+    def test_wraparound_keeps_newest_n(self):
+        recorder = FlightRecorder(capacity=4)
+        tracer = Tracer(recorder=recorder)
+        for i in range(10):
+            tracer.instant(f"event{i}", "t")
+        assert recorder.recorded == 10
+        assert [e.name for e in recorder.events()] == [
+            "event6",
+            "event7",
+            "event8",
+            "event9",
+        ]
+
+    def test_mark_incident_snapshots_the_tape(self):
+        recorder = FlightRecorder(capacity=2)
+        tracer = Tracer(recorder=recorder)
+        tracer.instant("a", "t")
+        tracer.instant("b", "t")
+        tape = recorder.mark_incident("invariant violation")
+        tracer.instant("c", "t")  # mutates the ring, not the snapshot
+        assert [e.name for e in tape] == ["a", "b"]
+        reason, snapshot = recorder.incidents[0]
+        assert reason == "invariant violation"
+        assert [e.name for e in snapshot] == ["a", "b"]
+
+    def test_retain_false_keeps_only_the_tape(self):
+        recorder = FlightRecorder(capacity=2)
+        tracer = Tracer(recorder=recorder, retain=False)
+        for i in range(5):
+            tracer.instant(f"e{i}", "t")
+        assert tracer.events == []
+        assert [e.name for e in recorder.events()] == ["e3", "e4"]
+
+    def test_dump_lines_are_human_readable(self):
+        recorder = FlightRecorder(capacity=4)
+        tracer = Tracer(recorder=recorder)
+        tracer.instant("request.queued", "replica0", corr="req1", priority=0)
+        (line,) = recorder.dump_lines()
+        assert "request.queued" in line
+        assert "corr=req1" in line
+        assert "priority=0" in line
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestChromeExport:
+    def test_export_rows_and_metadata(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("decode_step", "replica0", batch=2):
+            tracer.instant("request.first_token", "replica1", corr="req3")
+        path = tmp_path / "trace.json"
+        count = tracer.export_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        rows = payload["traceEvents"]
+        assert count == len(rows)
+        metadata = [r for r in rows if r["ph"] == "M"]
+        assert [(r["pid"], r["args"]["name"]) for r in metadata] == [
+            (0, "replica0"),
+            (1, "replica1"),
+        ]
+        instant = next(r for r in rows if r["ph"] == "i")
+        assert instant["s"] == "t"
+        assert instant["args"]["corr"] == "req3"
+        assert instant["pid"] == 1
+        begin = next(r for r in rows if r["ph"] == "B")
+        assert begin["args"]["batch"] == 2
+
+    def test_export_is_byte_deterministic(self, tmp_path):
+        def run(path):
+            tracer = Tracer(clock=CountingClock())
+            with tracer.span("prefill_chunk", "scheduler", corr="r0", tokens=8):
+                tracer.instant("cache.prefix_hit", "scheduler", blocks=2, tokens=16)
+            tracer.export_chrome_trace(path)
+            return path.read_bytes()
+
+        assert run(tmp_path / "a.json") == run(tmp_path / "b.json")

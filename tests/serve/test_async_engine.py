@@ -332,7 +332,7 @@ class TestClassStats:
         assert set(stats.ttft_by_class) == {0, 1}
         assert len(stats.ttft_values()) == 4
         assert len(stats.ttft_values(priority=0)) == 2
-        assert stats.ttft_percentile(99.0) >= stats.ttft_percentile(50.0) > 0.0
+        assert stats.ttft_percentile(0.99) >= stats.ttft_percentile(0.5) > 0.0
         assert stats.mean_ttft() > 0.0
         assert stats.mean_tpot() > 0.0
         assert stats.mean_ttft(priority=0) <= stats.mean_ttft(priority=1)

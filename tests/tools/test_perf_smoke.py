@@ -38,5 +38,6 @@ class TestPerfSmoke:
         assert "perf smoke ok (speculation accepted" in result.stdout
         assert "perf smoke ok (fused paged attention" in result.stdout
         assert "perf smoke ok (preemption token-identical" in result.stdout
+        assert "perf smoke ok (observability disabled-path" in result.stdout
         assert "perf smoke ok (serving stress clean" in result.stdout
         assert "perf smoke ok (fault tolerance token-identical" in result.stdout

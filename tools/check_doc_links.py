@@ -18,7 +18,10 @@ Checks, in order:
    (``benchmarks/bench_*.py``) for the same reason;
 4. ``docs/architecture.md`` mentions every serving-layer module
    (``src/repro/serve/*.py``) — a new subsystem (``cluster.py`` being the
-   latest) cannot land without its architecture-doc section.
+   latest) cannot land without its architecture-doc section;
+5. ``docs/architecture.md`` mentions every observability module
+   (``src/repro/obs/*.py``) — tracing/metrics machinery follows the same
+   rule as the serving layers it instruments.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -86,6 +89,11 @@ def check_architecture_coverage(root: Path) -> list:
         if module.name != "__init__.py" and module.name not in text:
             errors.append(
                 f"docs/architecture.md: serve module {module.name} not mentioned"
+            )
+    for module in sorted((root / "src" / "repro" / "obs").glob("*.py")):
+        if module.name != "__init__.py" and module.name not in text:
+            errors.append(
+                f"docs/architecture.md: obs module {module.name} not mentioned"
             )
     return errors
 

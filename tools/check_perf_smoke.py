@@ -5,7 +5,7 @@ Run from the repository root (tier-1 runs it via ``tests/tools``):
 
     PYTHONPATH=src python tools/check_perf_smoke.py
 
-Eight checks run back to back:
+Nine checks run back to back:
 
 1. **Fast kernels** — builds the shared synthetic decode workload from
    ``repro.core.perf`` (no model training, no checkpoint cache — the same
@@ -56,14 +56,25 @@ Eight checks run back to back:
    that stops publishing victims' blocks fails the work gate, and a
    replay that re-samples fails parity.
 
-6. **Serving stress** — replays short ``ServingStressHarness`` schedules
+6. **Observability** — serves the preemption gate's two-class trace with
+   tracing disabled (``tracer=None``) and enabled (``repro.obs.Tracer``)
+   and gates on three claims: generated tokens must be bit-identical
+   (instrumentation is observation-only), the disabled path's measured
+   residue — one ``is not None`` branch per emit site the enabled run
+   proves hot — must stay under ``MAX_DISABLED_TRACE_OVERHEAD`` of the
+   serve, and the exported Chrome trace JSON must load back with every
+   required lifecycle event type, balanced spans, and named tracks — an
+   emit site doing work outside its guard fails the overhead gate, and
+   one that went dark fails the taxonomy check.
+
+7. **Serving stress** — replays short ``ServingStressHarness`` schedules
    (mixed admit/fork/decode/truncate/preempt/evict/replica_kill/
    replica_stall against a tiny paged pool) and fails on any
    ``InvariantViolation`` — the same invariant web tier-1 exercises, kept
    in the standalone gate so external CI without pytest still audits the
    pool.
 
-7. **Fault tolerance** — serves the same trace through a 3-replica
+8. **Fault tolerance** — serves the same trace through a 3-replica
    ``repro.serve.cluster.ReplicaPool`` fault-free and under scripted
    mid-trace replica kills, and gates on the deterministic accounting:
    every surviving request's tokens must be bit-identical to the
@@ -74,7 +85,7 @@ Eight checks run back to back:
    riding prefix hits fails the goodput floor, and one that re-samples
    fails parity.
 
-8. **Tensor parallel** — serves a Tender-quantized random-weight model
+9. **Tensor parallel** — serves a Tender-quantized random-weight model
    solo and as a 2-shard ``repro.serve.ShardedRunner`` whose collective
    transport runs under scripted corruption/delay/duplication, then under
    a scripted shard kill through a ``ReplicaPool`` of shard groups, and
@@ -129,6 +140,12 @@ STRESS_OPS = 120
 #: measured well above 0.9 because recovery replays ride prefix-cache hits;
 #: a recovery path that recomputes whole contexts from scratch lands below.
 REQUIRED_FT_GOODPUT = 0.8
+#: The disabled tracing path (``tracer=None``) may cost at most this
+#: fraction of the serve: the measured per-``is not None`` guard cost times
+#: the emit sites an enabled run proves are on the hot path (measured
+#: ~0.01% — a future emit site that builds attribute dicts outside its
+#: guard blows well past this).
+MAX_DISABLED_TRACE_OVERHEAD = 0.01
 
 
 def _tiny_serving_runner():
@@ -557,6 +574,151 @@ def check_preemption_smoke() -> int:
     return 0
 
 
+def check_observability() -> int:
+    """Zero-cost-disabled tracing gate, span-taxonomy check, export validation."""
+    import json
+    import os
+    import tempfile
+    import time
+
+    from repro.obs import CountingClock, Tracer
+    from repro.serve import GenerationConfig, Scheduler
+
+    runner = _tiny_serving_runner()
+    rng = np.random.default_rng(13)
+    # The same two-class preemption trace check_preemption_smoke gates on —
+    # it exercises the whole span taxonomy (queue/admit/prefill/decode/
+    # preempt/finish plus cache events) in a fraction of a second.
+    low = [(rng.integers(0, 64, size=6 + i % 3), 5, 24, 0.8 * i) for i in range(4)]
+    high = [(rng.integers(0, 64, size=4 + i % 2), 0, 3, 8.0 + 0.5 * i) for i in range(4)]
+
+    def serve(tracer):
+        scheduler = Scheduler(
+            runner,
+            GenerationConfig(max_new_tokens=24),
+            max_batch_size=2,
+            block_size=4,
+            prefix_cache=True,
+            preemption=True,
+            record_logits=False,
+            tracer=tracer,
+        )
+        for group in (low, high):
+            for prompt, priority, budget, arrival in group:
+                scheduler.submit(
+                    prompt, max_new_tokens=budget, arrival_time=arrival, priority=priority
+                )
+        start = time.perf_counter()
+        outputs = {output.request_id: output for output in scheduler.run()}
+        elapsed = time.perf_counter() - start
+        return outputs, elapsed
+
+    disabled_times = []
+    enabled_times = []
+    tracer = None
+    for _ in range(ATTEMPTS):
+        outputs_off, elapsed_off = serve(None)
+        tracer = Tracer(clock=CountingClock())
+        outputs_on, elapsed_on = serve(tracer)
+        disabled_times.append(elapsed_off)
+        enabled_times.append(elapsed_on)
+        for request_id, output in outputs_off.items():
+            if not np.array_equal(output.generated, outputs_on[request_id].generated):
+                print(
+                    f"perf smoke FAILED: request {request_id} generated different "
+                    f"tokens with tracing enabled — instrumentation must be "
+                    f"observation-only"
+                )
+                return 1
+
+    # Span taxonomy: the trace must carry every lifecycle stage the
+    # two-class run provably hits.
+    required = (
+        "request.queued",
+        "request.admitted",
+        "request.first_token",
+        "request.preempted",
+        "request.finished",
+        "prefill_chunk",
+        "decode_step",
+        "cache.block_alloc",
+    )
+    for name in required:
+        if not tracer.events_named(name):
+            print(
+                f"perf smoke FAILED: enabled tracing produced no {name!r} events "
+                f"on the two-class preemption trace — an emit site went dark"
+            )
+            return 1
+
+    # Disabled-path cost: the only residue of `tracer=None` is one
+    # `is not None` branch per emit site.  Measure that branch, multiply by
+    # the sites the enabled run proves are on the hot path, and compare to
+    # the measured serve time.
+    sink = None
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        if sink is not None:  # pragma: no cover - never taken
+            raise AssertionError
+    guard_seconds = (time.perf_counter() - start) / reps
+    guard_total = len(tracer.events) * guard_seconds
+    disabled_overhead = guard_total / min(disabled_times)
+    if disabled_overhead > MAX_DISABLED_TRACE_OVERHEAD:
+        print(
+            f"perf smoke FAILED: disabled tracing costs "
+            f"{disabled_overhead:.2%} of the serve "
+            f"({len(tracer.events)} guards x {guard_seconds * 1e9:.0f} ns, "
+            f"required <= {MAX_DISABLED_TRACE_OVERHEAD:.0%}) — an emit site is "
+            f"doing work outside its `tracer is not None` guard"
+        )
+        return 1
+
+    # Export validation: the Chrome trace JSON must load back with balanced
+    # spans and one process_name row per track.
+    handle, path = tempfile.mkstemp(suffix=".json")
+    os.close(handle)
+    try:
+        tracer.export_chrome_trace(path)
+        with open(path) as trace_file:
+            payload = json.load(trace_file)
+    finally:
+        os.unlink(path)
+    rows = payload.get("traceEvents")
+    if payload.get("displayTimeUnit") != "ms" or not isinstance(rows, list):
+        print("perf smoke FAILED: exported trace is not Chrome trace-event JSON")
+        return 1
+    open_spans = {}
+    metadata_pids = set()
+    for row in rows:
+        if not all(key in row for key in ("name", "ph", "pid", "tid")):
+            print(f"perf smoke FAILED: exported trace row missing keys: {row}")
+            return 1
+        if row["ph"] == "M":
+            metadata_pids.add(row["pid"])
+        elif row["ph"] == "B":
+            open_spans[row["pid"]] = open_spans.get(row["pid"], 0) + 1
+        elif row["ph"] == "E":
+            open_spans[row["pid"]] = open_spans.get(row["pid"], 0) - 1
+            if open_spans[row["pid"]] < 0:
+                print("perf smoke FAILED: exported trace closes a span it never opened")
+                return 1
+    if any(count != 0 for count in open_spans.values()):
+        print("perf smoke FAILED: exported trace leaves spans open")
+        return 1
+    if {row["pid"] for row in rows} - metadata_pids:
+        print("perf smoke FAILED: exported trace has events on unnamed tracks")
+        return 1
+
+    enabled_overhead = min(enabled_times) / min(disabled_times) - 1.0
+    print(
+        f"perf smoke ok (observability disabled-path {disabled_overhead:.3%}, "
+        f"enabled {max(0.0, enabled_overhead):.1%} on {len(tracer.events)} events, "
+        f"export valid)"
+    )
+    return 0
+
+
 def check_serving_stress() -> int:
     """Randomized invariant sweep over the paged pool's op vocabulary."""
     from repro.serve import InvariantViolation, ServingStressHarness
@@ -800,6 +962,7 @@ def main() -> int:
         or check_speculative_smoke()
         or check_fused_attention()
         or check_preemption_smoke()
+        or check_observability()
         or check_serving_stress()
         or check_fault_tolerance()
         or check_tensor_parallel()
